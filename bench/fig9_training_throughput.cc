@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Figure 9: training throughput as a function of inference
+ * load for the four Equinox configurations (LSTM-2048 inference and
+ * training, batch 128, hbfp8).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/equinox.hh"
+
+int
+main()
+{
+    using namespace equinox;
+    setQuietLogging(true);
+    bench::banner("Figure 9", "Training throughput vs inference load");
+
+    core::ExperimentOptions opts;
+    opts.train_model = workload::DnnModel::lstm2048();
+    opts.warmup_requests = 250;
+    opts.measure_requests = 2000;
+    opts.min_measure_s = 0.04;
+    opts.measure_iterations = 12;
+
+    std::vector<double> loads = bench::loadGrid();
+    std::vector<std::string> headers{"config"};
+    for (double l : loads)
+        headers.push_back(bench::num(l * 100, 0) + "%");
+    stats::Table table(headers);
+
+    double max_train = 0.0;
+    std::vector<std::vector<double>> rows;
+    for (auto preset : core::allPresets()) {
+        auto cfg = core::presetConfig(preset);
+        std::vector<std::string> cells{core::presetName(preset)};
+        std::vector<double> vals;
+        for (double load : loads) {
+            auto r = core::runAtLoad(cfg, load, opts);
+            cells.push_back(bench::num(r.training_tops, 1));
+            vals.push_back(r.training_tops);
+            max_train = std::max(max_train, r.training_tops);
+        }
+        rows.push_back(vals);
+        table.addRow(cells);
+    }
+    table.print(std::cout);
+
+    std::printf("\nmax observed training throughput: %.1f TOp/s "
+                "(paper: ~107, the HBM-bandwidth bound)\n", max_train);
+    std::printf("fraction of max at 60%% load (paper: min 19%%, 50us "
+                "66%%, 500us 78%%, none saturates):\n");
+    const char *names[] = {"min", "50us", "500us", "none"};
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::printf("  Equinox_%-5s : %3.0f%%\n", names[i],
+                    100.0 * rows[i][5] / max_train);
+    }
+    return 0;
+}

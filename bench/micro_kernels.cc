@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the library's hot kernels: the
+ * arithmetic engines, block-floating-point conversion, the event queue,
+ * the DRAM link model, and the workload compiler. These quantify the
+ * simulator's own performance, not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arith/bfp.hh"
+#include "arith/gemm.hh"
+#include "common/random.hh"
+#include "dram/hbm.hh"
+#include "sim/event_queue.hh"
+#include "stats/histogram.hh"
+#include "workload/compiler.hh"
+#include "workload/dnn_model.hh"
+
+namespace
+{
+
+using namespace equinox;
+
+arith::Matrix
+randomMatrix(std::size_t r, std::size_t c, std::uint64_t seed)
+{
+    Rng rng(seed);
+    arith::Matrix m(r, c);
+    m.randomize(rng, 1.0);
+    return m;
+}
+
+void
+BM_GemmEngine(benchmark::State &state, arith::Encoding enc)
+{
+    auto n = static_cast<std::size_t>(state.range(0));
+    auto a = randomMatrix(n, n, 1);
+    auto b = randomMatrix(n, n, 2);
+    arith::Matrix c(n, n);
+    auto engine = arith::makeGemmEngine(enc);
+    for (auto _ : state) {
+        engine->multiply(a, b, c, false);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations())
+                            * n * n * n * 2);
+}
+
+void
+BM_BfpQuantize(benchmark::State &state)
+{
+    auto len = static_cast<std::size_t>(state.range(0));
+    Rng rng(7);
+    std::vector<float> v(len);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal(0.0, 1.0));
+    auto fmt = arith::hbfp8Format();
+    for (auto _ : state) {
+        auto blk = arith::BfpBlock::quantize(v, fmt);
+        benchmark::DoNotOptimize(blk.exponent());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations())
+                            * static_cast<std::int64_t>(len));
+}
+
+void
+BM_BfpDot(benchmark::State &state)
+{
+    auto len = static_cast<std::size_t>(state.range(0));
+    Rng rng(9);
+    std::vector<float> v(len), w(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        v[i] = static_cast<float>(rng.normal(0.0, 1.0));
+        w[i] = static_cast<float>(rng.normal(0.0, 1.0));
+    }
+    auto fmt = arith::hbfp8Format();
+    auto a = arith::BfpBlock::quantize(v, fmt);
+    auto b = arith::BfpBlock::quantize(w, fmt);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(arith::BfpBlock::dot(a, b));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations())
+                            * static_cast<std::int64_t>(len));
+}
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    auto batch = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue q;
+        Rng rng(3);
+        for (std::size_t i = 0; i < batch; ++i)
+            q.schedule(rng.uniformInt(0, 1u << 20), [] {});
+        while (q.runOne()) {
+        }
+        benchmark::DoNotOptimize(q.dispatched());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations())
+                            * static_cast<std::int64_t>(batch));
+}
+
+void
+BM_HbmTransfer(benchmark::State &state)
+{
+    dram::HbmModel hbm(610e6);
+    Tick now = 0;
+    for (auto _ : state) {
+        now += 10;
+        benchmark::DoNotOptimize(
+            hbm.transfer(now, 256 * 1024, dram::Priority::Low));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_LatencyPercentile(benchmark::State &state)
+{
+    auto samples = static_cast<std::size_t>(state.range(0));
+    Rng rng(5);
+    stats::LatencyTracker t;
+    for (std::size_t i = 0; i < samples; ++i)
+        t.record(rng.exponential(1.0));
+    for (auto _ : state) {
+        t.record(rng.exponential(1.0));
+        benchmark::DoNotOptimize(t.percentile(0.99));
+    }
+}
+
+void
+BM_CompileLstm(benchmark::State &state)
+{
+    sim::AcceleratorConfig cfg;
+    cfg.n = 143;
+    cfg.m = 4;
+    cfg.w = 4;
+    cfg.frequency_hz = 610e6;
+    workload::Compiler compiler(cfg);
+    auto model = workload::DnnModel::lstm2048();
+    for (auto _ : state) {
+        auto svc = compiler.compileInference(model);
+        benchmark::DoNotOptimize(svc.program.steps.size());
+    }
+}
+
+void
+BM_CompileResnetTraining(benchmark::State &state)
+{
+    sim::AcceleratorConfig cfg;
+    cfg.n = 143;
+    cfg.m = 4;
+    cfg.w = 4;
+    cfg.frequency_hz = 610e6;
+    workload::Compiler compiler(cfg);
+    auto model = workload::DnnModel::resnet50();
+    for (auto _ : state) {
+        auto svc = compiler.compileTraining(model, 32);
+        benchmark::DoNotOptimize(svc.iteration.steps.size());
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_GemmEngine, fp32, arith::Encoding::Fp32)
+    ->Arg(64)->Arg(128);
+BENCHMARK_CAPTURE(BM_GemmEngine, bfloat16, arith::Encoding::Bfloat16)
+    ->Arg(64)->Arg(128);
+BENCHMARK_CAPTURE(BM_GemmEngine, hbfp8, arith::Encoding::Hbfp8)
+    ->Arg(64)->Arg(128);
+BENCHMARK(BM_BfpQuantize)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_BfpDot)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_EventQueue)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_HbmTransfer);
+BENCHMARK(BM_LatencyPercentile)->Arg(10000);
+BENCHMARK(BM_CompileLstm);
+BENCHMARK(BM_CompileResnetTraining);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Table 2: training and inference performance of
+ * Equinox_500us across DNN models (LSTM, GRU, ResNet50). Training
+ * throughput is measured at 60% inference load; inference throughput is
+ * the saturation rate; latency is the single-batch service time.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/equinox.hh"
+
+int
+main()
+{
+    using namespace equinox;
+    setQuietLogging(true);
+    bench::banner("Table 2",
+                  "Training and inference performance per DNN model "
+                  "(Equinox_500us, 60% load)");
+
+    auto cfg = core::presetConfig(core::Preset::Us500);
+    struct PaperRow
+    {
+        double train, inf, latency_ms;
+    };
+    const PaperRow paper[] = {{83.4, 319, 0.5}, {83.4, 319, 36.6},
+                              {18, 67, 1.32}};
+
+    stats::Table table({"Model", "Train T (TOp/s)", "Inf T (TOp/s)",
+                        "Inf latency (ms)", "paper: Train", "Inf",
+                        "Latency"});
+
+    int idx = 0;
+    for (auto model : {workload::DnnModel::lstm2048(),
+                       workload::DnnModel::gru2816(),
+                       workload::DnnModel::resnet50()}) {
+        core::ExperimentOptions opts;
+        opts.model = model;
+        opts.train_model = model;
+        bool long_service = model.kind == workload::DnnModel::Kind::Rnn &&
+                            model.rnn.steps > 100;
+        opts.warmup_requests = long_service ? 150 : 300;
+        opts.measure_requests = long_service ? 1500 : 2500;
+        opts.min_measure_s = long_service ? 0.0 : 0.05;
+        opts.max_sim_s = 60.0;
+
+        workload::Compiler compiler(cfg);
+        auto inf = compiler.compileInference(model);
+        double sat = core::saturationOpRate(cfg, model) / 1e12;
+        auto r = core::runAtLoad(cfg, 0.6, opts);
+
+        table.addRow({model.name, bench::num(r.training_tops, 1),
+                      bench::num(sat, 0),
+                      bench::num(inf.service_time_s * 1e3, 2),
+                      bench::num(paper[idx].train, 1),
+                      bench::num(paper[idx].inf, 0),
+                      bench::num(paper[idx].latency_ms, 2)});
+        ++idx;
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nShape check: the RNNs sustain similar training/inference "
+        "throughput despite a\n~100x service-time gap; ResNet50 runs at "
+        "a small fraction of peak because its\nlowered convolutions "
+        "underfill the large MMU (the paper's TPU-class effect).\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces Table 3: per-component area and power of Equinox_500us,
+ * plus the controller (<1%) and uniform-encoding (13% power / 4% area)
+ * overhead claims.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/equinox.hh"
+
+int
+main()
+{
+    using namespace equinox;
+    setQuietLogging(true);
+    bench::banner("Table 3",
+                  "Area and power breakdown for Equinox_500us");
+
+    auto cfg = core::presetConfig(core::Preset::Us500);
+    auto rep = synth::synthesize(cfg);
+
+    struct PaperRow
+    {
+        const char *name;
+        double area, power;
+    };
+    const PaperRow paper[] = {
+        {"MMU", 185.60, 36.84},
+        {"DRAM Interface", 46.90, 28.60},
+        {"SIMD Unit", 13.43, 10.97},
+        {"Weight Buffer", 45.96, 4.28},
+        {"Activation Buffer", 18.27, 1.07},
+        {"Request Dispatcher", 0.79, 0.20},
+        {"Instruction Dispatcher", 0.49, 0.14},
+        {"Others", 6.39, 3.77},
+    };
+
+    stats::Table table({"Component", "Area (mm2)", "Power (W)",
+                        "paper: Area", "Power"});
+    for (const auto &row : paper) {
+        const auto &c = rep.component(row.name);
+        table.addRow({row.name, bench::num(c.area_mm2, 2),
+                      bench::num(c.power_w, 2), bench::num(row.area, 2),
+                      bench::num(row.power, 2)});
+    }
+    table.addSeparator();
+    table.addRow({"Total", bench::num(rep.total_area, 2),
+                  bench::num(rep.total_power, 2), "313.85", "85.91"});
+    table.print(std::cout);
+
+    bench::section("overhead headlines");
+    std::printf("  controller (request+instruction dispatchers): "
+                "%.2f%% area, %.2f%% power (paper: <1%%)\n",
+                rep.controller_area_frac * 100,
+                rep.controller_power_frac * 100);
+    std::printf("  uniform-encoding overhead (SIMD unit): %.1f%% area, "
+                "%.1f%% power (paper: 4%% / 13%%)\n",
+                rep.encoding_area_frac * 100,
+                rep.encoding_power_frac * 100);
+
+    bench::section("bfloat16 datapath comparison (same constraint)");
+    auto bcfg = core::presetConfig(core::Preset::Us500,
+                                   arith::Encoding::Bfloat16);
+    auto brep = synth::synthesize(bcfg);
+    auto hd = core::presetDesign(core::Preset::Us500,
+                                 arith::Encoding::Hbfp8);
+    auto bd = core::presetDesign(core::Preset::Us500,
+                                 arith::Encoding::Bfloat16);
+    std::printf("  hbfp8:    %6.1f TOp/s in %6.1f W (MMU %5.1f W)\n",
+                hd.throughput_ops / 1e12, rep.total_power,
+                rep.component("MMU").power_w);
+    std::printf("  bfloat16: %6.1f TOp/s in %6.1f W (MMU %5.1f W)\n",
+                bd.throughput_ops / 1e12, brep.total_power,
+                brep.component("MMU").power_w);
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Design explorer: run the section-4 design-space exploration under
+ * custom envelopes from the command line.
+ *
+ * Usage:
+ *   design_explorer [latency_us] [encoding] [power_w] [area_mm2]
+ *     latency_us  service-time budget in microseconds (default 500)
+ *     encoding    hbfp8 | bfloat16 (default hbfp8)
+ *     power_w     power envelope in watts (default 75)
+ *     area_mm2    die budget in mm^2 (default 300)
+ *
+ * Example:  ./build/examples/design_explorer 100 hbfp8 50 200
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/equinox.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace equinox;
+    setQuietLogging(true);
+
+    double latency_us = argc > 1 ? std::atof(argv[1]) : 500.0;
+    arith::Encoding enc = arith::Encoding::Hbfp8;
+    if (argc > 2 && std::strcmp(argv[2], "bfloat16") == 0)
+        enc = arith::Encoding::Bfloat16;
+    model::TechParams tech = model::defaultTechParams();
+    if (argc > 3)
+        tech.power_budget = std::atof(argv[3]);
+    if (argc > 4)
+        tech.die_area = std::atof(argv[4]);
+
+    std::printf("exploring %s designs under %.0f us latency, %.0f W, "
+                "%.0f mm^2 ...\n",
+                arith::encodingName(enc), latency_us, tech.power_budget,
+                tech.die_area);
+
+    auto sweep = model::exploreDesignSpace(tech, enc);
+    auto best = model::bestUnderLatency(sweep, latency_us * 1e-6);
+    if (!best) {
+        std::printf("no feasible design meets the constraints.\n");
+        return 1;
+    }
+
+    std::printf("\nselected design point:\n");
+    std::printf("  MMU: m=%u systolic arrays of %ux%u PEs, %u values "
+                "wide (%llu MACs/cycle)\n", best->m, best->n, best->n,
+                best->w,
+                static_cast<unsigned long long>(
+                    static_cast<std::uint64_t>(best->m) * best->n *
+                    best->n * best->w));
+    std::printf("  frequency: %.0f MHz (%.2f V near-threshold "
+                "operating point)\n", best->frequency_hz / 1e6,
+                tech.voltageAt(best->frequency_hz));
+    std::printf("  peak throughput: %.1f TOp/s\n",
+                best->throughput_ops / 1e12);
+    std::printf("  LSTM-2048 batch-of-%u service time: %.1f us\n",
+                best->n, best->service_time_s * 1e6);
+    std::printf("  area: %.0f mm^2, power: %.1f W\n", best->area_mm2,
+                best->power_w);
+
+    // What the workloads would see on this design.
+    auto cfg = model::toAcceleratorConfig(*best, "custom");
+    std::printf("\nworkload saturation throughput on this design:\n");
+    for (auto m : {workload::DnnModel::lstm2048(),
+                   workload::DnnModel::gru2816(),
+                   workload::DnnModel::resnet50()}) {
+        std::printf("  %-9s %7.1f TOp/s\n", m.name.c_str(),
+                    core::saturationOpRate(cfg, m) / 1e12);
+    }
+
+    // And the synthesis-proxy breakdown.
+    auto rep = synth::synthesize(cfg, tech);
+    std::printf("\nsynthesis proxy: %.0f mm^2, %.1f W total; "
+                "controllers %.2f%% power, SIMD unit %.1f%% power\n",
+                rep.total_area, rep.total_power,
+                rep.controller_power_frac * 100,
+                rep.encoding_power_frac * 100);
+    return 0;
+}

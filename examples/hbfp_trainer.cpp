@@ -1,0 +1,59 @@
+/**
+ * @file
+ * HBFP training demo: train the same network on the same data with the
+ * fp32 and hbfp8 arithmetic engines and watch the trajectories track
+ * each other -- the property (Figure 2) that lets Equinox run training
+ * on a fixed-point-dense datapath.
+ *
+ * Build tree usage:  ./build/examples/hbfp_trainer [epochs]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "arith/gemm.hh"
+#include "nn/datasets.hh"
+#include "nn/trainer.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace equinox;
+
+    std::size_t epochs = argc > 1
+                             ? static_cast<std::size_t>(
+                                   std::atoi(argv[1]))
+                             : 12;
+
+    // An 8-class nonlinear classification task.
+    nn::ClusterDataset data(8, 24, 2048, 1024, 0.35, 1234);
+    nn::TrainConfig cfg;
+    cfg.epochs = epochs;
+    cfg.batch_size = 64;
+    cfg.hidden_dims = {96, 48};
+    cfg.sgd.learning_rate = 0.05;
+    cfg.sgd.decay_epochs = {3 * epochs / 5, 5 * epochs / 6};
+
+    std::printf("training an MLP (%zu->96->48->%zu) on %zu examples, "
+                "%zu epochs\n",
+                data.featureDim(), data.classCount(), data.trainSize(),
+                epochs);
+
+    arith::Fp32Gemm fp32;
+    arith::HbfpGemm hbfp8;
+    auto h32 = nn::trainClassifier(data, fp32, cfg);
+    auto h8 = nn::trainClassifier(data, hbfp8, cfg);
+
+    std::printf("\n%6s %16s %16s %12s\n", "epoch", "fp32 val err %",
+                "hbfp8 val err %", "difference");
+    for (std::size_t e = 0; e < epochs; ++e) {
+        std::printf("%6zu %16.2f %16.2f %+11.2f%%\n", e + 1,
+                    h32[e].valid_error * 100, h8[e].valid_error * 100,
+                    (h8[e].valid_error - h32[e].valid_error) * 100);
+    }
+    std::printf("\nhbfp8 runs all matrix math as 8-bit integer dot "
+                "products with shared\nexponents and 25-bit "
+                "accumulators -- the Equinox datapath -- yet lands "
+                "within\nnoise of fp32.\n");
+    return 0;
+}

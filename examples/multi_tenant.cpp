@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Multi-tenant scenario: two online inference services (the translation
+ * LSTM and the speech GRU) share one Equinox accelerator through
+ * separate hardware contexts -- each with its own request queue and
+ * batch-formation state -- while a training job rides the remaining
+ * idle cycles.
+ *
+ * Build tree usage:  ./build/examples/multi_tenant
+ */
+
+#include <cstdio>
+
+#include "core/equinox.hh"
+
+int
+main()
+{
+    using namespace equinox;
+    setQuietLogging(true);
+
+    auto cfg = core::presetConfig(core::Preset::Us500);
+    workload::Compiler compiler(cfg);
+    sim::Accelerator accel(cfg);
+
+    auto lstm = workload::DnnModel::lstm2048();
+    auto gru = workload::DnnModel::gru2816();
+
+    // Install both services; installation allocates exclusive buffer
+    // space per hardware context and fails if the footprints collide.
+    auto lstm_svc = compiler.compileInference(lstm);
+    auto gru_svc = compiler.compileInference(gru);
+    double weights_mb =
+        static_cast<double>(lstm_svc.weight_footprint +
+                            gru_svc.weight_footprint) / (1 << 20);
+    accel.installInference(std::move(lstm_svc));
+    accel.installInference(std::move(gru_svc));
+    accel.installTraining(compiler.compileTraining(lstm, 128));
+
+    std::printf("two inference contexts installed on %s "
+                "(%.1f of %.0f MiB weight buffer)\n\n",
+                cfg.name.c_str(), weights_mb,
+                static_cast<double>(cfg.weight_buffer_bytes) / (1 << 20));
+
+    // Offer each service 30% of its own saturation rate: a combined
+    // ~60% machine load with very different request granularities
+    // (sub-ms LSTM batches vs ~30 ms GRU batches).
+    sim::RunSpec spec;
+    spec.arrival_rates = {0.3 * accel.maxRequestRate(0),
+                          0.3 * accel.maxRequestRate(1)};
+    spec.warmup_requests = 300;
+    spec.measure_requests = 4000;
+    spec.min_measure_s = 0.2;
+    spec.max_sim_s = 30.0;
+
+    auto res = accel.run(spec);
+
+    std::printf("simulated %.0f ms at ~60%% combined load:\n",
+                res.sim_seconds * 1e3);
+    std::printf("  inference:  %.1f TOp/s across both services, "
+                "p99 %.2f ms, max %.2f ms\n",
+                res.inference_throughput_ops / 1e12,
+                res.p99_latency_s * 1e3, res.max_latency_s * 1e3);
+    for (const auto &svc : res.per_service) {
+        std::printf("    ctx %u (%s): %llu requests, mean %.2f ms, "
+                    "p99 %.2f ms\n",
+                    svc.ctx, svc.model_name.c_str(),
+                    static_cast<unsigned long long>(svc.completed),
+                    svc.mean_latency_s * 1e3, svc.p99_latency_s * 1e3);
+    }
+    std::printf("  training:   %.1f TOp/s reclaimed (%llu iterations)\n",
+                res.training_throughput_ops / 1e12,
+                static_cast<unsigned long long>(res.training_iterations));
+    std::printf("  MMU: %s\n", res.mmu_breakdown.summary().c_str());
+    std::printf("\nNote: the combined latency distribution mixes the "
+                "two services -- the GRU's\n~30 ms batches own the "
+                "upper percentiles while the LSTM's sub-ms batches\n"
+                "slot between them; the per-context breakdown above "
+                "separates the SLOs.\n");
+    return 0;
+}

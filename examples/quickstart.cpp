@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: build the Equinox_500us accelerator, install the LSTM
+ * inference service plus a piggybacked training service, run at 60%
+ * load, and print what the accelerator did.
+ *
+ * Build tree usage:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/equinox.hh"
+
+int
+main()
+{
+    using namespace equinox;
+    setQuietLogging(true);
+
+    // 1. Pick a design point. presetConfig() runs the section-4 design
+    //    space exploration and returns the Pareto-optimal configuration
+    //    under a 500us service-time constraint.
+    sim::AcceleratorConfig cfg = core::presetConfig(core::Preset::Us500);
+    std::printf("design: %s  (m=%u arrays of %ux%u PEs, %u-wide, "
+                "%.0f MHz, %s)\n",
+                cfg.name.c_str(), cfg.m, cfg.n, cfg.n, cfg.w,
+                cfg.frequency_hz / 1e6,
+                arith::encodingName(cfg.encoding));
+    std::printf("peak arithmetic rate: %.1f TOp/s\n\n",
+                cfg.peakOpRate() / 1e12);
+
+    // 2. Compile the workloads for this design and install them.
+    workload::Compiler compiler(cfg);
+    sim::Accelerator accel(cfg);
+
+    auto lstm = workload::DnnModel::lstm2048();
+    auto service = compiler.compileInference(lstm);
+    std::printf("installing %s inference: batch %u, service time "
+                "%.0f us, weights %.1f MB on chip\n",
+                lstm.name.c_str(), service.program.batch_rows,
+                service.service_time_s * 1e6,
+                static_cast<double>(service.weight_footprint) / 1e6);
+    accel.installInference(std::move(service));
+    accel.installTraining(compiler.compileTraining(lstm, 128));
+
+    // 3. Offer a Poisson inference load at 60% of saturation and let
+    //    training reclaim the idle cycles.
+    sim::RunSpec spec;
+    spec.arrival_rate_per_s = 0.6 * accel.maxRequestRate();
+    spec.warmup_requests = 300;
+    spec.measure_requests = 3000;
+    sim::SimResult res = accel.run(spec);
+
+    // 4. Report.
+    std::printf("\nsimulated %.1f ms of accelerator time:\n",
+                res.sim_seconds * 1e3);
+    std::printf("  inference:  %.1f TOp/s delivered, p99 latency "
+                "%.2f ms (mean %.2f ms)\n",
+                res.inference_throughput_ops / 1e12,
+                res.p99_latency_s * 1e3, res.mean_latency_s * 1e3);
+    std::printf("  training:   %.1f TOp/s reclaimed from idle cycles "
+                "(%llu iterations)\n",
+                res.training_throughput_ops / 1e12,
+                static_cast<unsigned long long>(res.training_iterations));
+    std::printf("  MMU cycles: %s\n",
+                res.mmu_breakdown.summary().c_str());
+    std::printf("  HBM: %.0f%% utilised, %.2f GB streamed for "
+                "training\n",
+                res.dram_utilization * 100,
+                static_cast<double>(res.dram_train_bytes) / 1e9);
+    return 0;
+}

@@ -1,0 +1,121 @@
+#include "arith/bfp.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arith/fixed_point.hh"
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace arith
+{
+
+BfpFormat
+hbfp8Format()
+{
+    return BfpFormat{8, 12, 25};
+}
+
+BfpBlock
+BfpBlock::quantize(std::span<const float> values, const BfpFormat &fmt)
+{
+    EQX_ASSERT(fmt.mantissa_bits >= 2 && fmt.mantissa_bits <= 15,
+               "unsupported mantissa width ", fmt.mantissa_bits);
+
+    BfpBlock blk;
+    blk.fmt_ = fmt;
+    blk.mantissas.resize(values.size());
+
+    float max_abs = 0.0f;
+    for (float v : values)
+        max_abs = std::max(max_abs, std::abs(v));
+
+    if (max_abs == 0.0f) {
+        blk.exponent_ = fmt.exponentMin();
+        std::fill(blk.mantissas.begin(), blk.mantissas.end(),
+                  std::int16_t{0});
+        return blk;
+    }
+
+    // Shared exponent: smallest e with max_abs < 2^e, so that all scaled
+    // mantissas land in (-1, 1). Rounding can still push the largest
+    // mantissa to 2^(mbits-1); bump the exponent once in that case so the
+    // round-to-nearest half-step error bound holds for every element.
+    int e = static_cast<int>(std::floor(std::log2(max_abs))) + 1;
+    std::int32_t mmax = fmt.mantissaMax();
+    double ratio = static_cast<double>(max_abs) * std::ldexp(1.0, -e);
+    if (std::nearbyint(ratio * std::ldexp(1.0, fmt.mantissa_bits - 1)) >
+        mmax) {
+        ++e;
+    }
+    e = std::clamp<int>(e, fmt.exponentMin(), fmt.exponentMax());
+    blk.exponent_ = e;
+
+    double scale = std::ldexp(1.0, -(e - static_cast<int>(
+        fmt.mantissa_bits - 1)));
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        auto q = static_cast<std::int64_t>(
+            std::nearbyint(static_cast<double>(values[i]) * scale));
+        q = std::clamp<std::int64_t>(q, -static_cast<std::int64_t>(mmax),
+                                     static_cast<std::int64_t>(mmax));
+        blk.mantissas[i] = static_cast<std::int16_t>(q);
+    }
+    return blk;
+}
+
+std::vector<float>
+BfpBlock::dequantize() const
+{
+    std::vector<float> out(mantissas.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = dequantize(i);
+    return out;
+}
+
+float
+BfpBlock::dequantize(std::size_t i) const
+{
+    EQX_ASSERT(i < mantissas.size(), "BFP index out of range");
+    double v = std::ldexp(static_cast<double>(mantissas[i]),
+                          exponent_ -
+                              static_cast<int>(fmt_.mantissa_bits - 1));
+    return static_cast<float>(v);
+}
+
+float
+BfpBlock::dot(const BfpBlock &a, const BfpBlock &b)
+{
+    EQX_ASSERT(a.size() == b.size(), "BFP dot size mismatch: ",
+               a.size(), " vs ", b.size());
+    EQX_ASSERT(a.fmt_.mantissa_bits == b.fmt_.mantissa_bits,
+               "BFP dot format mismatch");
+
+    // The hardware accumulates int products into a narrow saturating
+    // register. We model the canonical 25-bit case with the generic
+    // template instantiated at the configured width.
+    const unsigned acc_bits = a.fmt_.accumulator_bits;
+    std::int64_t acc = 0;
+    const std::int64_t acc_max = (std::int64_t{1} << (acc_bits - 1)) - 1;
+    const std::int64_t acc_min = -(std::int64_t{1} << (acc_bits - 1));
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        acc += static_cast<std::int64_t>(a.mantissas[i]) *
+               static_cast<std::int64_t>(b.mantissas[i]);
+        acc = std::clamp(acc, acc_min, acc_max);
+    }
+
+    int frac_bits = 2 * static_cast<int>(a.fmt_.mantissa_bits - 1);
+    double v = std::ldexp(static_cast<double>(acc),
+                          a.exponent_ + b.exponent_ - frac_bits);
+    return static_cast<float>(v);
+}
+
+double
+BfpBlock::quantizationStep(std::int32_t exponent, const BfpFormat &fmt)
+{
+    return std::ldexp(1.0,
+                      exponent - static_cast<int>(fmt.mantissa_bits - 1));
+}
+
+} // namespace arith
+} // namespace equinox

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Block floating point: a vector of narrow fixed-point mantissas sharing a
+ * single exponent, the building block of HBFP (Drumond et al., NeurIPS'18).
+ *
+ * Equinox's hbfp8 datapath uses 8-bit mantissas with a 12-bit shared
+ * exponent; two blocks are multiplied as an integer dot product plus an
+ * exponent addition, accumulating into a 25-bit fixed-point register.
+ */
+
+#ifndef EQUINOX_ARITH_BFP_HH
+#define EQUINOX_ARITH_BFP_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace equinox
+{
+namespace arith
+{
+
+/** Static parameters of a BFP encoding. */
+struct BfpFormat
+{
+    unsigned mantissa_bits = 8;  //!< total signed mantissa width
+    unsigned exponent_bits = 12; //!< shared-exponent width (biased)
+    unsigned accumulator_bits = 25; //!< systolic-array accumulator width
+
+    /** Largest representable mantissa magnitude. */
+    std::int32_t
+    mantissaMax() const
+    {
+        return (std::int32_t{1} << (mantissa_bits - 1)) - 1;
+    }
+
+    /** Most negative representable shared exponent. */
+    std::int32_t
+    exponentMin() const
+    {
+        return -(std::int32_t{1} << (exponent_bits - 1));
+    }
+
+    /** Most positive representable shared exponent. */
+    std::int32_t
+    exponentMax() const
+    {
+        return (std::int32_t{1} << (exponent_bits - 1)) - 1;
+    }
+};
+
+/** The canonical Equinox encoding: hbfp8. */
+BfpFormat hbfp8Format();
+
+/**
+ * One block: narrow mantissas sharing one exponent.
+ *
+ * A value i decodes as mantissa[i] * 2^exponent / 2^(mantissa_bits-1),
+ * i.e. mantissas are fixed point in (-1, 1) scaled by 2^exponent.
+ */
+class BfpBlock
+{
+  public:
+    BfpBlock() = default;
+
+    /** Quantize @p values into the block under @p fmt. */
+    static BfpBlock quantize(std::span<const float> values,
+                             const BfpFormat &fmt);
+
+    /** Decode back to binary32. */
+    std::vector<float> dequantize() const;
+
+    /** Decode a single element. */
+    float dequantize(std::size_t i) const;
+
+    std::size_t size() const { return mantissas.size(); }
+    std::int32_t exponent() const { return exponent_; }
+    std::int32_t mantissa(std::size_t i) const { return mantissas.at(i); }
+    const BfpFormat &format() const { return fmt_; }
+
+    /**
+     * Integer dot product of two equally sized blocks, the way the systolic
+     * array computes it: int8 x int8 products accumulated into a saturating
+     * accumulator of fmt.accumulator_bits, exponents added.
+     *
+     * @return the dot product decoded to binary32 (including any
+     *         saturation that occurred in the narrow accumulator).
+     */
+    static float dot(const BfpBlock &a, const BfpBlock &b);
+
+    /**
+     * Worst-case absolute quantization error for a block with shared
+     * exponent e under @p fmt (half a mantissa ulp).
+     */
+    static double quantizationStep(std::int32_t exponent,
+                                   const BfpFormat &fmt);
+
+  private:
+    BfpFormat fmt_;
+    std::int32_t exponent_ = 0;
+    std::vector<std::int16_t> mantissas; // int16 holds up to 15-bit formats
+};
+
+} // namespace arith
+} // namespace equinox
+
+#endif // EQUINOX_ARITH_BFP_HH

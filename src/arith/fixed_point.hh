@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Saturating signed fixed-point accumulator, parameterised on width.
+ *
+ * The hbfp8 systolic arrays use 8-bit multipliers feeding 25-bit
+ * accumulators (paper section 3.2); this template models the accumulator's
+ * saturation behaviour exactly.
+ */
+
+#ifndef EQUINOX_ARITH_FIXED_POINT_HH
+#define EQUINOX_ARITH_FIXED_POINT_HH
+
+#include <cstdint>
+
+namespace equinox
+{
+namespace arith
+{
+
+/**
+ * A signed two's-complement accumulator with @p Bits total width that
+ * saturates instead of wrapping.
+ */
+template <unsigned Bits>
+class SatAccumulator
+{
+    static_assert(Bits >= 2 && Bits <= 63, "unsupported accumulator width");
+
+  public:
+    static constexpr std::int64_t kMax = (std::int64_t{1} << (Bits - 1)) - 1;
+    static constexpr std::int64_t kMin = -(std::int64_t{1} << (Bits - 1));
+
+    SatAccumulator() = default;
+    explicit SatAccumulator(std::int64_t v) { add(v); }
+
+    /** Add @p v, saturating at the width limits. */
+    void
+    add(std::int64_t v)
+    {
+        // Both operands fit in 63 bits, so the sum cannot overflow int64.
+        std::int64_t sum = value_ + v;
+        if (sum > kMax) {
+            value_ = kMax;
+            saturated_ = true;
+        } else if (sum < kMin) {
+            value_ = kMin;
+            saturated_ = true;
+        } else {
+            value_ = sum;
+        }
+    }
+
+    /** Multiply-accumulate of two narrow operands. */
+    void
+    mac(std::int32_t a, std::int32_t b)
+    {
+        add(static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b));
+    }
+
+    std::int64_t value() const { return value_; }
+
+    /** True if any addition clipped. */
+    bool saturated() const { return saturated_; }
+
+    void
+    reset()
+    {
+        value_ = 0;
+        saturated_ = false;
+    }
+
+  private:
+    std::int64_t value_ = 0;
+    bool saturated_ = false;
+};
+
+/** Clamp @p v into the signed range of @p bits total width. */
+constexpr std::int32_t
+clampToBits(std::int64_t v, unsigned bits)
+{
+    std::int64_t max = (std::int64_t{1} << (bits - 1)) - 1;
+    std::int64_t min = -max; // symmetric range, as quantizers produce
+    if (v > max)
+        return static_cast<std::int32_t>(max);
+    if (v < min)
+        return static_cast<std::int32_t>(min);
+    return static_cast<std::int32_t>(v);
+}
+
+} // namespace arith
+} // namespace equinox
+
+#endif // EQUINOX_ARITH_FIXED_POINT_HH

@@ -1,0 +1,148 @@
+#include "arith/gemm.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "arith/bfloat16.hh"
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace arith
+{
+
+const char *
+encodingName(Encoding e)
+{
+    switch (e) {
+      case Encoding::Fp32: return "fp32";
+      case Encoding::Bfloat16: return "bfloat16";
+      case Encoding::Hbfp8: return "hbfp8";
+      default: return "?";
+    }
+}
+
+void
+GemmEngine::checkShapes(const Matrix &a, const Matrix &b, const Matrix &c)
+{
+    EQX_ASSERT(a.cols() == b.rows(),
+               "GEMM inner-dimension mismatch: ", a.cols(), " vs ",
+               b.rows());
+    EQX_ASSERT(c.rows() == a.rows() && c.cols() == b.cols(),
+               "GEMM output shape mismatch");
+}
+
+void
+Fp32Gemm::multiply(const Matrix &a, const Matrix &b, Matrix &c,
+                   bool accumulate) const
+{
+    checkShapes(a, b, c);
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = accumulate ? c.at(i, j) : 0.0;
+            for (std::size_t p = 0; p < k; ++p) {
+                acc += static_cast<double>(a.at(i, p)) *
+                       static_cast<double>(b.at(p, j));
+            }
+            c.at(i, j) = static_cast<float>(acc);
+        }
+    }
+}
+
+void
+Bf16Gemm::multiply(const Matrix &a, const Matrix &b, Matrix &c,
+                   bool accumulate) const
+{
+    checkShapes(a, b, c);
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+
+    // Pre-round the operands once (they live in bfloat16 buffers).
+    std::vector<float> ar(a.size()), br(b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ar[i] = roundToBf16(a.data()[i]);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        br[i] = roundToBf16(b.data()[i]);
+
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            // fp32 accumulator, as in TPU-class hardware.
+            float acc = accumulate ? c.at(i, j) : 0.0f;
+            for (std::size_t p = 0; p < k; ++p)
+                acc += ar[i * k + p] * br[p * n + j];
+            c.at(i, j) = roundToBf16(acc);
+        }
+    }
+}
+
+HbfpGemm::HbfpGemm(BfpFormat format, std::size_t block_len)
+    : fmt(format), block_len_(block_len)
+{
+    EQX_ASSERT(block_len_ > 0, "BFP block length must be positive");
+}
+
+void
+HbfpGemm::multiply(const Matrix &a, const Matrix &b, Matrix &c,
+                   bool accumulate) const
+{
+    checkShapes(a, b, c);
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    const std::size_t nblocks = (k + block_len_ - 1) / block_len_;
+
+    // Quantize every (row, k-block) strip of A and (k-block, col) strip of
+    // B once; the hardware does the same when loading tiles into the
+    // activation/weight buffers.
+    Matrix bt = b.transposed();
+    std::vector<BfpBlock> a_blocks(m * nblocks), b_blocks(n * nblocks);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t blk = 0; blk < nblocks; ++blk) {
+            std::size_t lo = blk * block_len_;
+            std::size_t len = std::min(block_len_, k - lo);
+            a_blocks[i * nblocks + blk] = BfpBlock::quantize(
+                std::span<const float>(a.rowPtr(i) + lo, len), fmt);
+        }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t blk = 0; blk < nblocks; ++blk) {
+            std::size_t lo = blk * block_len_;
+            std::size_t len = std::min(block_len_, k - lo);
+            b_blocks[j * nblocks + blk] = BfpBlock::quantize(
+                std::span<const float>(bt.rowPtr(j) + lo, len), fmt);
+        }
+    }
+
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            // Partial block products leave the array as block floating
+            // point, get converted to bfloat16 and combined by the SIMD
+            // unit (section 3.2).
+            float acc = accumulate ? c.at(i, j) : 0.0f;
+            for (std::size_t blk = 0; blk < nblocks; ++blk) {
+                float partial = BfpBlock::dot(a_blocks[i * nblocks + blk],
+                                              b_blocks[j * nblocks + blk]);
+                acc = roundToBf16(acc + roundToBf16(partial));
+            }
+            c.at(i, j) = acc;
+        }
+    }
+}
+
+std::unique_ptr<GemmEngine>
+makeGemmEngine(Encoding e)
+{
+    switch (e) {
+      case Encoding::Fp32:
+        return std::make_unique<Fp32Gemm>();
+      case Encoding::Bfloat16:
+        return std::make_unique<Bf16Gemm>();
+      case Encoding::Hbfp8:
+        return std::make_unique<HbfpGemm>();
+      default:
+        EQX_PANIC("unknown encoding");
+    }
+}
+
+} // namespace arith
+} // namespace equinox

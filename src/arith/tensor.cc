@@ -1,0 +1,54 @@
+#include "arith/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace equinox
+{
+namespace arith
+{
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            t.at(c, r) = at(r, c);
+    return t;
+}
+
+double
+Matrix::frobeniusNorm() const
+{
+    double s = 0.0;
+    for (float v : data_)
+        s += static_cast<double>(v) * static_cast<double>(v);
+    return std::sqrt(s);
+}
+
+float
+Matrix::maxAbs() const
+{
+    float m = 0.0f;
+    for (float v : data_)
+        m = std::max(m, std::abs(v));
+    return m;
+}
+
+double
+maxAbsDiff(const Matrix &a, const Matrix &b)
+{
+    EQX_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+               "shape mismatch in maxAbsDiff");
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double d = std::abs(static_cast<double>(a.data()[i]) -
+                            static_cast<double>(b.data()[i]));
+        m = std::max(m, d);
+    }
+    return m;
+}
+
+} // namespace arith
+} // namespace equinox

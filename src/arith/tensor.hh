@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal row-major fp32 matrix used by the arithmetic engines and the
+ * training substrate.
+ */
+
+#ifndef EQUINOX_ARITH_TENSOR_HH
+#define EQUINOX_ARITH_TENSOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace equinox
+{
+namespace arith
+{
+
+/** Dense row-major matrix of binary32 values. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    Matrix(std::size_t n_rows, std::size_t n_cols, float fill = 0.0f)
+        : rows_(n_rows), cols_(n_cols), data_(n_rows * n_cols, fill)
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float &
+    at(std::size_t r, std::size_t c)
+    {
+        EQX_ASSERT(r < rows_ && c < cols_,
+                   "matrix index (", r, ",", c, ") out of (", rows_, ",",
+                   cols_, ")");
+        return data_[r * cols_ + c];
+    }
+
+    float
+    at(std::size_t r, std::size_t c) const
+    {
+        EQX_ASSERT(r < rows_ && c < cols_,
+                   "matrix index (", r, ",", c, ") out of (", rows_, ",",
+                   cols_, ")");
+        return data_[r * cols_ + c];
+    }
+
+    float *rowPtr(std::size_t r) { return data_.data() + r * cols_; }
+    const float *rowPtr(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Fill with zeros. */
+    void zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+    /** Fill with N(0, sd) samples from @p rng. */
+    void
+    randomize(Rng &rng, double sd)
+    {
+        for (auto &v : data_)
+            v = static_cast<float>(rng.normal(0.0, sd));
+    }
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /** Frobenius norm. */
+    double frobeniusNorm() const;
+
+    /** Largest absolute element. */
+    float maxAbs() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** Max absolute elementwise difference between same-shape matrices. */
+double maxAbsDiff(const Matrix &a, const Matrix &b);
+
+} // namespace arith
+} // namespace equinox
+
+#endif // EQUINOX_ARITH_TENSOR_HH

@@ -1,0 +1,60 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace equinox
+{
+
+namespace
+{
+bool g_quiet = false;
+} // namespace
+
+bool
+quietLogging()
+{
+    return g_quiet;
+}
+
+void
+setQuietLogging(bool quiet)
+{
+    g_quiet = quiet;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!g_quiet)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!g_quiet)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace equinox

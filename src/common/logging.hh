@@ -1,0 +1,81 @@
+/**
+ * @file
+ * gem5-style status/error reporting.
+ *
+ * panic()  -- an internal invariant was violated (a simulator bug); aborts.
+ * fatal()  -- the user asked for something impossible (bad configuration);
+ *             exits with an error code.
+ * warn()   -- functionality may be approximate; simulation continues.
+ * inform() -- plain status output.
+ */
+
+#ifndef EQUINOX_COMMON_LOGGING_HH
+#define EQUINOX_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace equinox
+{
+
+namespace detail
+{
+
+/** Emit a formatted message and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Emit a formatted message and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Emit a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Emit a status message to stderr. */
+void informImpl(const std::string &msg);
+
+/** Fold a parameter pack into a string via operator<<. */
+template <typename... Args>
+std::string
+fold(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+/** True once setQuiet(true) was called; warn/inform become no-ops. */
+bool quietLogging();
+
+/** Silence warn()/inform() (used by benches that print tables). */
+void setQuietLogging(bool quiet);
+
+} // namespace equinox
+
+#define EQX_PANIC(...)                                                      \
+    ::equinox::detail::panicImpl(__FILE__, __LINE__,                        \
+                                 ::equinox::detail::fold(__VA_ARGS__))
+
+#define EQX_FATAL(...)                                                      \
+    ::equinox::detail::fatalImpl(__FILE__, __LINE__,                        \
+                                 ::equinox::detail::fold(__VA_ARGS__))
+
+#define EQX_WARN(...)                                                       \
+    ::equinox::detail::warnImpl(::equinox::detail::fold(__VA_ARGS__))
+
+#define EQX_INFORM(...)                                                     \
+    ::equinox::detail::informImpl(::equinox::detail::fold(__VA_ARGS__))
+
+/** Assert an internal invariant; active in all build types. */
+#define EQX_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            EQX_PANIC("assertion failed: " #cond " ",                       \
+                      ::equinox::detail::fold(__VA_ARGS__));                \
+        }                                                                   \
+    } while (0)
+
+#endif // EQUINOX_COMMON_LOGGING_HH

@@ -1,0 +1,4 @@
+#include "common/random.hh"
+
+// Rng is header-only today; this translation unit anchors the library and
+// keeps a stable home for future out-of-line additions.

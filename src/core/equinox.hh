@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Umbrella public header for the Equinox reproduction library.
+ *
+ * Quickstart:
+ * @code
+ *   #include "core/equinox.hh"
+ *   using namespace equinox;
+ *
+ *   auto cfg = core::presetConfig(core::Preset::Us500);
+ *   auto point = core::runAtLoad(cfg, 0.5);   // LSTM at 50% load
+ *   std::cout << point.p99_ms << " ms p99\n";
+ * @endcode
+ */
+
+#ifndef EQUINOX_CORE_EQUINOX_HH
+#define EQUINOX_CORE_EQUINOX_HH
+
+#include "arith/bfloat16.hh"
+#include "arith/bfp.hh"
+#include "arith/gemm.hh"
+#include "core/experiment.hh"
+#include "core/presets.hh"
+#include "model/analytical.hh"
+#include "model/dse.hh"
+#include "model/tech_params.hh"
+#include "nn/trainer.hh"
+#include "sim/accelerator.hh"
+#include "sim/config.hh"
+#include "stats/table.hh"
+#include "synth/synthesis.hh"
+#include "workload/compiler.hh"
+#include "workload/dnn_model.hh"
+
+#endif // EQUINOX_CORE_EQUINOX_HH

@@ -1,0 +1,101 @@
+#include "core/experiment.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace core
+{
+
+double
+saturationOpRate(const sim::AcceleratorConfig &cfg,
+                 const workload::DnnModel &model)
+{
+    workload::Compiler compiler(cfg);
+    auto svc = compiler.compileInference(model);
+    Tick busy = svc.program.mmuBusyCycles();
+    return static_cast<double>(svc.program.totalRealOps()) /
+           static_cast<double>(busy) * cfg.frequency_hz;
+}
+
+double
+latencyTargetSeconds(const sim::AcceleratorConfig &reference,
+                     const workload::DnnModel &model)
+{
+    workload::Compiler compiler(reference);
+    auto svc = compiler.compileInference(model);
+    return 10.0 * svc.service_time_s;
+}
+
+LoadPointResult
+runAtLoad(const sim::AcceleratorConfig &cfg, double load,
+          const ExperimentOptions &opts)
+{
+    workload::Compiler compiler(cfg);
+    sim::Accelerator accel(cfg);
+
+    auto inf = compiler.compileInference(opts.model);
+    double service_s = inf.service_time_s;
+    accel.installInference(std::move(inf));
+
+    if (opts.train_model) {
+        accel.installTraining(compiler.compileTraining(
+            *opts.train_model, opts.train_batch, opts.train_opts));
+    }
+
+    sim::RunSpec spec;
+    spec.arrival_rate_per_s = load * accel.maxRequestRate();
+    spec.warmup_requests = opts.warmup_requests;
+    spec.warmup_s = opts.warmup_s;
+    spec.measure_requests = opts.measure_requests;
+    spec.min_measure_s = opts.min_measure_s;
+    spec.measure_iterations = opts.measure_iterations;
+    spec.max_sim_s = opts.max_sim_s;
+    spec.seed = opts.seed;
+
+    LoadPointResult res;
+    res.load = load;
+    res.sim = accel.run(spec);
+    res.inference_tops = res.sim.inference_throughput_ops / 1e12;
+    res.training_tops = res.sim.training_throughput_ops / 1e12;
+    res.p99_ms = res.sim.p99_latency_s * 1e3;
+    res.mean_ms = res.sim.mean_latency_s * 1e3;
+    res.max_inference_tops = accel.maxInferenceOpRate() / 1e12;
+    res.service_time_ms = service_s * 1e3;
+    return res;
+}
+
+std::vector<LoadPointResult>
+runLoadSweep(const sim::AcceleratorConfig &cfg,
+             const std::vector<double> &loads,
+             const ExperimentOptions &opts)
+{
+    std::vector<LoadPointResult> out;
+    out.reserve(loads.size());
+    for (double load : loads)
+        out.push_back(runAtLoad(cfg, load, opts));
+    return out;
+}
+
+bool
+writeCsv(const std::string &path,
+         const std::vector<LoadPointResult> &results)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "load,inference_tops,training_tops,p99_ms,mean_ms,"
+           "service_ms,batch_fill,dram_utilization\n";
+    for (const auto &r : results) {
+        out << r.load << ',' << r.inference_tops << ','
+            << r.training_tops << ',' << r.p99_ms << ',' << r.mean_ms
+            << ',' << r.service_time_ms << ',' << r.sim.avg_batch_fill
+            << ',' << r.sim.dram_utilization << '\n';
+    }
+    return static_cast<bool>(out);
+}
+
+} // namespace core
+} // namespace equinox

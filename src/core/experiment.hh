@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Experiment harness: the common load-sweep machinery behind the
+ * evaluation's figures and tables. Builds an accelerator from a
+ * configuration, compiles and installs the workloads, converts a load
+ * fraction into a Poisson arrival rate, runs the simulation, and reports
+ * derived metrics.
+ */
+
+#ifndef EQUINOX_CORE_EXPERIMENT_HH
+#define EQUINOX_CORE_EXPERIMENT_HH
+
+#include <optional>
+#include <vector>
+
+#include "sim/accelerator.hh"
+#include "sim/config.hh"
+#include "workload/compiler.hh"
+#include "workload/dnn_model.hh"
+
+namespace equinox
+{
+namespace core
+{
+
+/** Knobs shared by all experiments. */
+struct ExperimentOptions
+{
+    /** Inference workload (default LSTM-2048). */
+    workload::DnnModel model = workload::DnnModel::lstm2048();
+    /** Piggybacked training workload; nullopt = inference only. */
+    std::optional<workload::DnnModel> train_model;
+    std::size_t train_batch = 128;
+    /** Training-lowering knobs (ablations). */
+    workload::TrainingCompileOptions train_opts;
+
+    std::uint64_t warmup_requests = 300;
+    double warmup_s = 0.0;
+    std::uint64_t measure_requests = 3000;
+    double min_measure_s = 0.0;
+    std::uint64_t measure_iterations = 15;
+    double max_sim_s = 30.0;
+    std::uint64_t seed = 1;
+};
+
+/** One measured load point. */
+struct LoadPointResult
+{
+    double load = 0.0;           //!< offered fraction of max throughput
+    sim::SimResult sim;
+    double inference_tops = 0.0; //!< achieved inference TOp/s
+    double training_tops = 0.0;  //!< achieved training TOp/s
+    double p99_ms = 0.0;
+    double mean_ms = 0.0;
+    double max_inference_tops = 0.0; //!< the config's saturation rate
+    double service_time_ms = 0.0;    //!< analytic single-batch service
+};
+
+/**
+ * Run @p cfg at @p load (fraction of the workload's saturation request
+ * rate; 0 = training only).
+ */
+LoadPointResult runAtLoad(const sim::AcceleratorConfig &cfg, double load,
+                          const ExperimentOptions &opts = {});
+
+/** Run a whole load sweep. */
+std::vector<LoadPointResult> runLoadSweep(
+    const sim::AcceleratorConfig &cfg, const std::vector<double> &loads,
+    const ExperimentOptions &opts = {});
+
+/** Analytic saturation inference throughput (ops/s) of cfg on model. */
+double saturationOpRate(const sim::AcceleratorConfig &cfg,
+                        const workload::DnnModel &model);
+
+/**
+ * The paper's SLO: 99th-percentile latency no worse than 10x the mean
+ * service time of the model on the reference (Equinox_500us) config.
+ */
+double latencyTargetSeconds(const sim::AcceleratorConfig &reference,
+                            const workload::DnnModel &model);
+
+/**
+ * Write a load sweep as CSV (header + one row per point) for external
+ * plotting; returns false when the file cannot be opened.
+ */
+bool writeCsv(const std::string &path,
+              const std::vector<LoadPointResult> &results);
+
+} // namespace core
+} // namespace equinox
+
+#endif // EQUINOX_CORE_EXPERIMENT_HH

@@ -1,0 +1,80 @@
+#include "core/presets.hh"
+
+#include <map>
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace core
+{
+
+const char *
+presetName(Preset p)
+{
+    switch (p) {
+      case Preset::Min: return "Equinox_min";
+      case Preset::Us50: return "Equinox_50us";
+      case Preset::Us500: return "Equinox_500us";
+      case Preset::None: return "Equinox_none";
+      default: return "?";
+    }
+}
+
+std::vector<Preset>
+allPresets()
+{
+    return {Preset::Min, Preset::Us50, Preset::Us500, Preset::None};
+}
+
+const model::DseResult &
+cachedSweep(arith::Encoding enc)
+{
+    static std::map<arith::Encoding, model::DseResult> cache;
+    static std::mutex mtx;
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = cache.find(enc);
+    if (it == cache.end()) {
+        it = cache.emplace(enc,
+                           model::exploreDesignSpace(
+                               model::defaultTechParams(), enc))
+                 .first;
+    }
+    return it->second;
+}
+
+model::DesignPoint
+presetDesign(Preset preset, arith::Encoding enc)
+{
+    const auto &sweep = cachedSweep(enc);
+    std::optional<model::DesignPoint> point;
+    switch (preset) {
+      case Preset::Min:
+        point = model::minLatencyDesign(sweep);
+        break;
+      case Preset::Us50:
+        point = model::bestUnderLatency(sweep, 50e-6);
+        break;
+      case Preset::Us500:
+        point = model::bestUnderLatency(sweep, 500e-6);
+        break;
+      case Preset::None:
+        point = model::bestUnderLatency(sweep, 1e9);
+        break;
+    }
+    EQX_ASSERT(point.has_value(), "no feasible design for preset ",
+               presetName(preset));
+    return *point;
+}
+
+sim::AcceleratorConfig
+presetConfig(Preset preset, arith::Encoding enc)
+{
+    auto design = presetDesign(preset, enc);
+    auto cfg = model::toAcceleratorConfig(design, presetName(preset));
+    return cfg;
+}
+
+} // namespace core
+} // namespace equinox

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The Equinox configuration family of section 5: Equinox_min,
+ * Equinox_50us, Equinox_500us and Equinox_none, per encoding -- the
+ * Pareto-optimal designs the design-space exploration selects under each
+ * latency constraint.
+ */
+
+#ifndef EQUINOX_CORE_PRESETS_HH
+#define EQUINOX_CORE_PRESETS_HH
+
+#include <string>
+#include <vector>
+
+#include "model/dse.hh"
+#include "sim/config.hh"
+
+namespace equinox
+{
+namespace core
+{
+
+/** The named latency-constraint family. */
+enum class Preset
+{
+    Min,   //!< latency-optimal
+    Us50,  //!< latency < 50 us
+    Us500, //!< latency < 500 us
+    None,  //!< unconstrained throughput
+};
+
+const char *presetName(Preset p);
+
+/** All four presets in paper order. */
+std::vector<Preset> allPresets();
+
+/**
+ * The DSE-selected design point for @p preset and @p enc. The sweep runs
+ * once per encoding and is cached for the process lifetime.
+ */
+model::DesignPoint presetDesign(Preset preset, arith::Encoding enc);
+
+/** A ready-to-simulate configuration for @p preset / @p enc. */
+sim::AcceleratorConfig presetConfig(Preset preset,
+                                    arith::Encoding enc =
+                                        arith::Encoding::Hbfp8);
+
+/** The cached full sweep for an encoding (for Figure 6). */
+const model::DseResult &cachedSweep(arith::Encoding enc);
+
+} // namespace core
+} // namespace equinox
+
+#endif // EQUINOX_CORE_PRESETS_HH

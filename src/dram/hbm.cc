@@ -1,0 +1,93 @@
+#include "dram/hbm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace dram
+{
+
+PriorityLink::Config
+hbmDefaultConfig()
+{
+    PriorityLink::Config cfg;
+    cfg.bandwidth_bytes_per_s = 1e12; // 1 TB/s HBM stack
+    cfg.latency_s = 120e-9;
+    cfg.channels = 8;
+    return cfg;
+}
+
+PriorityLink::PriorityLink(const Config &config, double frequency_hz)
+    : cfg(config)
+{
+    EQX_ASSERT(frequency_hz > 0.0, "link needs a positive clock");
+    EQX_ASSERT(cfg.bandwidth_bytes_per_s > 0.0, "link needs bandwidth");
+    bytes_per_cycle = cfg.bandwidth_bytes_per_s / frequency_hz;
+    latency_cycles = static_cast<Tick>(cfg.latency_s * frequency_hz + 0.5);
+}
+
+Tick
+PriorityLink::streamCycles(ByteCount bytes) const
+{
+    double cycles = static_cast<double>(bytes) / bytes_per_cycle;
+    auto whole = static_cast<Tick>(cycles);
+    return (static_cast<double>(whole) < cycles) ? whole + 1 : whole;
+}
+
+Tick
+PriorityLink::transfer(Tick now, ByteCount bytes, Priority priority)
+{
+    Tick cycles = streamCycles(bytes);
+    Tick start;
+    if (priority == Priority::High) {
+        // High-priority traffic waits only behind other high-priority
+        // transfers; its capacity is debited from the low-priority
+        // ledger so aggregate bandwidth is conserved -- queued
+        // low-priority work restarts later by the full preemption,
+        // matching an arbiter that steals bursts from the loser class.
+        start = std::max(now, hp_free);
+        hp_free = start + cycles;
+        lp_free = std::max(lp_free, start) + cycles;
+        hp_bytes += bytes;
+    } else {
+        start = std::max(now, lp_free);
+        lp_free = start + cycles;
+        lp_bytes += bytes;
+    }
+    busy_cycles += cycles;
+    return start + cycles + latency_cycles;
+}
+
+Tick
+PriorityLink::nextFree(Priority p) const
+{
+    return p == Priority::High ? hp_free : lp_free;
+}
+
+ByteCount
+PriorityLink::bytesMoved(Priority p) const
+{
+    return p == Priority::High ? hp_bytes : lp_bytes;
+}
+
+double
+PriorityLink::utilization(Tick elapsed) const
+{
+    if (elapsed == 0)
+        return 0.0;
+    return std::min(1.0, static_cast<double>(busy_cycles) /
+                             static_cast<double>(elapsed));
+}
+
+void
+PriorityLink::reset()
+{
+    hp_free = lp_free = 0;
+    busy_cycles = 0;
+    hp_bytes = lp_bytes = 0;
+}
+
+} // namespace dram
+} // namespace equinox

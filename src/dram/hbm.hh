@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The HBM stack model: a PriorityLink with HBM2-class defaults (1 TB/s,
+ * the largest commercially available bandwidth the paper provisions for).
+ */
+
+#ifndef EQUINOX_DRAM_HBM_HH
+#define EQUINOX_DRAM_HBM_HH
+
+#include "dram/link.hh"
+
+namespace equinox
+{
+namespace dram
+{
+
+/** Default HBM parameters used across the evaluation. */
+PriorityLink::Config hbmDefaultConfig();
+
+/** The accelerator's HBM interface. */
+class HbmModel : public PriorityLink
+{
+  public:
+    explicit HbmModel(double frequency_hz,
+                      const Config &config = hbmDefaultConfig())
+        : PriorityLink(config, frequency_hz)
+    {}
+};
+
+} // namespace dram
+} // namespace equinox
+
+#endif // EQUINOX_DRAM_HBM_HH

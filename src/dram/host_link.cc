@@ -1,0 +1,19 @@
+#include "dram/host_link.hh"
+
+namespace equinox
+{
+namespace dram
+{
+
+PriorityLink::Config
+hostDefaultConfig()
+{
+    PriorityLink::Config cfg;
+    cfg.bandwidth_bytes_per_s = 32e9; // PCIe gen4 x16 class
+    cfg.latency_s = 1.5e-6;
+    cfg.channels = 1;
+    return cfg;
+}
+
+} // namespace dram
+} // namespace equinox

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The host (PCIe-class) interface model: request/response DMA and the
+ * parameter-server traffic of distributed training ride on this link.
+ */
+
+#ifndef EQUINOX_DRAM_HOST_LINK_HH
+#define EQUINOX_DRAM_HOST_LINK_HH
+
+#include "dram/link.hh"
+
+namespace equinox
+{
+namespace dram
+{
+
+/** Default host-interface parameters (PCIe gen4 x16 class). */
+PriorityLink::Config hostDefaultConfig();
+
+/** The accelerator's host interface. */
+class HostLink : public PriorityLink
+{
+  public:
+    explicit HostLink(double frequency_hz,
+                      const Config &config = hostDefaultConfig())
+        : PriorityLink(config, frequency_hz)
+    {}
+};
+
+} // namespace dram
+} // namespace equinox
+
+#endif // EQUINOX_DRAM_HOST_LINK_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A bandwidth-and-latency link model with two priority classes, used for
+ * both the HBM interface and the host (PCIe) interface.
+ *
+ * The paper validates its DRAM model against DRAMsim in the throughput-
+ * and latency-limited regimes for 512-bit blocks; this model reproduces
+ * exactly those two regimes: every transfer occupies the link's bandwidth
+ * for bytes/bandwidth seconds after queuing, plus a fixed access latency.
+ * High-priority (inference/host-critical) transfers reserve capacity ahead
+ * of low-priority (training prefetch) ones.
+ */
+
+#ifndef EQUINOX_DRAM_LINK_HH
+#define EQUINOX_DRAM_LINK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace equinox
+{
+namespace dram
+{
+
+/** Transfer priority class. */
+enum class Priority
+{
+    High, //!< inference-critical traffic
+    Low,  //!< training / best-effort traffic
+};
+
+/** A shared link with queuing, latency and priority reservation. */
+class PriorityLink
+{
+  public:
+    struct Config
+    {
+        double bandwidth_bytes_per_s = 1e12; //!< aggregate bandwidth
+        double latency_s = 120e-9;           //!< fixed per-access latency
+        unsigned channels = 8;               //!< informational
+    };
+
+    /**
+     * @param config link parameters
+     * @param frequency_hz accelerator clock, to express time in cycles
+     */
+    PriorityLink(const Config &config, double frequency_hz);
+
+    /**
+     * Enqueue a transfer of @p bytes at @p now.
+     * @return the tick at which the last byte is available.
+     */
+    Tick transfer(Tick now, ByteCount bytes, Priority priority);
+
+    /** Earliest tick at which a transfer of class @p p could begin. */
+    Tick nextFree(Priority p) const;
+
+    /** Bytes transferred so far in class @p p. */
+    ByteCount bytesMoved(Priority p) const;
+
+    /** Cycles needed to stream @p bytes at full bandwidth. */
+    Tick streamCycles(ByteCount bytes) const;
+
+    /** Link busy-fraction over [0, elapsed]. */
+    double utilization(Tick elapsed) const;
+
+    /** Bytes the link can move per cycle. */
+    double bytesPerCycle() const { return bytes_per_cycle; }
+
+    /** Fixed access latency in cycles. */
+    Tick latencyCycles() const { return latency_cycles; }
+
+    void reset();
+
+  private:
+    Config cfg;
+    double bytes_per_cycle;
+    Tick latency_cycles;
+    Tick hp_free = 0;       //!< next tick with free capacity for HP
+    Tick lp_free = 0;       //!< next tick with free capacity for LP
+    Tick busy_cycles = 0;
+    ByteCount hp_bytes = 0;
+    ByteCount lp_bytes = 0;
+};
+
+} // namespace dram
+} // namespace equinox
+
+#endif // EQUINOX_DRAM_LINK_HH

@@ -1,0 +1,67 @@
+#include "isa/instruction.hh"
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace isa
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::MatMul: return "matmul";
+      case Opcode::Accumulate: return "accum";
+      case Opcode::VectorOp: return "vop";
+      case Opcode::VectorTrainOp: return "vtrain";
+      case Opcode::Im2col: return "im2col";
+      case Opcode::LoadDram: return "ld.dram";
+      case Opcode::StoreDram: return "st.dram";
+      case Opcode::LoadHost: return "ld.host";
+      case Opcode::StoreHost: return "st.host";
+      default: return "?";
+    }
+}
+
+bool
+isMmuOp(Opcode op)
+{
+    return op == Opcode::MatMul;
+}
+
+bool
+isSimdOp(Opcode op)
+{
+    return op == Opcode::Accumulate || op == Opcode::VectorOp ||
+           op == Opcode::VectorTrainOp;
+}
+
+bool
+isDataMoveOp(Opcode op)
+{
+    return op == Opcode::LoadDram || op == Opcode::StoreDram ||
+           op == Opcode::LoadHost || op == Opcode::StoreHost ||
+           op == Opcode::Im2col;
+}
+
+std::uint64_t
+Instruction::realMacs() const
+{
+    return static_cast<std::uint64_t>(rows_real) * k_valid * cols_valid;
+}
+
+std::uint64_t
+Instruction::dummyMacs() const
+{
+    return static_cast<std::uint64_t>(rows_dummy) * k_valid * cols_valid;
+}
+
+std::uint64_t
+Instruction::totalAluSlots() const
+{
+    return static_cast<std::uint64_t>(rows_slots) * k_slots * cols_slots;
+}
+
+} // namespace isa
+} // namespace equinox

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The accelerator's instruction set (section 3.1 of the paper).
+ *
+ * The ISA covers matrix-vector multiplication, convolution (lowered by the
+ * im2col unit), vector-vector operations, activation, normalisation and
+ * pooling on the SIMD unit, plus data movement between DRAM, host and the
+ * on-chip buffers. Equinox overloads the SIMD opcodes with derivative and
+ * loss calculations to support training (section 3.2).
+ */
+
+#ifndef EQUINOX_ISA_INSTRUCTION_HH
+#define EQUINOX_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace equinox
+{
+namespace isa
+{
+
+/** Instruction opcodes. */
+enum class Opcode : std::uint8_t
+{
+    /** One activation tile row times m weight tiles on the MMU. */
+    MatMul,
+    /** Add intermediate output tiles (issued x times per output tile). */
+    Accumulate,
+    /** Elementwise SIMD op: activation, normalisation, pooling, ... */
+    VectorOp,
+    /** Training-overloaded SIMD op: derivative / loss calculation. */
+    VectorTrainOp,
+    /** Lower a convolution window into matrix form. */
+    Im2col,
+    /** DRAM -> buffer transfer. */
+    LoadDram,
+    /** Buffer -> DRAM transfer. */
+    StoreDram,
+    /** Host -> buffer transfer. */
+    LoadHost,
+    /** Buffer -> host transfer. */
+    StoreHost,
+};
+
+/** Printable mnemonic. */
+const char *opcodeName(Opcode op);
+
+/** True for opcodes executed by the MMU. */
+bool isMmuOp(Opcode op);
+
+/** True for opcodes executed by the SIMD unit. */
+bool isSimdOp(Opcode op);
+
+/** True for data-movement opcodes. */
+bool isDataMoveOp(Opcode op);
+
+/**
+ * One decoded instruction.
+ *
+ * Fields are a union-of-purposes kept flat for simplicity: MatMul uses the
+ * tile-geometry fields, SIMD ops use elems, data movement uses bytes.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::MatMul;
+    ContextId ctx = 0;
+
+    // -- MatMul geometry ---------------------------------------------
+    /** Batch rows carrying real request data. */
+    std::uint32_t rows_real = 0;
+    /** Batch rows carrying adaptive-batching padding. */
+    std::uint32_t rows_dummy = 0;
+    /** Physical row slots of the array (n in mode 1, m*n in mode 2). */
+    std::uint32_t rows_slots = 0;
+    /** Valid inner-dimension elements in this tile (<= k_slots). */
+    std::uint32_t k_valid = 0;
+    /** Physical inner-dimension slots (n*w). */
+    std::uint32_t k_slots = 0;
+    /** Valid output columns (<= col_slots). */
+    std::uint32_t cols_valid = 0;
+    /** Physical output-column slots (m*n in mode 1, n in mode 2). */
+    std::uint32_t cols_slots = 0;
+
+    // -- SIMD --------------------------------------------------------
+    /** Elementwise operands processed. */
+    std::uint64_t elems = 0;
+
+    // -- Data movement -----------------------------------------------
+    /** Bytes moved by Load/Store ops. */
+    ByteCount bytes = 0;
+
+    /** MMU occupancy in cycles (the array streams one row slot/cycle). */
+    Tick mmuOccupancy() const { return rows_slots; }
+
+    /** MACs performed on real request data. */
+    std::uint64_t realMacs() const;
+
+    /** MACs performed on padding rows. */
+    std::uint64_t dummyMacs() const;
+
+    /** Total ALU slots consumed (occupancy x array MAC width). */
+    std::uint64_t totalAluSlots() const;
+};
+
+} // namespace isa
+} // namespace equinox
+
+#endif // EQUINOX_ISA_INSTRUCTION_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Compiled-program representation executed by the simulator.
+ *
+ * The workload compiler lowers a DNN model into ISA instructions grouped
+ * into dependence steps (e.g. one LSTM time step): instructions inside a
+ * step pipeline back-to-back through the MMU; the next step becomes ready
+ * only after the previous step's results pass through the SIMD unit
+ * (recurrences, activations) and the array drains.
+ *
+ * For simulation efficiency each step additionally carries an aggregated
+ * TileWork summary; the summary is derived from the instruction list by
+ * makeStep() and is what the event-driven simulator executes. Tests verify
+ * the aggregation against the raw instruction list.
+ */
+
+#ifndef EQUINOX_ISA_PROGRAM_HH
+#define EQUINOX_ISA_PROGRAM_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace equinox
+{
+namespace isa
+{
+
+/** Aggregated MMU work of one dependence step. */
+struct TileWork
+{
+    /** ISA MatMul instructions aggregated here. */
+    std::uint32_t instructions = 0;
+    /** MMU busy cycles to issue all of them back-to-back. */
+    Tick occupancy = 0;
+    /** Data-carrying batch rows the step was compiled for. */
+    std::uint32_t rows_used = 0;
+    /** Physical row slots per instruction (n in mode 1). */
+    std::uint32_t rows_slots = 0;
+    /**
+     * Valid-slot fraction of the ALU time, assuming all rows_used rows
+     * carry data: captures partial-tile (dimension-mismatch) waste.
+     */
+    double geom_frac = 1.0;
+    /** Ops (2 x MACs) on data rows when all rows_used rows are real. */
+    OpCount real_ops = 0;
+    /** Operand bytes that must be staged from DRAM before issue. */
+    ByteCount stream_bytes = 0;
+};
+
+/** One dependence step: MMU work plus the serialising epilogue. */
+struct StepBlock
+{
+    TileWork mmu;
+    /** SIMD cycles that must complete before the next step can issue. */
+    Tick simd_cycles = 0;
+    /** Systolic-array drain before results are visible downstream. */
+    Tick drain_cycles = 0;
+    /** Host-interface bytes attributable to this step (tracked only). */
+    ByteCount host_bytes = 0;
+    /** Result bytes written back to DRAM after the step (training). */
+    ByteCount store_bytes = 0;
+};
+
+/** A model lowered for one accelerator configuration. */
+struct CompiledProgram
+{
+    std::string name;
+    std::vector<StepBlock> steps;
+    /** Batch rows per request group (n for mode-1 inference). */
+    std::uint32_t batch_rows = 1;
+    /** True when per-request dummy scaling applies (inference). */
+    bool scale_rows_by_batch = true;
+
+    /** Sum of per-step MMU occupancies. */
+    Tick mmuBusyCycles() const;
+
+    /** Single-job latency: occupancy + SIMD + drain over all steps. */
+    Tick serviceCycles() const;
+
+    /** Ops on real data with all batch_rows rows real. */
+    OpCount totalRealOps() const;
+
+    /** Ops contributed by one real request (totalRealOps / batch_rows). */
+    double opsPerRequest() const;
+
+    /** Total DRAM-staged bytes over all steps. */
+    ByteCount totalStreamBytes() const;
+
+    /** Total ISA MatMul instructions. */
+    std::uint64_t totalInstructions() const;
+};
+
+/**
+ * Aggregate a step's MatMul instructions into a TileWork summary.
+ *
+ * @param insts the step's MatMul instructions
+ * @param macs_per_cycle the array's MAC throughput (m * n^2 * w)
+ * @param stream_bytes DRAM bytes that must be staged for this step
+ */
+TileWork makeTileWork(std::span<const Instruction> insts,
+                      std::uint64_t macs_per_cycle,
+                      ByteCount stream_bytes);
+
+} // namespace isa
+} // namespace equinox
+
+#endif // EQUINOX_ISA_PROGRAM_HH

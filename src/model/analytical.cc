@@ -1,0 +1,92 @@
+#include "model/analytical.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace model
+{
+
+AnalyticalModel::AnalyticalModel(TechParams tech_params,
+                                 arith::Encoding enc)
+    : tp(tech_params), enc_(enc)
+{
+}
+
+double
+AnalyticalModel::area(unsigned n, unsigned m, unsigned w) const
+{
+    double alus = static_cast<double>(m) * n * n * w;
+    return alus * tp.aluArea(enc_) + tp.sramArea() + tp.a_dram;
+}
+
+double
+AnalyticalModel::power(unsigned n, unsigned m, unsigned w, double f) const
+{
+    double alus = static_cast<double>(m) * n * n * w;
+    // Buffer traffic per cycle (values): activations w*n, weights m*w*n,
+    // outputs m*n -- Eq. 2's (wn + mwn + mn) term.
+    double traffic_values =
+        static_cast<double>(w) * n +
+        static_cast<double>(m) * w * n +
+        static_cast<double>(m) * n;
+    double traffic_bytes = traffic_values * tp.bytesPerValue(enc_);
+    double scale = tp.energyScaleAt(f);
+    double dynamic = f * scale *
+                     (alus * tp.aluEnergy(enc_) +
+                      traffic_bytes * tp.e_sram_byte);
+    return dynamic + tp.p_dram + tp.sramStaticPower();
+}
+
+double
+AnalyticalModel::throughput(unsigned n, unsigned m, unsigned w,
+                            double f) const
+{
+    return 2.0 * static_cast<double>(m) * n * n * w * f;
+}
+
+bool
+AnalyticalModel::feasible(unsigned n, unsigned m, unsigned w,
+                          double f) const
+{
+    return area(n, m, w) <= tp.die_area &&
+           power(n, m, w, f) <= tp.power_budget;
+}
+
+unsigned
+AnalyticalModel::maxM(unsigned n, unsigned w, double f) const
+{
+    double nn = static_cast<double>(n);
+    double ww = static_cast<double>(w);
+    double bpv = tp.bytesPerValue(enc_);
+    double scale = tp.energyScaleAt(f);
+
+    // Area bound: m n^2 w a_alu <= die - sram - dram.
+    double area_budget = tp.die_area - tp.sramArea() - tp.a_dram;
+    if (area_budget <= 0.0)
+        return 0;
+    double m_area = area_budget / (nn * nn * ww * tp.aluArea(enc_));
+
+    // Power bound: solve the linear-in-m Eq. 2 for m.
+    double p_avail = tp.power_budget - tp.p_dram - tp.sramStaticPower();
+    if (p_avail <= 0.0)
+        return 0;
+    double per_cycle_fixed = ww * nn * bpv * tp.e_sram_byte; // wn term
+    double per_cycle_per_m =
+        nn * nn * ww * tp.aluEnergy(enc_) +
+        (ww * nn + nn) * bpv * tp.e_sram_byte; // mwn + mn terms
+    double budget_cycles = p_avail / (f * scale);
+    if (budget_cycles <= per_cycle_fixed)
+        return 0;
+    double m_power = (budget_cycles - per_cycle_fixed) / per_cycle_per_m;
+
+    double m_best = std::floor(std::min(m_area, m_power));
+    if (m_best < 1.0)
+        return 0;
+    return static_cast<unsigned>(m_best);
+}
+
+} // namespace model
+} // namespace equinox

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * First-order area / power / performance models of section 4.1
+ * (Equations 1-3), evaluated per design point.
+ */
+
+#ifndef EQUINOX_MODEL_ANALYTICAL_HH
+#define EQUINOX_MODEL_ANALYTICAL_HH
+
+#include "arith/gemm.hh"
+#include "model/tech_params.hh"
+
+namespace equinox
+{
+namespace model
+{
+
+/** One candidate accelerator design. */
+struct DesignPoint
+{
+    unsigned n = 0;
+    unsigned m = 0;
+    unsigned w = 0;
+    double frequency_hz = 0.0;
+    arith::Encoding encoding = arith::Encoding::Hbfp8;
+
+    double area_mm2 = 0.0;
+    double power_w = 0.0;
+    /** Peak arithmetic throughput, Eq. 3 (ops/s). */
+    double throughput_ops = 0.0;
+    /** LSTM batch-of-n service time (seconds). */
+    double service_time_s = 0.0;
+    bool pareto = false;
+};
+
+/** Evaluates Equations 1-3 for one encoding. */
+class AnalyticalModel
+{
+  public:
+    AnalyticalModel(TechParams tech_params, arith::Encoding enc);
+
+    /** Eq. 1: A = m n^2 w a_alu + A_sram + A_dram [mm^2]. */
+    double area(unsigned n, unsigned m, unsigned w) const;
+
+    /**
+     * Eq. 2: P = f (m n^2 w e_alu + e_sram (w n + m w n + m n))
+     *            + P_dram + P_static [W], with the near-threshold
+     * voltage/frequency energy scaling applied to the dynamic terms.
+     */
+    double power(unsigned n, unsigned m, unsigned w, double f) const;
+
+    /** Eq. 3: T = 2 m n^2 w f [ops/s]. */
+    double throughput(unsigned n, unsigned m, unsigned w, double f) const;
+
+    /** True when the design fits both envelopes. */
+    bool feasible(unsigned n, unsigned m, unsigned w, double f) const;
+
+    /**
+     * Largest m for given (n, w, f) under both envelopes;
+     * 0 when even m = 1 does not fit.
+     */
+    unsigned maxM(unsigned n, unsigned w, double f) const;
+
+    const TechParams &tech() const { return tp; }
+    arith::Encoding encoding() const { return enc_; }
+
+  private:
+    TechParams tp;
+    arith::Encoding enc_;
+};
+
+} // namespace model
+} // namespace equinox
+
+#endif // EQUINOX_MODEL_ANALYTICAL_HH

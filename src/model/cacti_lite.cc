@@ -1,0 +1,48 @@
+#include "model/cacti_lite.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace model
+{
+
+double
+CactiLite::areaMm2(ByteCount bytes) const
+{
+    EQX_ASSERT(bytes > 0, "zero-capacity SRAM");
+    double mb = static_cast<double>(bytes) / (1 << 20);
+    // Area scales with the square of the linear dimension; small macros
+    // pay a peripheral overhead amortised away by 1 MiB.
+    double per_mb = base_area_per_mb_32 * linear_scale * linear_scale;
+    double overhead = 0.02 * linear_scale * linear_scale; // mm^2 fixed
+    return per_mb * mb + overhead;
+}
+
+double
+CactiLite::energyPerByte(ByteCount bytes) const
+{
+    EQX_ASSERT(bytes > 0, "zero-capacity SRAM");
+    double mb = static_cast<double>(bytes) / (1 << 20);
+    // Wordline/bitline energy grows ~sqrt(capacity) until the macro
+    // subdivides into <=2 MiB banks, after which per-access energy is
+    // flat (plus routing, folded into the cap). Capacitance scales
+    // linearly with feature size.
+    double scale = linear_scale;
+    double eff_mb = std::clamp(mb, 0.015625, 2.0);
+    return base_energy_byte_32 * scale * std::sqrt(eff_mb);
+}
+
+double
+CactiLite::leakageW(ByteCount bytes) const
+{
+    double mb = static_cast<double>(bytes) / (1 << 20);
+    // Leakage per cell roughly constant across one scaling step.
+    return base_leak_per_mb_32 * linear_scale * mb;
+}
+
+} // namespace model
+} // namespace equinox

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * A miniature CACTI: SRAM area, access energy and leakage as functions of
+ * macro capacity and access width, scaled from the 32nm node to 28nm with
+ * the constant-field methodology of Esmaeilzadeh et al. [15].
+ *
+ * The functional forms are standard first-order CACTI behaviour: per-bit
+ * area with a fixed peripheral overhead amortised over capacity; access
+ * energy that grows with the square root of capacity (longer bit/word
+ * lines); and capacity-proportional leakage.
+ */
+
+#ifndef EQUINOX_MODEL_CACTI_LITE_HH
+#define EQUINOX_MODEL_CACTI_LITE_HH
+
+#include "common/types.hh"
+
+namespace equinox
+{
+namespace model
+{
+
+/** SRAM macro estimates at 28nm, 0.9 V. */
+struct CactiLite
+{
+    /** 32nm baseline values (CACTI 6.5 style). */
+    double base_area_per_mb_32 = 1.25;    //!< mm^2 / MiB at 32nm
+    double base_energy_byte_32 = 2.4e-12; //!< J/B for a 1 MiB macro
+    double base_leak_per_mb_32 = 0.05;    //!< W / MiB
+    /** 32nm -> 28nm constant-field scale on linear dimension. */
+    double linear_scale = 28.0 / 32.0;
+
+    /** Macro area in mm^2 for @p bytes of capacity. */
+    double areaMm2(ByteCount bytes) const;
+
+    /** Dynamic energy per byte accessed for a macro of @p bytes. */
+    double energyPerByte(ByteCount bytes) const;
+
+    /** Leakage power for @p bytes of capacity. */
+    double leakageW(ByteCount bytes) const;
+};
+
+} // namespace model
+} // namespace equinox
+
+#endif // EQUINOX_MODEL_CACTI_LITE_HH

@@ -1,0 +1,194 @@
+#include "model/dse.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "workload/compiler.hh"
+#include "workload/dnn_model.hh"
+
+namespace equinox
+{
+namespace model
+{
+
+namespace
+{
+
+std::vector<unsigned>
+defaultNs()
+{
+    std::vector<unsigned> ns;
+    for (unsigned n = 1; n <= 256; ++n)
+        ns.push_back(n);
+    return ns;
+}
+
+std::vector<double>
+defaultFrequencies()
+{
+    using units::MHz;
+    return {MHz(532), MHz(610), MHz(700), MHz(800), MHz(1000),
+            MHz(1200), MHz(1600), MHz(2000), MHz(2400)};
+}
+
+/** LSTM batch-of-n service time on this design (the Table 1 metric). */
+double
+lstmServiceTime(const DesignPoint &p)
+{
+    sim::AcceleratorConfig cfg = toAcceleratorConfig(p, "dse-probe");
+    workload::Compiler compiler(cfg);
+    auto svc = compiler.compileInference(workload::DnnModel::lstm2048());
+    return svc.service_time_s;
+}
+
+} // namespace
+
+sim::AcceleratorConfig
+toAcceleratorConfig(const DesignPoint &p, const std::string &name)
+{
+    sim::AcceleratorConfig cfg;
+    cfg.name = name;
+    cfg.n = p.n;
+    cfg.m = p.m;
+    cfg.w = p.w;
+    cfg.frequency_hz = p.frequency_hz;
+    cfg.encoding = p.encoding;
+    return cfg;
+}
+
+DseResult
+exploreDesignSpace(const TechParams &tech, arith::Encoding enc,
+                   const DseConfig &cfg)
+{
+    AnalyticalModel eq(tech, enc);
+    std::vector<unsigned> ns =
+        cfg.n_values.empty() ? defaultNs() : cfg.n_values;
+    std::vector<double> fs =
+        cfg.frequencies.empty() ? defaultFrequencies() : cfg.frequencies;
+
+    DseResult result;
+    for (unsigned n : ns) {
+        for (double f : fs) {
+            // For each candidate w, take the largest feasible m; keep the
+            // throughput-maximal (then power-minimal) design.
+            DesignPoint best;
+            double best_t = -1.0;
+            double best_p = std::numeric_limits<double>::infinity();
+            for (unsigned w = 1; w <= cfg.max_w; ++w) {
+                unsigned m = eq.maxM(n, w, f);
+                if (m == 0) {
+                    // Power/area already exceeded by the wn SRAM term or
+                    // the per-m cost; larger w only makes it worse.
+                    if (w > 1)
+                        break;
+                    continue;
+                }
+                double t = eq.throughput(n, m, w, f);
+                double p = eq.power(n, m, w, f);
+                if (t > best_t * (1.0 + 1e-9) ||
+                    (std::abs(t - best_t) <= best_t * 1e-9 &&
+                     p < best_p)) {
+                    best_t = t;
+                    best_p = p;
+                    best.n = n;
+                    best.m = m;
+                    best.w = w;
+                    best.frequency_hz = f;
+                    best.encoding = enc;
+                    best.throughput_ops = t;
+                    best.power_w = p;
+                    best.area_mm2 = eq.area(n, m, w);
+                }
+            }
+            if (best_t > 0.0) {
+                best.service_time_s = lstmServiceTime(best);
+                result.points.push_back(best);
+            }
+        }
+    }
+    return result;
+}
+
+std::vector<DesignPoint>
+paretoFrontier(DseResult &result)
+{
+    // Sort by throughput descending, latency ascending; sweep keeping the
+    // running latency minimum.
+    std::vector<std::size_t> order(result.points.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a,
+                                              std::size_t b) {
+        const auto &pa = result.points[a];
+        const auto &pb = result.points[b];
+        if (pa.throughput_ops != pb.throughput_ops)
+            return pa.throughput_ops > pb.throughput_ops;
+        return pa.service_time_s < pb.service_time_s;
+    });
+
+    std::vector<DesignPoint> frontier;
+    double best_latency = std::numeric_limits<double>::infinity();
+    for (std::size_t idx : order) {
+        auto &p = result.points[idx];
+        p.pareto = false;
+        if (p.service_time_s < best_latency) {
+            best_latency = p.service_time_s;
+            p.pareto = true;
+            frontier.push_back(p);
+        }
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [](const DesignPoint &a, const DesignPoint &b) {
+                  return a.throughput_ops < b.throughput_ops;
+              });
+    return frontier;
+}
+
+std::optional<DesignPoint>
+bestUnderLatency(const DseResult &result, double latency_limit_s)
+{
+    std::optional<DesignPoint> best;
+    for (const auto &p : result.points) {
+        if (p.service_time_s > latency_limit_s)
+            continue;
+        if (!best || p.throughput_ops > best->throughput_ops ||
+            (p.throughput_ops == best->throughput_ops &&
+             p.service_time_s < best->service_time_s)) {
+            best = p;
+        }
+    }
+    if (!best)
+        return best;
+    // Knee tie-break: past the Pareto knee throughput is flat while
+    // latency keeps growing (section 4.2); take the lowest-latency design
+    // within 0.1% of the best throughput.
+    for (const auto &p : result.points) {
+        if (p.service_time_s > latency_limit_s)
+            continue;
+        if (p.throughput_ops >= 0.999 * best->throughput_ops &&
+            p.service_time_s < best->service_time_s) {
+            best = p;
+        }
+    }
+    return best;
+}
+
+std::optional<DesignPoint>
+minLatencyDesign(const DseResult &result)
+{
+    std::optional<DesignPoint> best;
+    for (const auto &p : result.points) {
+        if (!best || p.service_time_s < best->service_time_s ||
+            (p.service_time_s == best->service_time_s &&
+             p.throughput_ops > best->throughput_ops)) {
+            best = p;
+        }
+    }
+    return best;
+}
+
+} // namespace model
+} // namespace equinox

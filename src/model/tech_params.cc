@@ -1,0 +1,78 @@
+#include "model/tech_params.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace model
+{
+
+double
+TechParams::voltageAt(double f) const
+{
+    double fc = std::clamp(f, f_min, f_max);
+    return v_min + (v_max - v_min) * (fc - f_min) / (f_max - f_min);
+}
+
+double
+TechParams::energyScaleAt(double f) const
+{
+    double v = voltageAt(f);
+    return (v * v) / (v_max * v_max);
+}
+
+double
+TechParams::aluEnergy(arith::Encoding enc) const
+{
+    switch (enc) {
+      case arith::Encoding::Hbfp8: return e_alu_hbfp8;
+      case arith::Encoding::Bfloat16: return e_alu_bf16;
+      default: EQX_FATAL("no ALU model for encoding ",
+                         arith::encodingName(enc));
+    }
+}
+
+double
+TechParams::aluArea(arith::Encoding enc) const
+{
+    switch (enc) {
+      case arith::Encoding::Hbfp8: return a_alu_hbfp8;
+      case arith::Encoding::Bfloat16: return a_alu_bf16;
+      default: EQX_FATAL("no ALU model for encoding ",
+                         arith::encodingName(enc));
+    }
+}
+
+double
+TechParams::bytesPerValue(arith::Encoding enc) const
+{
+    switch (enc) {
+      case arith::Encoding::Hbfp8: return (8.0 + 12.0 / 256.0) / 8.0;
+      case arith::Encoding::Bfloat16: return 2.0;
+      default: return 4.0;
+    }
+}
+
+double
+TechParams::sramArea() const
+{
+    return a_sram_mb * static_cast<double>(sram_capacity) / (1 << 20);
+}
+
+double
+TechParams::sramStaticPower() const
+{
+    return p_sram_static_mb * static_cast<double>(sram_capacity) /
+           (1 << 20);
+}
+
+TechParams
+defaultTechParams()
+{
+    return TechParams{};
+}
+
+} // namespace model
+} // namespace equinox

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * TSMC-28nm technology constants for the first-order models of section 4.
+ *
+ * The paper derives per-ALU area/energy from Synopsys Design Compiler
+ * syntheses (TCBN28HPMBWP35, 0.9 V) and SRAM values from CACTI 6.5 scaled
+ * 32nm -> 28nm. Without the proprietary flow we invert Equations 1-3
+ * against the published endpoints (Table 1 throughput/frequency pairs and
+ * the Table 3 component breakdown) to recover the same constants, then use
+ * them unchanged for the entire design-space sweep. The derivation is in
+ * DESIGN.md section 5.
+ */
+
+#ifndef EQUINOX_MODEL_TECH_PARAMS_HH
+#define EQUINOX_MODEL_TECH_PARAMS_HH
+
+#include "arith/gemm.hh"
+#include "common/types.hh"
+
+namespace equinox
+{
+namespace model
+{
+
+/** Per-technology constants at the synthesis corner (0.9 V). */
+struct TechParams
+{
+    // -- ALUs (per MAC unit, at 0.9 V) ---------------------------------
+    /** hbfp8 MAC (8-bit multiplier + 25-bit accumulator) energy [J]. */
+    double e_alu_hbfp8 = 0.42e-12;
+    /** bfloat16 FMA (fp32 accumulator) energy [J]. */
+    double e_alu_bf16 = 2.48e-12;
+    /** hbfp8 MAC area [mm^2]. */
+    double a_alu_hbfp8 = 5.6e-4;
+    /** bfloat16 FMA area [mm^2]. */
+    double a_alu_bf16 = 2.55e-3;
+
+    // -- SRAM (CACTI 6.5, 32nm scaled to 28nm) -------------------------
+    /** Dynamic energy per byte accessed [J]. */
+    double e_sram_byte = 2.63e-12;
+    /** Area per MiB [mm^2]. */
+    double a_sram_mb = 0.92;
+    /** Leakage per MiB [W]. */
+    double p_sram_static_mb = 0.0667;
+
+    // -- DRAM (HBM) interface, from Tran [33] --------------------------
+    double a_dram = 46.9; //!< mm^2
+    double p_dram = 28.6; //!< W, provisioned for the full 1 TB/s stack
+
+    // -- Envelopes (section 4.1) ----------------------------------------
+    double die_area = 300.0;     //!< mm^2
+    double power_budget = 75.0;  //!< W
+    ByteCount sram_capacity = 75ull << 20; //!< 75 MiB total on-chip SRAM
+
+    // -- Voltage/frequency scaling (near-threshold, Pahlevan [28]) ------
+    double f_min = 532e6;
+    double f_max = 2.4e9;
+    double v_min = 0.6;  //!< V at f_min
+    double v_max = 0.9;  //!< V at f_max (the synthesis corner)
+
+    /** Operating voltage at frequency @p f (linear V/f, clamped). */
+    double voltageAt(double f) const;
+
+    /** Dynamic-energy scale factor at @p f relative to the 0.9 V corner. */
+    double energyScaleAt(double f) const;
+
+    /** Per-MAC energy for @p enc at the synthesis corner. */
+    double aluEnergy(arith::Encoding enc) const;
+
+    /** Per-MAC area for @p enc. */
+    double aluArea(arith::Encoding enc) const;
+
+    /** Buffer bytes touched per value for @p enc. */
+    double bytesPerValue(arith::Encoding enc) const;
+
+    /** Total SRAM area [mm^2]. */
+    double sramArea() const;
+
+    /** Total SRAM leakage [W]. */
+    double sramStaticPower() const;
+};
+
+/** The default calibrated parameter set. */
+TechParams defaultTechParams();
+
+} // namespace model
+} // namespace equinox
+
+#endif // EQUINOX_MODEL_TECH_PARAMS_HH

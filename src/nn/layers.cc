@@ -1,0 +1,129 @@
+#include "nn/layers.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace nn
+{
+
+void
+applyActivation(Activation act, Matrix &m)
+{
+    switch (act) {
+      case Activation::None:
+        return;
+      case Activation::Relu:
+        for (std::size_t i = 0; i < m.size(); ++i)
+            m.data()[i] = std::max(0.0f, m.data()[i]);
+        return;
+      case Activation::Tanh:
+        for (std::size_t i = 0; i < m.size(); ++i)
+            m.data()[i] = std::tanh(m.data()[i]);
+        return;
+    }
+}
+
+void
+applyActivationGrad(Activation act, const Matrix &activated,
+                    Matrix &upstream)
+{
+    EQX_ASSERT(activated.size() == upstream.size(),
+               "activation gradient shape mismatch");
+    switch (act) {
+      case Activation::None:
+        return;
+      case Activation::Relu:
+        for (std::size_t i = 0; i < upstream.size(); ++i) {
+            if (activated.data()[i] <= 0.0f)
+                upstream.data()[i] = 0.0f;
+        }
+        return;
+      case Activation::Tanh:
+        for (std::size_t i = 0; i < upstream.size(); ++i) {
+            float y = activated.data()[i];
+            upstream.data()[i] *= (1.0f - y * y);
+        }
+        return;
+    }
+}
+
+DenseLayer::DenseLayer(std::size_t in_dim, std::size_t out_dim,
+                       Activation act, Rng &rng)
+    : weights(in_dim, out_dim),
+      bias(1, out_dim),
+      w_grad(in_dim, out_dim),
+      b_grad(1, out_dim),
+      w_vel(in_dim, out_dim),
+      b_vel(1, out_dim),
+      activation(act)
+{
+    double sd = std::sqrt(2.0 / static_cast<double>(in_dim + out_dim));
+    weights.randomize(rng, sd);
+}
+
+Matrix
+DenseLayer::forward(const Matrix &x, const arith::GemmEngine &engine)
+{
+    EQX_ASSERT(x.cols() == weights.rows(), "dense layer input dim ",
+               x.cols(), " != ", weights.rows());
+    cached_in = x;
+    Matrix y(x.rows(), weights.cols());
+    engine.multiply(x, weights, y, false);
+    for (std::size_t r = 0; r < y.rows(); ++r)
+        for (std::size_t c = 0; c < y.cols(); ++c)
+            y.at(r, c) += bias.at(0, c);
+    applyActivation(activation, y);
+    cached_out = y;
+    return y;
+}
+
+Matrix
+DenseLayer::backward(const Matrix &d_out, const arith::GemmEngine &engine)
+{
+    EQX_ASSERT(d_out.rows() == cached_in.rows() &&
+                   d_out.cols() == weights.cols(),
+               "dense layer upstream gradient shape mismatch");
+
+    Matrix d_pre = d_out;
+    applyActivationGrad(activation, cached_out, d_pre);
+
+    // dW = X^T dPre   (weight-gradient GEMM, the "wgrad" pass)
+    Matrix xt = cached_in.transposed();
+    engine.multiply(xt, d_pre, w_grad, true);
+
+    // db = column sums of dPre
+    for (std::size_t r = 0; r < d_pre.rows(); ++r)
+        for (std::size_t c = 0; c < d_pre.cols(); ++c)
+            b_grad.at(0, c) += d_pre.at(r, c);
+
+    // dX = dPre W^T   (data-gradient GEMM, the "dgrad" pass)
+    Matrix wt = weights.transposed();
+    Matrix d_in(d_pre.rows(), weights.rows());
+    engine.multiply(d_pre, wt, d_in, false);
+    return d_in;
+}
+
+void
+DenseLayer::step(double lr, double momentum)
+{
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        float v = static_cast<float>(momentum) * w_vel.data()[i] -
+                  static_cast<float>(lr) * w_grad.data()[i];
+        w_vel.data()[i] = v;
+        weights.data()[i] += v;
+    }
+    for (std::size_t i = 0; i < bias.size(); ++i) {
+        float v = static_cast<float>(momentum) * b_vel.data()[i] -
+                  static_cast<float>(lr) * b_grad.data()[i];
+        b_vel.data()[i] = v;
+        bias.data()[i] += v;
+    }
+    w_grad.zero();
+    b_grad.zero();
+}
+
+} // namespace nn
+} // namespace equinox

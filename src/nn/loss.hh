@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Losses and evaluation metrics for the convergence experiments.
+ */
+
+#ifndef EQUINOX_NN_LOSS_HH
+#define EQUINOX_NN_LOSS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arith/tensor.hh"
+
+namespace equinox
+{
+namespace nn
+{
+
+using arith::Matrix;
+
+/** Result of a softmax-cross-entropy evaluation. */
+struct SoftmaxLossResult
+{
+    double mean_loss = 0.0;    //!< mean cross entropy (nats)
+    double error_rate = 0.0;   //!< top-1 classification error in [0, 1]
+    Matrix logit_grad;         //!< d(mean loss)/d(logits)
+};
+
+/**
+ * Softmax cross entropy over a batch.
+ * @param logits batch x classes
+ * @param labels class index per batch row
+ */
+SoftmaxLossResult softmaxCrossEntropy(const Matrix &logits,
+                                      const std::vector<std::uint32_t>
+                                          &labels);
+
+/** Perplexity = exp(mean cross entropy). */
+double perplexityFromLoss(double mean_loss);
+
+/** Mean squared error and its gradient (0.5 ||y - t||^2 / batch). */
+struct MseResult
+{
+    double mean_loss = 0.0;
+    Matrix grad;
+};
+
+MseResult meanSquaredError(const Matrix &predictions,
+                           const Matrix &targets);
+
+} // namespace nn
+} // namespace equinox
+
+#endif // EQUINOX_NN_LOSS_HH

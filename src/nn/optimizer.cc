@@ -1,0 +1,20 @@
+#include "nn/optimizer.hh"
+
+namespace equinox
+{
+namespace nn
+{
+
+double
+SgdConfig::rateForEpoch(std::size_t epoch) const
+{
+    double rate = learning_rate;
+    for (std::size_t e : decay_epochs) {
+        if (epoch >= e)
+            rate *= decay_factor;
+    }
+    return rate;
+}
+
+} // namespace nn
+} // namespace equinox

@@ -1,0 +1,182 @@
+#include "nn/rnn.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace nn
+{
+
+namespace
+{
+
+/** SGD-with-momentum update of one tensor. */
+void
+sgdStep(Matrix &weights, Matrix &grad, Matrix &velocity, double lr,
+        double momentum)
+{
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        float v = static_cast<float>(momentum) * velocity.data()[i] -
+                  static_cast<float>(lr) * grad.data()[i];
+        velocity.data()[i] = v;
+        weights.data()[i] += v;
+    }
+    grad.zero();
+}
+
+} // namespace
+
+ElmanRnn::ElmanRnn(std::size_t in_dim, std::size_t hidden,
+                   std::size_t classes, Rng &rng)
+    : wx(in_dim, hidden),
+      wh(hidden, hidden),
+      wy(hidden, classes),
+      bh(1, hidden),
+      by(1, classes),
+      g_wx(in_dim, hidden),
+      g_wh(hidden, hidden),
+      g_wy(hidden, classes),
+      g_bh(1, hidden),
+      g_by(1, classes),
+      v_wx(in_dim, hidden),
+      v_wh(hidden, hidden),
+      v_wy(hidden, classes),
+      v_bh(1, hidden),
+      v_by(1, classes)
+{
+    wx.randomize(rng, std::sqrt(1.0 / static_cast<double>(in_dim)));
+    // Scaled orthogonal-ish recurrent init keeps gradients stable.
+    wh.randomize(rng, std::sqrt(0.5 / static_cast<double>(hidden)));
+    wy.randomize(rng, std::sqrt(1.0 / static_cast<double>(hidden)));
+}
+
+Matrix
+ElmanRnn::sliceStep(const Matrix &x, std::size_t t) const
+{
+    const std::size_t in_dim = wx.rows();
+    Matrix out(x.rows(), in_dim);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const float *src = x.rowPtr(r) + t * in_dim;
+        std::copy(src, src + in_dim, out.rowPtr(r));
+    }
+    return out;
+}
+
+Matrix
+ElmanRnn::forward(const Matrix &x, std::size_t steps,
+                  const arith::GemmEngine &engine)
+{
+    const std::size_t in_dim = wx.rows();
+    const std::size_t hidden = wh.rows();
+    EQX_ASSERT(x.cols() == steps * in_dim,
+               "sequence width ", x.cols(), " != steps*in_dim ",
+               steps * in_dim);
+
+    cached_x = x;
+    cached_steps = steps;
+    hidden_states.assign(steps, Matrix());
+
+    Matrix h(x.rows(), hidden, 0.0f);
+    for (std::size_t t = 0; t < steps; ++t) {
+        Matrix xt = sliceStep(x, t);
+        Matrix pre(x.rows(), hidden);
+        engine.multiply(xt, wx, pre, false);
+        engine.multiply(h, wh, pre, true);
+        for (std::size_t r = 0; r < pre.rows(); ++r)
+            for (std::size_t c = 0; c < hidden; ++c)
+                pre.at(r, c) = std::tanh(pre.at(r, c) + bh.at(0, c));
+        h = pre;
+        hidden_states[t] = h;
+    }
+
+    // Mean-pooled readout over all hidden states.
+    Matrix pooled(x.rows(), hidden, 0.0f);
+    for (const auto &ht : hidden_states)
+        for (std::size_t i = 0; i < pooled.size(); ++i)
+            pooled.data()[i] += ht.data()[i];
+    float inv_steps = 1.0f / static_cast<float>(steps);
+    for (std::size_t i = 0; i < pooled.size(); ++i)
+        pooled.data()[i] *= inv_steps;
+    pooled_cache = pooled;
+
+    Matrix logits(x.rows(), wy.cols());
+    engine.multiply(pooled, wy, logits, false);
+    for (std::size_t r = 0; r < logits.rows(); ++r)
+        for (std::size_t c = 0; c < logits.cols(); ++c)
+            logits.at(r, c) += by.at(0, c);
+    return logits;
+}
+
+void
+ElmanRnn::backward(const Matrix &logit_grad,
+                   const arith::GemmEngine &engine)
+{
+    EQX_ASSERT(cached_steps > 0, "backward() before forward()");
+    const std::size_t hidden = wh.rows();
+
+    // Classifier gradients against the pooled state.
+    {
+        Matrix pt = pooled_cache.transposed();
+        engine.multiply(pt, logit_grad, g_wy, true);
+        for (std::size_t r = 0; r < logit_grad.rows(); ++r)
+            for (std::size_t c = 0; c < logit_grad.cols(); ++c)
+                g_by.at(0, c) += logit_grad.at(r, c);
+    }
+
+    // Every step's hidden state receives dPool = dLogits Wy^T / T in
+    // addition to the recurrent gradient flow.
+    Matrix wy_t = wy.transposed();
+    Matrix dpool(logit_grad.rows(), hidden);
+    engine.multiply(logit_grad, wy_t, dpool, false);
+    float inv_steps = 1.0f / static_cast<float>(cached_steps);
+    for (std::size_t i = 0; i < dpool.size(); ++i)
+        dpool.data()[i] *= inv_steps;
+
+    Matrix dh = dpool;
+    Matrix wh_t = wh.transposed();
+    for (std::size_t t = cached_steps; t-- > 0;) {
+        const Matrix &h_t = hidden_states[t];
+        // dPre = dh * (1 - h^2).
+        Matrix dpre = dh;
+        for (std::size_t i = 0; i < dpre.size(); ++i) {
+            float y = h_t.data()[i];
+            dpre.data()[i] *= (1.0f - y * y);
+        }
+
+        // Weight gradients: dWx += x_t^T dPre, dWh += h_{t-1}^T dPre.
+        Matrix xt = sliceStep(cached_x, t).transposed();
+        engine.multiply(xt, dpre, g_wx, true);
+        if (t > 0) {
+            Matrix hprev_t = hidden_states[t - 1].transposed();
+            engine.multiply(hprev_t, dpre, g_wh, true);
+        }
+        for (std::size_t r = 0; r < dpre.rows(); ++r)
+            for (std::size_t c = 0; c < hidden; ++c)
+                g_bh.at(0, c) += dpre.at(r, c);
+
+        // dh for the previous step: recurrent flow plus its own share
+        // of the pooled readout gradient.
+        if (t > 0) {
+            Matrix next(dpre.rows(), hidden);
+            engine.multiply(dpre, wh_t, next, false);
+            for (std::size_t i = 0; i < next.size(); ++i)
+                next.data()[i] += dpool.data()[i];
+            dh = next;
+        }
+    }
+}
+
+void
+ElmanRnn::step(double lr, double momentum)
+{
+    sgdStep(wx, g_wx, v_wx, lr, momentum);
+    sgdStep(wh, g_wh, v_wh, lr, momentum);
+    sgdStep(wy, g_wy, v_wy, lr, momentum);
+    sgdStep(bh, g_bh, v_bh, lr, momentum);
+    sgdStep(by, g_by, v_by, lr, momentum);
+}
+
+} // namespace nn
+} // namespace equinox

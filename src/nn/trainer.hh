@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The training loop used by the Figure 2 reproduction: identical SGD in
+ * every encoding, per-epoch validation metrics.
+ */
+
+#ifndef EQUINOX_NN_TRAINER_HH
+#define EQUINOX_NN_TRAINER_HH
+
+#include <vector>
+
+#include "arith/gemm.hh"
+#include "nn/datasets.hh"
+#include "nn/mlp.hh"
+#include "nn/optimizer.hh"
+
+namespace equinox
+{
+namespace nn
+{
+
+/** One epoch's validation metrics. */
+struct EpochMetrics
+{
+    std::size_t epoch = 0;
+    double train_loss = 0.0;   //!< mean minibatch loss over the epoch
+    double valid_loss = 0.0;   //!< validation cross entropy (nats)
+    double valid_error = 0.0;  //!< validation top-1 error in [0, 1]
+    double valid_perplexity = 0.0;
+};
+
+/** Full convergence trajectory. */
+using TrainHistory = std::vector<EpochMetrics>;
+
+/** Trainer configuration. */
+struct TrainConfig
+{
+    std::size_t epochs = 30;
+    std::size_t batch_size = 64;
+    SgdConfig sgd;
+    std::vector<std::size_t> hidden_dims{128, 64};
+    Activation hidden_act = Activation::Relu;
+    std::uint64_t init_seed = 42;
+};
+
+/**
+ * Train an MLP on @p data with @p engine arithmetic.
+ * The weight initialisation and data order are identical across engines
+ * (seeded), so trajectories differ only through the arithmetic.
+ */
+TrainHistory trainClassifier(const Dataset &data,
+                             const arith::GemmEngine &engine,
+                             const TrainConfig &config);
+
+/**
+ * Train an Elman recurrent classifier with BPTT on a sequence dataset
+ * (ChainSequenceDataset); hidden width comes from
+ * config.hidden_dims.front().
+ */
+TrainHistory trainSequenceClassifier(const ChainSequenceDataset &data,
+                                     const arith::GemmEngine &engine,
+                                     const TrainConfig &config);
+
+} // namespace nn
+} // namespace equinox
+
+#endif // EQUINOX_NN_TRAINER_HH

@@ -1,0 +1,72 @@
+#include "sim/buffer.hh"
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace sim
+{
+
+SramBuffer::SramBuffer(std::string buffer_name, ByteCount capacity,
+                       unsigned banks, unsigned read_ports,
+                       unsigned write_ports)
+    : name_(std::move(buffer_name)),
+      capacity_(capacity),
+      banks_(banks),
+      read_ports_(read_ports),
+      write_ports_(write_ports)
+{
+    EQX_ASSERT(banks_ > 0, "buffer ", name_, " needs at least one bank");
+    EQX_ASSERT(read_ports_ > 0, "buffer ", name_, " needs a read port");
+}
+
+bool
+SramBuffer::allocate(ContextId ctx, ByteCount bytes)
+{
+    EQX_ASSERT(!allocations.count(ctx),
+               "context ", ctx, " already holds space in ", name_);
+    if (bytes > available())
+        return false;
+    allocations[ctx] = bytes;
+    allocated_ += bytes;
+    return true;
+}
+
+void
+SramBuffer::release(ContextId ctx)
+{
+    auto it = allocations.find(ctx);
+    if (it == allocations.end())
+        return;
+    allocated_ -= it->second;
+    allocations.erase(it);
+}
+
+ByteCount
+SramBuffer::allocationOf(ContextId ctx) const
+{
+    auto it = allocations.find(ctx);
+    return it == allocations.end() ? 0 : it->second;
+}
+
+Tick
+SramBuffer::contentionCycles(unsigned reads, unsigned writes,
+                             Tick overlap_cycles) const
+{
+    // Each bank serves read_ports_ reads and write_ports_ writes per
+    // cycle; concurrent streams beyond that serialise, stretching the
+    // overlap window proportionally.
+    double read_factor =
+        reads > read_ports_
+            ? static_cast<double>(reads) / read_ports_
+            : 1.0;
+    double write_factor =
+        (write_ports_ > 0 && writes > write_ports_)
+            ? static_cast<double>(writes) / write_ports_
+            : 1.0;
+    double stretch = std::max(read_factor, write_factor) - 1.0;
+    return static_cast<Tick>(stretch * static_cast<double>(overlap_cycles));
+}
+
+} // namespace sim
+} // namespace equinox

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * On-chip SRAM buffers with banked organisation and per-service space
+ * sharing (section 3.1/3.2).
+ *
+ * Capacity is allocated per hardware context at service-installation time;
+ * installation fails when a service's footprint does not fit. The bank and
+ * port structure is used by the synthesis proxy (area/energy scale with
+ * bank width) and by a deterministic port-contention estimate.
+ */
+
+#ifndef EQUINOX_SIM_BUFFER_HH
+#define EQUINOX_SIM_BUFFER_HH
+
+#include <map>
+#include <string>
+
+#include "common/types.hh"
+
+namespace equinox
+{
+namespace sim
+{
+
+/** A banked SRAM buffer with per-context allocations. */
+class SramBuffer
+{
+  public:
+    /**
+     * @param buffer_name for diagnostics
+     * @param capacity total bytes
+     * @param banks bank count
+     * @param read_ports read ports per bank
+     * @param write_ports write ports per bank
+     */
+    SramBuffer(std::string buffer_name, ByteCount capacity, unsigned banks,
+               unsigned read_ports, unsigned write_ports);
+
+    /**
+     * Reserve @p bytes for context @p ctx.
+     * @return false when the remaining capacity is insufficient.
+     */
+    bool allocate(ContextId ctx, ByteCount bytes);
+
+    /** Release a context's reservation (idempotent). */
+    void release(ContextId ctx);
+
+    ByteCount capacity() const { return capacity_; }
+    ByteCount allocated() const { return allocated_; }
+    ByteCount available() const { return capacity_ - allocated_; }
+    ByteCount allocationOf(ContextId ctx) const;
+
+    unsigned banks() const { return banks_; }
+    const std::string &name() const { return name_; }
+
+    /**
+     * Deterministic port-contention estimate: extra cycles needed to
+     * serve @p reads read and @p writes write streams that overlap for
+     * @p overlap_cycles, given the per-bank port counts. Streams beyond
+     * the available ports serialise.
+     */
+    Tick contentionCycles(unsigned reads, unsigned writes,
+                          Tick overlap_cycles) const;
+
+  private:
+    std::string name_;
+    ByteCount capacity_;
+    unsigned banks_;
+    unsigned read_ports_;
+    unsigned write_ports_;
+    ByteCount allocated_ = 0;
+    std::map<ContextId, ByteCount> allocations;
+};
+
+} // namespace sim
+} // namespace equinox
+
+#endif // EQUINOX_SIM_BUFFER_HH

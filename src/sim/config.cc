@@ -1,0 +1,47 @@
+#include "sim/config.hh"
+
+namespace equinox
+{
+namespace sim
+{
+
+const char *
+batchPolicyName(BatchPolicy p)
+{
+    switch (p) {
+      case BatchPolicy::Static: return "static";
+      case BatchPolicy::Adaptive: return "adaptive";
+      default: return "?";
+    }
+}
+
+const char *
+schedPolicyName(SchedPolicy p)
+{
+    switch (p) {
+      case SchedPolicy::InferenceOnly: return "inference-only";
+      case SchedPolicy::Priority: return "priority";
+      case SchedPolicy::FairShare: return "fair-share";
+      case SchedPolicy::SoftwareBatch: return "software-batch";
+      default: return "?";
+    }
+}
+
+double
+AcceleratorConfig::bytesPerValue() const
+{
+    switch (encoding) {
+      case arith::Encoding::Hbfp8:
+        // 8-bit mantissa + 12-bit exponent shared by a 256-value block.
+        return (8.0 + 12.0 / 256.0) / 8.0;
+      case arith::Encoding::Bfloat16:
+        return 2.0;
+      case arith::Encoding::Fp32:
+        return 4.0;
+      default:
+        return 4.0;
+    }
+}
+
+} // namespace sim
+} // namespace equinox

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Accelerator configuration: array geometry, clock, buffers, batching and
+ * scheduling policies -- everything section 3 and 5 of the paper fix per
+ * design point.
+ */
+
+#ifndef EQUINOX_SIM_CONFIG_HH
+#define EQUINOX_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "arith/gemm.hh"
+#include "common/types.hh"
+#include "common/units.hh"
+#include "dram/hbm.hh"
+#include "dram/host_link.hh"
+
+namespace equinox
+{
+namespace sim
+{
+
+/** Batch-formation policy (section 3.1). */
+enum class BatchPolicy
+{
+    Static,   //!< wait for a full batch
+    Adaptive, //!< issue padded batches after a timeout
+};
+
+/** Execution-unit scheduling policy (sections 3.2 and 6). */
+enum class SchedPolicy
+{
+    InferenceOnly, //!< baseline: training never scheduled
+    Priority,      //!< hardware: round-robin at low load, inference-only
+                   //!< during load spikes
+    FairShare,     //!< hardware: always round-robin
+    SoftwareBatch, //!< software control plane: batch-granularity decisions
+                   //!< with a turnaround delay, training unpreemptible
+};
+
+const char *batchPolicyName(BatchPolicy p);
+const char *schedPolicyName(SchedPolicy p);
+
+/** A full accelerator design point. */
+struct AcceleratorConfig
+{
+    std::string name = "equinox_500us";
+
+    // -- Matrix multiply unit (m systolic arrays of n x n w-wide PEs) --
+    unsigned n = 143;
+    unsigned m = 4;
+    unsigned w = 4;
+    double frequency_hz = units::MHz(610);
+    arith::Encoding encoding = arith::Encoding::Hbfp8;
+
+    // -- On-chip memory (section 5 split of the 75 MB budget) ---------
+    ByteCount act_buffer_bytes = units::MiB(20);
+    ByteCount weight_buffer_bytes = units::MiB(50);
+    ByteCount instr_buffer_bytes = units::KiB(32);
+    ByteCount simd_rf_bytes = units::MiB(5);
+    /** Training staging share of the activation+weight buffers (<2%). */
+    double train_staging_frac = 0.02;
+
+    // -- SIMD unit ----------------------------------------------------
+    unsigned simd_lanes = 4096;
+
+    // -- Batching -------------------------------------------------------
+    BatchPolicy batch_policy = BatchPolicy::Adaptive;
+    /** Adaptive timeout as a multiple of the model's service time. */
+    double batch_timeout_mult = 2.0;
+
+    // -- Scheduling -----------------------------------------------------
+    SchedPolicy sched_policy = SchedPolicy::Priority;
+    /** Unstarted inference batches that trigger the load-spike freeze. */
+    unsigned spike_threshold_batches = 2;
+    /** Software-scheduler decision turnaround. */
+    double software_turnaround_s = 20e-6;
+
+    // -- Off-chip interfaces ---------------------------------------------
+    dram::PriorityLink::Config dram = dram::hbmDefaultConfig();
+    dram::PriorityLink::Config host = dram::hostDefaultConfig();
+
+    /** MACs the MMU retires per cycle: m * n^2 * w. */
+    std::uint64_t
+    macsPerCycle() const
+    {
+        return static_cast<std::uint64_t>(m) * n * n * w;
+    }
+
+    /** Peak arithmetic rate in ops/s (2 ops per MAC), Eq. 3. */
+    double
+    peakOpRate() const
+    {
+        return 2.0 * static_cast<double>(macsPerCycle()) * frequency_hz;
+    }
+
+    /** Inner-dimension slots of one tile instruction (n * w). */
+    std::uint32_t tileK() const { return n * w; }
+
+    /** Output-column slots in mode 1 (m * n). */
+    std::uint32_t tileCols() const { return static_cast<std::uint32_t>(m) *
+                                            n; }
+
+    /** Row slots in mode 2 (m * n). */
+    std::uint32_t tileRowsMode2() const { return tileCols(); }
+
+    /** Training staging-buffer capacity in bytes. */
+    ByteCount
+    stagingBytes() const
+    {
+        return static_cast<ByteCount>(
+            train_staging_frac *
+            static_cast<double>(act_buffer_bytes + weight_buffer_bytes));
+    }
+
+    /**
+     * Storage bytes per matrix value in this datapath's encoding:
+     * hbfp8 stores an 8-bit mantissa plus a 12-bit exponent shared by a
+     * block (we charge it against a 256-value block), bfloat16 stores 16
+     * bits, fp32 32 bits.
+     */
+    double bytesPerValue() const;
+
+    /** Systolic-array drain latency (fill/empty of the n-deep pipeline). */
+    Tick drainCycles() const { return 2 * static_cast<Tick>(n); }
+};
+
+} // namespace sim
+} // namespace equinox
+
+#endif // EQUINOX_SIM_CONFIG_HH

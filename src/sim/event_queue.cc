@@ -1,0 +1,44 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace sim
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    EQX_ASSERT(when >= now_, "scheduling into the past: ", when, " < ",
+               now_);
+    heap.push(Entry{when, next_seq++, std::move(cb)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap.empty())
+        return false;
+    // The callback may schedule more events; move it out first.
+    Entry e = std::move(const_cast<Entry &>(heap.top()));
+    heap.pop();
+    now_ = e.when;
+    ++dispatched_;
+    e.cb();
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap.empty() && heap.top().when <= limit) {
+        if (!runOne())
+            break;
+    }
+    if (now_ < limit && heap.empty())
+        now_ = limit;
+}
+
+} // namespace sim
+} // namespace equinox

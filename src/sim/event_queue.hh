@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The discrete-event kernel driving the cycle-accurate simulation.
+ *
+ * Components schedule callbacks at future ticks; the queue dispatches them
+ * in (tick, insertion-order) order. Components are written to tolerate
+ * stale wakeups (they re-check state on wake), so no cancellation API is
+ * needed.
+ */
+
+#ifndef EQUINOX_SIM_EVENT_QUEUE_HH
+#define EQUINOX_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace equinox
+{
+namespace sim
+{
+
+/** Tick-ordered callback queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated tick. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb at absolute tick @p when (>= now). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delta ticks from now. */
+    void scheduleIn(Tick delta, Callback cb) { schedule(now_ + delta,
+                                                        std::move(cb)); }
+
+    /** Dispatch the earliest event. @return false when empty. */
+    bool runOne();
+
+    /** Run until the queue drains or now() would exceed @p limit. */
+    void runUntil(Tick limit);
+
+    bool empty() const { return heap.empty(); }
+    std::size_t pending() const { return heap.size(); }
+
+    /** Events dispatched so far (for perf diagnostics). */
+    std::uint64_t dispatched() const { return dispatched_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    Tick now_ = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t dispatched_ = 0;
+};
+
+} // namespace sim
+} // namespace equinox
+
+#endif // EQUINOX_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Trivial named scalar counters.
+ */
+
+#ifndef EQUINOX_STATS_COUNTER_HH
+#define EQUINOX_STATS_COUNTER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace equinox
+{
+namespace stats
+{
+
+/** A monotonically growing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(std::string counter_name)
+        : name_(std::move(counter_name)) {}
+
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    Counter &operator++() { ++value_; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    const std::string &name() const { return name_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::string name_;
+    std::uint64_t value_ = 0;
+};
+
+} // namespace stats
+} // namespace equinox
+
+#endif // EQUINOX_STATS_COUNTER_HH

@@ -1,0 +1,120 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace stats
+{
+
+void
+LatencyTracker::record(double sample)
+{
+    samples.push_back(sample);
+    sum += sample;
+    sorted = false;
+}
+
+double
+LatencyTracker::mean() const
+{
+    if (samples.empty())
+        return 0.0;
+    return sum / static_cast<double>(samples.size());
+}
+
+void
+LatencyTracker::ensureSorted() const
+{
+    if (!sorted) {
+        std::sort(samples.begin(), samples.end());
+        sorted = true;
+    }
+}
+
+double
+LatencyTracker::min() const
+{
+    if (samples.empty())
+        return 0.0;
+    ensureSorted();
+    return samples.front();
+}
+
+double
+LatencyTracker::max() const
+{
+    if (samples.empty())
+        return 0.0;
+    ensureSorted();
+    return samples.back();
+}
+
+double
+LatencyTracker::percentile(double p) const
+{
+    EQX_ASSERT(p >= 0.0 && p <= 1.0, "quantile out of range: ", p);
+    if (samples.empty())
+        return 0.0;
+    ensureSorted();
+    if (samples.size() == 1)
+        return samples.front();
+
+    double rank = p * static_cast<double>(samples.size() - 1);
+    auto lo_idx = static_cast<std::size_t>(rank);
+    double frac = rank - static_cast<double>(lo_idx);
+    if (lo_idx + 1 >= samples.size())
+        return samples.back();
+    return samples[lo_idx] * (1.0 - frac) + samples[lo_idx + 1] * frac;
+}
+
+void
+LatencyTracker::reset()
+{
+    samples.clear();
+    sorted = true;
+    sum = 0.0;
+}
+
+LogHistogram::LogHistogram(double lo, double hi, unsigned buckets_per_decade)
+    : lo_(lo)
+{
+    EQX_ASSERT(lo > 0.0 && hi > lo, "bad histogram bounds");
+    EQX_ASSERT(buckets_per_decade > 0, "bad histogram resolution");
+    log_lo = std::log10(lo);
+    bucket_width = 1.0 / static_cast<double>(buckets_per_decade);
+    double decades = std::log10(hi) - log_lo;
+    auto n = static_cast<std::size_t>(
+        std::ceil(decades * buckets_per_decade));
+    counts.assign(std::max<std::size_t>(n, 1), 0);
+}
+
+void
+LogHistogram::record(double sample)
+{
+    if (sample < lo_) {
+        ++under;
+        return;
+    }
+    double pos = (std::log10(sample) - log_lo) / bucket_width;
+    auto idx = static_cast<std::size_t>(pos);
+    if (idx >= counts.size()) {
+        ++over;
+        return;
+    }
+    ++counts[idx];
+}
+
+double
+LogHistogram::bucketMid(std::size_t i) const
+{
+    EQX_ASSERT(i < counts.size(), "bucket index out of range");
+    double lo_edge = log_lo + bucket_width * static_cast<double>(i);
+    return std::pow(10.0, lo_edge + bucket_width * 0.5);
+}
+
+} // namespace stats
+} // namespace equinox

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Latency sample tracking with exact percentile queries.
+ *
+ * The evaluation reports 99th-percentile latencies over bounded experiment
+ * windows (at most a few hundred thousand requests), so we keep every sample
+ * and sort lazily; this is both exact and fast enough. A log-bucketed
+ * histogram view is provided for summary printing.
+ */
+
+#ifndef EQUINOX_STATS_HISTOGRAM_HH
+#define EQUINOX_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace equinox
+{
+namespace stats
+{
+
+/** Exact sample set with percentile queries. */
+class LatencyTracker
+{
+  public:
+    /** Record one latency sample (any consistent unit). */
+    void record(double sample);
+
+    /** Number of recorded samples. */
+    std::size_t count() const { return samples.size(); }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Smallest / largest sample; 0 when empty. */
+    double min() const;
+    double max() const;
+
+    /**
+     * Exact p-quantile via linear interpolation between order statistics.
+     * @param p in [0, 1]; e.g. 0.99 for the 99th percentile.
+     */
+    double percentile(double p) const;
+
+    /** Drop all samples. */
+    void reset();
+
+  private:
+    /** Sort the sample buffer if new samples arrived since the last sort. */
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples;
+    mutable bool sorted = true;
+    double sum = 0.0;
+};
+
+/** Fixed-width log-bucket histogram for summary output. */
+class LogHistogram
+{
+  public:
+    /**
+     * @param lo lower bound of the first bucket (must be > 0)
+     * @param hi upper bound of the last bucket
+     * @param buckets_per_decade resolution
+     */
+    LogHistogram(double lo, double hi, unsigned buckets_per_decade = 8);
+
+    void record(double sample);
+
+    std::size_t bucketCount() const { return counts.size(); }
+    std::uint64_t bucketValue(std::size_t i) const { return counts.at(i); }
+    /** Geometric midpoint of bucket i. */
+    double bucketMid(std::size_t i) const;
+    std::uint64_t underflows() const { return under; }
+    std::uint64_t overflows() const { return over; }
+
+  private:
+    double lo_;
+    double log_lo;
+    double bucket_width; // in log10 space
+    std::vector<std::uint64_t> counts;
+    std::uint64_t under = 0;
+    std::uint64_t over = 0;
+};
+
+} // namespace stats
+} // namespace equinox
+
+#endif // EQUINOX_STATS_HISTOGRAM_HH

@@ -1,0 +1,56 @@
+#include "stats/registry.hh"
+
+#include <ostream>
+
+#include "common/logging.hh"
+#include "stats/table.hh"
+
+namespace equinox
+{
+namespace stats
+{
+
+void
+StatRegistry::registerStat(const std::string &name, Getter getter,
+                           std::string description)
+{
+    EQX_ASSERT(getter, "stat '", name, "' registered without a getter");
+    entries[name] = Entry{std::move(getter), std::move(description)};
+}
+
+void
+StatRegistry::setValue(const std::string &name, double value,
+                       std::string description)
+{
+    registerStat(name, [value] { return value; },
+                 std::move(description));
+}
+
+double
+StatRegistry::value(const std::string &name) const
+{
+    auto it = entries.find(name);
+    if (it == entries.end())
+        EQX_FATAL("no statistic named '", name, "'");
+    return it->second.getter();
+}
+
+bool
+StatRegistry::contains(const std::string &name) const
+{
+    return entries.count(name) > 0;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    Table table({"stat", "value", "description"});
+    for (const auto &[name, entry] : entries) {
+        table.addRow({name, Table::num(entry.getter(), 4),
+                      entry.description});
+    }
+    table.print(os);
+}
+
+} // namespace stats
+} // namespace equinox

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A named-statistics registry: components register counters and scalar
+ * gauges under hierarchical names; dumps render as aligned tables (the
+ * gem5-style "stats dump" convenience for examples and debugging).
+ */
+
+#ifndef EQUINOX_STATS_REGISTRY_HH
+#define EQUINOX_STATS_REGISTRY_HH
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace equinox
+{
+namespace stats
+{
+
+/** Registry of named scalar statistics. */
+class StatRegistry
+{
+  public:
+    using Getter = std::function<double()>;
+
+    /**
+     * Register a live statistic under @p name (e.g. "mmu.busy_cycles").
+     * Re-registering a name replaces the previous entry.
+     */
+    void registerStat(const std::string &name, Getter getter,
+                      std::string description = "");
+
+    /** Record a fixed value (snapshot-style registration). */
+    void setValue(const std::string &name, double value,
+                  std::string description = "");
+
+    /** Current value of @p name; fatal when absent. */
+    double value(const std::string &name) const;
+
+    bool contains(const std::string &name) const;
+    std::size_t size() const { return entries.size(); }
+
+    /** Render all statistics, sorted by name, as an aligned table. */
+    void dump(std::ostream &os) const;
+
+    /** Remove everything. */
+    void clear() { entries.clear(); }
+
+  private:
+    struct Entry
+    {
+        Getter getter;
+        std::string description;
+    };
+    std::map<std::string, Entry> entries;
+};
+
+} // namespace stats
+} // namespace equinox
+
+#endif // EQUINOX_STATS_REGISTRY_HH

@@ -1,0 +1,82 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace stats
+{
+
+Table::Table(std::vector<std::string> column_headers)
+    : headers(std::move(column_headers))
+{
+    EQX_ASSERT(!headers.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    EQX_ASSERT(cells.size() == headers.size(),
+               "row width ", cells.size(), " != ", headers.size());
+    body.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    body.emplace_back();
+}
+
+std::string
+Table::num(double v, int digits)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(digits) << v;
+    return oss.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : body) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_sep = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << "+" << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            os << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+               << cell << " ";
+        }
+        os << "|\n";
+    };
+
+    print_sep();
+    print_row(headers);
+    print_sep();
+    for (const auto &row : body) {
+        if (row.empty())
+            print_sep();
+        else
+            print_row(row);
+    }
+    print_sep();
+}
+
+} // namespace stats
+} // namespace equinox

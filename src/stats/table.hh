@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text table formatting for benches and examples.
+ *
+ * Every experiment binary prints the rows/series its paper figure or table
+ * reports; this helper keeps the output aligned and consistent.
+ */
+
+#ifndef EQUINOX_STATS_TABLE_HH
+#define EQUINOX_STATS_TABLE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace equinox
+{
+namespace stats
+{
+
+/** A simple column-aligned text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> column_headers);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return body.size(); }
+
+    /** Format a double with @p digits decimals. */
+    static std::string num(double v, int digits = 2);
+
+  private:
+    std::vector<std::string> headers;
+    // empty vector encodes a separator row
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace stats
+} // namespace equinox
+
+#endif // EQUINOX_STATS_TABLE_HH

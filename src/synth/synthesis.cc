@@ -1,0 +1,211 @@
+#include "synth/synthesis.hh"
+
+#include "common/logging.hh"
+#include "model/cacti_lite.hh"
+
+namespace equinox
+{
+namespace synth
+{
+
+const ComponentEstimate &
+SynthesisReport::component(const std::string &name) const
+{
+    for (const auto &c : components) {
+        if (c.name == name)
+            return c;
+    }
+    EQX_FATAL("no component estimate named '", name, "'");
+}
+
+SynthesisReport
+synthesize(const sim::AcceleratorConfig &cfg, const model::TechParams &tp)
+{
+    model::CactiLite cacti;
+    SynthesisReport rep;
+
+    const double f = cfg.frequency_hz;
+    const double scale = tp.energyScaleAt(f);
+    const double fe = f * scale; // effective dynamic-energy frequency
+    const double bpv = tp.bytesPerValue(cfg.encoding);
+    const double alus = static_cast<double>(cfg.macsPerCycle());
+    const double n = cfg.n, m = cfg.m, w = cfg.w;
+
+    // -- MMU: the systolic arrays plus, for HBFP, per-array exponent
+    // adders and FIFOs (a small fixed fraction of the array).
+    {
+        double exp_logic = cfg.encoding == arith::Encoding::Hbfp8 ? 1.02
+                                                                  : 1.0;
+        ComponentEstimate c;
+        c.name = "MMU";
+        c.area_mm2 = alus * tp.aluArea(cfg.encoding) * exp_logic;
+        c.power_w = fe * alus * tp.aluEnergy(cfg.encoding) * exp_logic;
+        rep.components.push_back(c);
+    }
+
+    // -- DRAM interface: fixed HBM PHY estimates from Tran [33].
+    rep.components.push_back({"DRAM Interface", tp.a_dram, tp.p_dram});
+
+    // -- SIMD unit: bfloat16 lanes plus its register file.
+    {
+        ComponentEstimate c;
+        c.name = "SIMD Unit";
+        double lanes = cfg.simd_lanes;
+        double rf_area = cacti.areaMm2(cfg.simd_rf_bytes);
+        c.area_mm2 = lanes * tp.a_alu_bf16 + rf_area;
+        // Each lane op touches ~4 register-file bytes; the unit is
+        // active on the elementwise epilogue of every step.
+        double activity = 0.6;
+        c.power_w = fe * lanes * activity *
+                        (tp.e_alu_bf16 +
+                         4.0 * cacti.energyPerByte(cfg.simd_rf_bytes)) +
+                    cacti.leakageW(cfg.simd_rf_bytes);
+        rep.components.push_back(c);
+    }
+
+    // -- Weight buffer: per-bank reads feeding each systolic array.
+    {
+        ComponentEstimate c;
+        c.name = "Weight Buffer";
+        c.area_mm2 = cacti.areaMm2(cfg.weight_buffer_bytes);
+        double bytes_per_cycle = m * w * n * bpv;
+        c.power_w = fe * bytes_per_cycle *
+                        cacti.energyPerByte(cfg.weight_buffer_bytes /
+                                            std::max(1u, cfg.m)) +
+                    cacti.leakageW(cfg.weight_buffer_bytes);
+        rep.components.push_back(c);
+    }
+
+    // -- Activation buffer: broadcast reads plus SIMD writebacks.
+    {
+        ComponentEstimate c;
+        c.name = "Activation Buffer";
+        c.area_mm2 = cacti.areaMm2(cfg.act_buffer_bytes);
+        double bytes_per_cycle = (w * n + m * n) * bpv;
+        c.power_w = fe * bytes_per_cycle *
+                        cacti.energyPerByte(cfg.act_buffer_bytes / 16) +
+                    cacti.leakageW(cfg.act_buffer_bytes);
+        rep.components.push_back(c);
+    }
+
+    // -- Request dispatcher: context queues, batch-formation buffer and
+    // the request controller (Figure 5 top). Dominated by a few tens of
+    // KB of queue SRAM plus small control logic.
+    {
+        ComponentEstimate c;
+        c.name = "Request Dispatcher";
+        ByteCount queue_sram = 256 * 1024;
+        c.area_mm2 = cacti.areaMm2(queue_sram) + 0.35;
+        c.power_w = fe * 16.0 * cacti.energyPerByte(queue_sram) +
+                    cacti.leakageW(queue_sram) + 0.05;
+        rep.components.push_back(c);
+    }
+
+    // -- Instruction dispatcher: instruction buffer, decoder, completion
+    // unit (Figure 5 bottom).
+    {
+        ComponentEstimate c;
+        c.name = "Instruction Dispatcher";
+        c.area_mm2 = cacti.areaMm2(cfg.instr_buffer_bytes) + 0.40;
+        c.power_w = fe * 8.0 * cacti.energyPerByte(
+                                   cfg.instr_buffer_bytes) +
+                    cacti.leakageW(cfg.instr_buffer_bytes) + 0.08;
+        rep.components.push_back(c);
+    }
+
+    // -- Others: im2col unit, on-chip interconnect/ring, clocking, host
+    // PHY -- a small fixed remainder, as in Table 3.
+    {
+        double partial_area = 0.0, partial_power = 0.0;
+        for (const auto &c : rep.components) {
+            partial_area += c.area_mm2;
+            partial_power += c.power_w;
+        }
+        rep.components.push_back(
+            {"Others", 0.022 * partial_area, 0.05 * partial_power});
+    }
+
+    for (const auto &c : rep.components) {
+        rep.total_area += c.area_mm2;
+        rep.total_power += c.power_w;
+    }
+
+    double ctrl_area = rep.component("Request Dispatcher").area_mm2 +
+                       rep.component("Instruction Dispatcher").area_mm2;
+    double ctrl_power = rep.component("Request Dispatcher").power_w +
+                        rep.component("Instruction Dispatcher").power_w;
+    rep.controller_area_frac = ctrl_area / rep.total_area;
+    rep.controller_power_frac = ctrl_power / rep.total_power;
+    rep.encoding_area_frac =
+        rep.component("SIMD Unit").area_mm2 / rep.total_area;
+    rep.encoding_power_frac =
+        rep.component("SIMD Unit").power_w / rep.total_power;
+    return rep;
+}
+
+} // namespace synth
+} // namespace equinox
+
+namespace equinox
+{
+namespace synth
+{
+
+EnergyReport
+estimateEnergy(const sim::AcceleratorConfig &cfg,
+               const sim::SimResult &result,
+               const model::TechParams &tp)
+{
+    model::CactiLite cacti;
+    EnergyReport rep;
+
+    const double scale = tp.energyScaleAt(cfg.frequency_hz);
+    const double bpv = tp.bytesPerValue(cfg.encoding);
+    const double elapsed = result.sim_seconds;
+    if (elapsed <= 0.0)
+        return rep;
+
+    // MMU: every busy cycle clocks all m*n^2*w MACs.
+    rep.alu_j = result.mmu_busy_cycles *
+                static_cast<double>(cfg.macsPerCycle()) *
+                tp.aluEnergy(cfg.encoding) * scale;
+
+    // On-chip buffers: Eq. 2's per-cycle traffic (wn + mwn + mn values)
+    // on busy cycles.
+    double traffic_bytes =
+        (static_cast<double>(cfg.w) * cfg.n +
+         static_cast<double>(cfg.m) * cfg.w * cfg.n +
+         static_cast<double>(cfg.m) * cfg.n) * bpv;
+    rep.sram_j = result.mmu_busy_cycles * traffic_bytes *
+                 tp.e_sram_byte * scale;
+
+    // SIMD unit: all lanes plus ~4 register-file bytes per lane-op.
+    rep.simd_j = result.simd_busy_cycles *
+                 static_cast<double>(cfg.simd_lanes) *
+                 (tp.e_alu_bf16 +
+                  4.0 * cacti.energyPerByte(cfg.simd_rf_bytes)) *
+                 scale;
+
+    // DRAM interface power is provisioned for the full stack (Eq. 2
+    // treats it as constant); leakage likewise.
+    rep.dram_j = tp.p_dram * elapsed;
+    rep.static_j = tp.sramStaticPower() * elapsed;
+
+    rep.total_j = rep.alu_j + rep.sram_j + rep.simd_j + rep.dram_j +
+                  rep.static_j;
+    rep.avg_power_w = rep.total_j / elapsed;
+
+    double useful_ops = (result.inference_throughput_ops +
+                         result.training_throughput_ops) * elapsed;
+    if (useful_ops > 0.0) {
+        rep.j_per_op = rep.total_j / useful_ops;
+        rep.pj_per_op = rep.j_per_op * 1e12;
+    }
+    double dynamic = rep.alu_j + rep.sram_j + rep.simd_j + rep.dram_j;
+    if (dynamic > 0.0)
+        rep.data_movement_frac = (rep.sram_j + rep.dram_j) / dynamic;
+    return rep;
+}
+
+} // namespace synth
+} // namespace equinox

@@ -1,0 +1,156 @@
+#include "workload/dnn_model.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace workload
+{
+
+namespace
+{
+
+/** Total gates of an RNN spec. */
+unsigned
+totalGates(const RnnSpec &rnn)
+{
+    unsigned g = 0;
+    for (unsigned v : rnn.gate_groups)
+        g += v;
+    return g;
+}
+
+} // namespace
+
+std::uint64_t
+DnnModel::paramCount() const
+{
+    if (kind == Kind::Rnn) {
+        return static_cast<std::uint64_t>(totalGates(rnn)) * rnn.hidden *
+               rnn.hidden;
+    }
+    if (kind == Kind::Mlp) {
+        std::uint64_t params = 0;
+        for (std::size_t i = 0; i + 1 < mlp.dims.size(); ++i)
+            params += static_cast<std::uint64_t>(mlp.dims[i]) *
+                      mlp.dims[i + 1];
+        return params;
+    }
+    std::uint64_t params = 0;
+    for (const auto &l : cnn.layers)
+        params += static_cast<std::uint64_t>(l.gemmK()) * l.c_out;
+    params += static_cast<std::uint64_t>(cnn.classifier_in) *
+              cnn.classifier_out;
+    return params;
+}
+
+std::uint64_t
+DnnModel::macsPerRequest() const
+{
+    if (kind == Kind::Rnn) {
+        // One H x H GEMM per gate per step per request.
+        return static_cast<std::uint64_t>(totalGates(rnn)) * rnn.hidden *
+               rnn.hidden * rnn.steps;
+    }
+    if (kind == Kind::Mlp) {
+        // One dense GEMM row per layer per request.
+        return paramCount();
+    }
+    std::uint64_t macs = 0;
+    for (const auto &l : cnn.layers)
+        macs += l.macsPerImage();
+    macs += static_cast<std::uint64_t>(cnn.classifier_in) *
+            cnn.classifier_out;
+    return macs;
+}
+
+DnnModel
+DnnModel::lstm2048()
+{
+    DnnModel model;
+    model.name = "LSTM";
+    model.kind = Kind::Rnn;
+    model.rnn.hidden = 2048;
+    model.rnn.steps = 25;
+    model.rnn.gate_groups = {4};
+    model.rnn.simd_passes = 8.0;
+    return model;
+}
+
+DnnModel
+DnnModel::gru2816()
+{
+    DnnModel model;
+    model.name = "GRU";
+    model.kind = Kind::Rnn;
+    model.rnn.hidden = 2816;
+    model.rnn.steps = 1500;
+    // Update and reset gates issue together; the candidate depends on
+    // r (.) h and serialises behind them.
+    model.rnn.gate_groups = {2, 1};
+    model.rnn.simd_passes = 7.0;
+    return model;
+}
+
+DnnModel
+DnnModel::resnet50(std::size_t batch_images)
+{
+    DnnModel model;
+    model.name = "Resnet50";
+    model.kind = Kind::Cnn;
+    model.cnn.batch_images = batch_images;
+    auto &layers = model.cnn.layers;
+
+    // conv1: 7x7, 64, stride 2 (224 -> 112), then 3x3 max pool to 56.
+    layers.push_back({3, 64, 7, 112, 112, 2});
+
+    struct Stage
+    {
+        std::size_t planes;
+        std::size_t blocks;
+        std::size_t size; // output spatial side
+    };
+    const Stage stages[] = {
+        {64, 3, 56}, {128, 4, 28}, {256, 6, 14}, {512, 3, 7}};
+
+    std::size_t c_in = 64;
+    for (const auto &st : stages) {
+        for (std::size_t b = 0; b < st.blocks; ++b) {
+            std::size_t stride = (b == 0 && st.planes != 64) ? 2 : 1;
+            // Bottleneck: 1x1 reduce, 3x3, 1x1 expand.
+            layers.push_back({c_in, st.planes, 1, st.size, st.size,
+                              stride});
+            layers.push_back({st.planes, st.planes, 3, st.size, st.size,
+                              1});
+            layers.push_back({st.planes, st.planes * 4, 1, st.size,
+                              st.size, 1});
+            if (b == 0) {
+                // Projection shortcut.
+                layers.push_back({c_in, st.planes * 4, 1, st.size,
+                                  st.size, stride});
+            }
+            c_in = st.planes * 4;
+        }
+    }
+
+    model.cnn.classifier_in = 2048;
+    model.cnn.classifier_out = 1000;
+    model.cnn.simd_passes = 3.0;
+    return model;
+}
+
+DnnModel
+DnnModel::mlp4096()
+{
+    DnnModel model;
+    model.name = "MLP";
+    model.kind = Kind::Mlp;
+    model.mlp.dims = {1024, 4096, 4096, 4096, 1024};
+    model.mlp.simd_passes = 2.0;
+    return model;
+}
+
+} // namespace workload
+} // namespace equinox

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The evaluation workloads (section 5): a machine-translation LSTM with
+ * 2048 hidden units and 25 steps, a speech-recognition GRU with 2816
+ * hidden units and 1500 time steps (both from DeepBench), and ResNet50.
+ *
+ * Ops convention: the paper's LSTM service times are consistent with
+ * counting the four gate GEMMs once per time step (~8 H^2 MACs per step
+ * per request, 2 ops per MAC); we adopt the same convention and document
+ * it in EXPERIMENTS.md.
+ */
+
+#ifndef EQUINOX_WORKLOAD_DNN_MODEL_HH
+#define EQUINOX_WORKLOAD_DNN_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace equinox
+{
+namespace workload
+{
+
+/** A recurrent model described by its per-step gate structure. */
+struct RnnSpec
+{
+    std::size_t hidden = 0;
+    std::size_t steps = 0;
+    /**
+     * Dependence groups per time step: each entry is the number of gate
+     * GEMMs that can issue together; groups serialise through the SIMD
+     * unit. LSTM: {4}. GRU: {2, 1} (update/reset gates, then the
+     * candidate which depends on r (.) h).
+     */
+    std::vector<unsigned> gate_groups;
+    /** Elementwise SIMD passes per element per step (gates + state). */
+    double simd_passes = 8.0;
+};
+
+/** One convolution layer, described post-im2col. */
+struct ConvLayerSpec
+{
+    std::size_t c_in = 0;
+    std::size_t c_out = 0;
+    std::size_t kernel = 1; //!< square kernel side
+    std::size_t out_h = 0;
+    std::size_t out_w = 0;
+    std::size_t stride = 1;
+
+    /** im2col inner dimension: kernel^2 * c_in. */
+    std::size_t gemmK() const { return kernel * kernel * c_in; }
+    /** Output rows per image: out_h * out_w. */
+    std::size_t rowsPerImage() const { return out_h * out_w; }
+    /** MACs per image. */
+    std::uint64_t macsPerImage() const
+    {
+        return static_cast<std::uint64_t>(rowsPerImage()) * gemmK() *
+               c_out;
+    }
+};
+
+/** A convolutional model: conv stack plus a final classifier GEMM. */
+struct CnnSpec
+{
+    std::vector<ConvLayerSpec> layers;
+    std::size_t classifier_in = 0;
+    std::size_t classifier_out = 0;
+    /** Elementwise SIMD passes per output element (BN + ReLU + ...). */
+    double simd_passes = 3.0;
+    /** Images batched into one inference job. */
+    std::size_t batch_images = 8;
+    /** Input bytes per image (224x224x3 at one byte). */
+    ByteCount input_bytes = 224 * 224 * 3;
+};
+
+/** A feed-forward (MLP) model: a chain of dense layers. */
+struct MlpSpec
+{
+    /** Layer widths including input and output. */
+    std::vector<std::size_t> dims;
+    /** Elementwise SIMD passes per hidden element (act + bias). */
+    double simd_passes = 2.0;
+};
+
+/** A workload model: recurrent, convolutional, or feed-forward. */
+struct DnnModel
+{
+    enum class Kind
+    {
+        Rnn,
+        Cnn,
+        Mlp,
+    };
+
+    std::string name;
+    Kind kind = Kind::Rnn;
+    RnnSpec rnn;
+    CnnSpec cnn;
+    MlpSpec mlp;
+
+    /** Parameter count (for footprints and parameter-server traffic). */
+    std::uint64_t paramCount() const;
+
+    /** MACs per inference request under the documented convention. */
+    std::uint64_t macsPerRequest() const;
+
+    /** Ops (2 x MACs) per inference request. */
+    double opsPerRequest() const { return 2.0 * static_cast<double>(
+        macsPerRequest()); }
+
+    // Factory functions for the paper's three workloads.
+    static DnnModel lstm2048();
+    static DnnModel gru2816();
+    static DnnModel resnet50(std::size_t batch_images = 8);
+
+    /**
+     * A datacenter recommendation/ranking-style MLP (the third service
+     * family the paper's ISA targets alongside RNNs and CNNs).
+     */
+    static DnnModel mlp4096();
+};
+
+} // namespace workload
+} // namespace equinox
+
+#endif // EQUINOX_WORKLOAD_DNN_MODEL_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit and property tests for the software bfloat16 implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "arith/bfloat16.hh"
+#include "common/random.hh"
+
+namespace equinox
+{
+namespace arith
+{
+namespace
+{
+
+TEST(Bfloat16, ExactSmallIntegers)
+{
+    // Integers up to 256 have <= 8 significant bits and round exactly.
+    for (int i = -256; i <= 256; ++i) {
+        Bfloat16 b(static_cast<float>(i));
+        EXPECT_EQ(b.toFloat(), static_cast<float>(i)) << "i=" << i;
+    }
+}
+
+TEST(Bfloat16, PowersOfTwoExact)
+{
+    for (int e = -100; e <= 100; ++e) {
+        float v = std::ldexp(1.0f, e);
+        EXPECT_EQ(Bfloat16(v).toFloat(), v) << "e=" << e;
+    }
+}
+
+TEST(Bfloat16, RelativeErrorBound)
+{
+    // bfloat16 has 8 significand bits -> relative error <= 2^-8.
+    Rng rng(17);
+    for (int i = 0; i < 100000; ++i) {
+        float v = static_cast<float>(rng.normal(0.0, 100.0));
+        if (v == 0.0f)
+            continue;
+        float r = roundToBf16(v);
+        EXPECT_LE(std::abs(r - v) / std::abs(v), 1.0 / 256.0) << v;
+    }
+}
+
+TEST(Bfloat16, RoundToNearestEvenTies)
+{
+    // 1 + 2^-8 is exactly halfway between 1.0 and the next bf16 value
+    // (1 + 2^-7); RNE picks the even mantissa, i.e. 1.0.
+    float halfway = 1.0f + std::ldexp(1.0f, -8);
+    EXPECT_EQ(roundToBf16(halfway), 1.0f);
+    // 1 + 3*2^-8 is halfway between 1+2^-7 and 1+2^-6; RNE picks 1+2^-6.
+    float halfway2 = 1.0f + 3.0f * std::ldexp(1.0f, -8);
+    EXPECT_EQ(roundToBf16(halfway2), 1.0f + std::ldexp(1.0f, -6));
+}
+
+TEST(Bfloat16, RoundingIsMonotone)
+{
+    Rng rng(23);
+    for (int i = 0; i < 50000; ++i) {
+        float a = static_cast<float>(rng.normal(0.0, 10.0));
+        float b = static_cast<float>(rng.normal(0.0, 10.0));
+        if (a > b)
+            std::swap(a, b);
+        EXPECT_LE(roundToBf16(a), roundToBf16(b));
+    }
+}
+
+TEST(Bfloat16, IdempotentRounding)
+{
+    Rng rng(29);
+    for (int i = 0; i < 10000; ++i) {
+        float v = static_cast<float>(rng.normal(0.0, 1.0));
+        float once = roundToBf16(v);
+        EXPECT_EQ(roundToBf16(once), once);
+    }
+}
+
+TEST(Bfloat16, SpecialValues)
+{
+    float inf = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(Bfloat16(inf).toFloat(), inf);
+    EXPECT_EQ(Bfloat16(-inf).toFloat(), -inf);
+    EXPECT_TRUE(std::isnan(Bfloat16(std::nanf("")).toFloat()));
+    EXPECT_EQ(Bfloat16(0.0f).toFloat(), 0.0f);
+    // Signed zero preserved.
+    EXPECT_TRUE(std::signbit(Bfloat16(-0.0f).toFloat()));
+}
+
+TEST(Bfloat16, LargeFiniteRoundsToInfinity)
+{
+    // Values above the bf16 max finite (~3.39e38) overflow on rounding.
+    float huge = 3.4e38f;
+    float r = roundToBf16(huge);
+    EXPECT_TRUE(std::isinf(r) || r >= 3.3e38f);
+}
+
+TEST(Bfloat16, ArithmeticRoundsResults)
+{
+    Bfloat16 a(1.0f), b(std::ldexp(1.0f, -9));
+    // 1 + 2^-9 rounds back to 1 in bf16.
+    EXPECT_EQ((a + b).toFloat(), 1.0f);
+    Bfloat16 c(3.0f), d(2.0f);
+    EXPECT_EQ((c * d).toFloat(), 6.0f);
+    EXPECT_EQ((c - d).toFloat(), 1.0f);
+    EXPECT_EQ((c / d).toFloat(), 1.5f);
+    EXPECT_EQ((-c).toFloat(), -3.0f);
+}
+
+TEST(Bfloat16, BitsRoundTrip)
+{
+    Rng rng(31);
+    for (int i = 0; i < 10000; ++i) {
+        float v = static_cast<float>(rng.normal(0.0, 5.0));
+        Bfloat16 b(v);
+        EXPECT_EQ(Bfloat16::fromBits(b.bits()).toFloat(), b.toFloat());
+    }
+}
+
+} // namespace
+} // namespace arith
+} // namespace equinox

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the banked SRAM buffers and their space sharing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/buffer.hh"
+
+namespace equinox
+{
+namespace sim
+{
+namespace
+{
+
+TEST(SramBuffer, AllocateAndRelease)
+{
+    SramBuffer buf("test", 1000, 4, 1, 1);
+    EXPECT_EQ(buf.capacity(), 1000u);
+    EXPECT_TRUE(buf.allocate(0, 600));
+    EXPECT_EQ(buf.available(), 400u);
+    EXPECT_TRUE(buf.allocate(1, 400));
+    EXPECT_EQ(buf.available(), 0u);
+    EXPECT_FALSE(buf.allocate(2, 1));
+    buf.release(0);
+    EXPECT_EQ(buf.available(), 600u);
+    EXPECT_TRUE(buf.allocate(2, 500));
+    EXPECT_EQ(buf.allocationOf(2), 500u);
+    EXPECT_EQ(buf.allocationOf(0), 0u);
+}
+
+TEST(SramBuffer, ReleaseIsIdempotent)
+{
+    SramBuffer buf("test", 100, 1, 1, 1);
+    EXPECT_TRUE(buf.allocate(7, 50));
+    buf.release(7);
+    buf.release(7);
+    EXPECT_EQ(buf.available(), 100u);
+}
+
+TEST(SramBuffer, RejectsOversizedAllocation)
+{
+    SramBuffer buf("test", 100, 1, 1, 1);
+    EXPECT_FALSE(buf.allocate(0, 101));
+    EXPECT_TRUE(buf.allocate(0, 100));
+}
+
+TEST(SramBuffer, ContentionWithinPortsIsFree)
+{
+    SramBuffer buf("test", 100, 4, 2, 1);
+    EXPECT_EQ(buf.contentionCycles(2, 1, 1000), 0u);
+    EXPECT_EQ(buf.contentionCycles(1, 0, 1000), 0u);
+}
+
+TEST(SramBuffer, ContentionStretchesOverlap)
+{
+    SramBuffer buf("test", 100, 4, 1, 1);
+    // Two read streams on one read port: overlap doubles.
+    EXPECT_EQ(buf.contentionCycles(2, 0, 1000), 1000u);
+    // Three writers on one write port: +2x.
+    EXPECT_EQ(buf.contentionCycles(1, 3, 600), 1200u);
+}
+
+TEST(SramBufferDeath, DoubleAllocatePanics)
+{
+    SramBuffer buf("test", 100, 1, 1, 1);
+    EXPECT_TRUE(buf.allocate(0, 10));
+    EXPECT_DEATH(buf.allocate(0, 10), "already holds space");
+}
+
+} // namespace
+} // namespace sim
+} // namespace equinox

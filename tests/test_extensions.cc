@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the extension features: bursty arrivals, multi-tenant
+ * inference contexts, configurable training lowering, and staging-buffer
+ * degradation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "sim/accelerator.hh"
+#include "workload/compiler.hh"
+#include "workload/dnn_model.hh"
+
+namespace equinox
+{
+namespace sim
+{
+namespace
+{
+
+AcceleratorConfig
+smallConfig()
+{
+    AcceleratorConfig cfg;
+    cfg.name = "test";
+    cfg.n = 8;
+    cfg.m = 2;
+    cfg.w = 2;
+    cfg.frequency_hz = units::MHz(100);
+    cfg.simd_lanes = 256;
+    return cfg;
+}
+
+workload::DnnModel
+tinyRnn(std::size_t hidden = 64)
+{
+    workload::DnnModel model;
+    model.name = "tiny";
+    model.kind = workload::DnnModel::Kind::Rnn;
+    model.rnn.hidden = hidden;
+    model.rnn.steps = 4;
+    model.rnn.gate_groups = {2};
+    model.rnn.simd_passes = 4.0;
+    return model;
+}
+
+TEST(BurstyArrivals, DeliversTheConfiguredMeanRate)
+{
+    auto cfg = smallConfig();
+    workload::Compiler compiler(cfg);
+    Accelerator accel(cfg);
+    accel.installInference(compiler.compileInference(tinyRnn()));
+
+    RunSpec spec;
+    spec.arrival_rate_per_s = 0.4 * accel.maxRequestRate();
+    spec.arrival_process = ArrivalProcess::Bursty;
+    spec.burst_factor = 4.0;
+    spec.burst_period_s = 1e-3;
+    spec.warmup_requests = 100;
+    spec.measure_requests = 3000;
+    auto res = accel.run(spec);
+
+    double offered = 0.4 * accel.maxInferenceOpRate();
+    EXPECT_NEAR(res.inference_throughput_ops / offered, 1.0, 0.12);
+}
+
+TEST(BurstyArrivals, WorseTailThanPoissonAtEqualMeanLoad)
+{
+    auto cfg = smallConfig();
+    workload::Compiler compiler(cfg);
+    auto p99_of = [&](ArrivalProcess process) {
+        Accelerator accel(cfg);
+        accel.installInference(compiler.compileInference(tinyRnn()));
+        RunSpec spec;
+        spec.arrival_rate_per_s = 0.6 * accel.maxRequestRate();
+        spec.arrival_process = process;
+        spec.burst_factor = 6.0;
+        spec.burst_period_s = 2e-3;
+        spec.warmup_requests = 100;
+        spec.measure_requests = 3000;
+        return accel.run(spec).p99_latency_s;
+    };
+    EXPECT_GT(p99_of(ArrivalProcess::Bursty),
+              p99_of(ArrivalProcess::Poisson));
+}
+
+TEST(MultiTenant, TwoServicesShareTheArray)
+{
+    auto cfg = smallConfig();
+    workload::Compiler compiler(cfg);
+    Accelerator accel(cfg);
+    accel.installInference(compiler.compileInference(tinyRnn(64)));
+    accel.installInference(compiler.compileInference(tinyRnn(48)));
+
+    RunSpec spec;
+    spec.arrival_rates = {0.25 * accel.maxRequestRate(0),
+                          0.25 * accel.maxRequestRate(1)};
+    spec.warmup_requests = 200;
+    spec.measure_requests = 3000;
+    auto res = accel.run(spec);
+
+    double offered = 0.25 * accel.maxInferenceOpRate(0) +
+                     0.25 * accel.maxInferenceOpRate(1);
+    EXPECT_NEAR(res.inference_throughput_ops / offered, 1.0, 0.1);
+    EXPECT_GT(res.batches_formed, 0u);
+}
+
+TEST(MultiTenant, PerContextBufferSpaceIsExclusive)
+{
+    auto cfg = smallConfig();
+    cfg.weight_buffer_bytes = 64 * 1024; // fits one tiny model, not two
+    workload::Compiler compiler(cfg);
+    auto svc = compiler.compileInference(tinyRnn(128));
+    ASSERT_GT(svc.weight_footprint, 32u * 1024);
+    EXPECT_DEATH(
+        {
+            Accelerator accel(cfg);
+            workload::Compiler c2(cfg);
+            accel.installInference(c2.compileInference(tinyRnn(128)));
+            accel.installInference(c2.compileInference(tinyRnn(128)));
+        },
+        "exceed the weight buffer");
+}
+
+TEST(TrainingOptions, GradWindowCutsDramTraffic)
+{
+    workload::Compiler compiler(smallConfig());
+    auto bytes_with = [&](std::size_t window) {
+        workload::TrainingCompileOptions topts;
+        topts.grad_window = window;
+        auto t = compiler.compileTraining(tinyRnn(), 16, topts);
+        double b = 0.0;
+        for (const auto &s : t.iteration.steps)
+            b += static_cast<double>(s.mmu.stream_bytes + s.store_bytes);
+        return b;
+    };
+    double w1 = bytes_with(1);
+    double w2 = bytes_with(2);
+    double w4 = bytes_with(4);
+    EXPECT_GT(w1, w2);
+    EXPECT_GT(w2, w4);
+}
+
+TEST(TrainingOptions, GradWindowShrinksWgradStepCount)
+{
+    workload::Compiler compiler(smallConfig());
+    auto steps_with = [&](std::size_t window) {
+        workload::TrainingCompileOptions topts;
+        topts.grad_window = window;
+        return compiler.compileTraining(tinyRnn(), 16, topts)
+            .iteration.steps.size();
+    };
+    // tinyRnn has 4 steps with one group: fwd 4 + dgrad 4 + wgrad
+    // ceil(4/window).
+    EXPECT_EQ(steps_with(1), 4u + 4 + 4);
+    EXPECT_EQ(steps_with(2), 4u + 4 + 2);
+    EXPECT_EQ(steps_with(4), 4u + 4 + 1);
+}
+
+TEST(TrainingOptions, AccumulatorPrecisionScalesGradientBytes)
+{
+    workload::Compiler compiler(smallConfig());
+    auto store_bytes = [&](double acc) {
+        workload::TrainingCompileOptions topts;
+        topts.grad_acc_bytes = acc;
+        auto t = compiler.compileTraining(tinyRnn(), 16, topts);
+        ByteCount b = 0;
+        for (const auto &s : t.iteration.steps)
+            b += s.store_bytes;
+        return b;
+    };
+    // Store traffic is gradient-dominated in this tiny model, so fp32
+    // accumulators roughly double the bf16 stores.
+    double ratio = static_cast<double>(store_bytes(4.0)) /
+                   static_cast<double>(store_bytes(2.0));
+    EXPECT_GT(ratio, 1.4);
+    EXPECT_LT(ratio, 2.1);
+}
+
+TEST(TrainingOptions, WindowOpsAreConserved)
+{
+    workload::Compiler compiler(smallConfig());
+    workload::TrainingCompileOptions w1, w4;
+    w1.grad_window = 1;
+    w4.grad_window = 4;
+    auto a = compiler.compileTraining(tinyRnn(), 16, w1);
+    auto b = compiler.compileTraining(tinyRnn(), 16, w4);
+    EXPECT_EQ(a.iteration.totalRealOps(), b.iteration.totalRealOps());
+}
+
+TEST(TrainingOptionsDeath, ZeroWindowIsFatal)
+{
+    workload::Compiler compiler(smallConfig());
+    workload::TrainingCompileOptions topts;
+    topts.grad_window = 0;
+    EXPECT_DEATH(compiler.compileTraining(tinyRnn(), 16, topts),
+                 "gradient window");
+}
+
+TEST(StagingBuffer, TinyStagingDegradesWithoutHanging)
+{
+    auto cfg = smallConfig();
+    cfg.train_staging_frac = 0.0002; // a few KiB
+    workload::Compiler compiler(cfg);
+    Accelerator accel(cfg);
+    accel.installInference(compiler.compileInference(tinyRnn()));
+    accel.installTraining(compiler.compileTraining(tinyRnn(), 16));
+    RunSpec spec;
+    spec.arrival_rate_per_s = 0.0;
+    spec.measure_iterations = 3;
+    spec.max_sim_s = 0.2; // bail out quickly if starved
+    auto res = accel.run(spec);
+    // Either it limps along in sub-chunk transfers or it cannot hold one
+    // tile's operands and stalls -- but the run must terminate.
+    EXPECT_LE(res.training_iterations, 3u);
+}
+
+TEST(StagingBuffer, LargerStagingNeverHurtsTraining)
+{
+    auto cfg = smallConfig();
+    workload::Compiler compiler(cfg);
+    double prev = -1.0;
+    for (double frac : {0.01, 0.02, 0.08}) {
+        auto c = cfg;
+        c.train_staging_frac = frac;
+        workload::Compiler comp(c);
+        Accelerator accel(c);
+        accel.installInference(comp.compileInference(tinyRnn()));
+        accel.installTraining(comp.compileTraining(tinyRnn(), 16));
+        RunSpec spec;
+        spec.arrival_rate_per_s = 0.0;
+        spec.measure_iterations = 20;
+        auto res = accel.run(spec);
+        EXPECT_GE(res.training_throughput_ops, prev * 0.98)
+            << "frac " << frac;
+        prev = res.training_throughput_ops;
+    }
+}
+
+} // namespace
+} // namespace sim
+} // namespace equinox
+
+// Appended: per-service latency reporting.
+
+namespace equinox
+{
+namespace sim
+{
+namespace
+{
+
+TEST(PerServiceStats, SplitsLatenciesByContext)
+{
+    auto cfg = smallConfig();
+    workload::Compiler compiler(cfg);
+    Accelerator accel(cfg);
+    // A fast service and a slow one (4x the steps).
+    auto slow = tinyRnn();
+    slow.rnn.steps = 16;
+    slow.name = "slow";
+    accel.installInference(compiler.compileInference(tinyRnn()));
+    accel.installInference(compiler.compileInference(slow));
+
+    RunSpec spec;
+    spec.arrival_rates = {0.3 * accel.maxRequestRate(0),
+                          0.3 * accel.maxRequestRate(1)};
+    spec.warmup_requests = 200;
+    spec.measure_requests = 3000;
+    auto res = accel.run(spec);
+
+    ASSERT_EQ(res.per_service.size(), 2u);
+    EXPECT_GT(res.per_service[0].completed, 0u);
+    EXPECT_GT(res.per_service[1].completed, 0u);
+    EXPECT_EQ(res.per_service[0].completed +
+                  res.per_service[1].completed,
+              res.completed_requests);
+    // The slow service's latency dominates.
+    EXPECT_GT(res.per_service[1].mean_latency_s,
+              res.per_service[0].mean_latency_s);
+    // The combined p99 brackets the per-service ones.
+    EXPECT_GE(res.max_latency_s, res.per_service[1].p99_latency_s * 0.99);
+}
+
+} // namespace
+} // namespace sim
+} // namespace equinox

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * End-to-end integration tests on the real Equinox presets: the headline
+ * behaviours every figure relies on, run at reduced statistical sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/equinox.hh"
+
+namespace equinox
+{
+namespace core
+{
+namespace
+{
+
+ExperimentOptions
+fastOptions()
+{
+    ExperimentOptions opts;
+    opts.warmup_requests = 150;
+    opts.measure_requests = 1200;
+    opts.measure_iterations = 8;
+    return opts;
+}
+
+TEST(Presets, FamilyOrdering)
+{
+    // Throughput grows and latency grows across the constraint family.
+    double prev_tput = 0.0;
+    double prev_lat = 0.0;
+    for (auto p : allPresets()) {
+        auto d = presetDesign(p, arith::Encoding::Hbfp8);
+        EXPECT_GE(d.throughput_ops, prev_tput) << presetName(p);
+        EXPECT_GE(d.service_time_s, prev_lat) << presetName(p);
+        prev_tput = d.throughput_ops;
+        prev_lat = d.service_time_s;
+    }
+}
+
+TEST(Presets, NamesAndConfigs)
+{
+    auto cfg = presetConfig(Preset::Us500);
+    EXPECT_EQ(cfg.name, "Equinox_500us");
+    EXPECT_EQ(cfg.encoding, arith::Encoding::Hbfp8);
+    EXPECT_GT(cfg.peakOpRate(), 300e12);
+}
+
+TEST(Integration, LstmSaturationNearPaperTable2)
+{
+    auto cfg = presetConfig(Preset::Us500);
+    double sat = saturationOpRate(cfg, workload::DnnModel::lstm2048());
+    EXPECT_NEAR(sat / 1e12, 319.0, 15.0); // Table 2: 319 TOp/s
+}
+
+TEST(Integration, LatencyTargetIsTenTimesServiceTime)
+{
+    auto cfg = presetConfig(Preset::Us500);
+    double target = latencyTargetSeconds(cfg,
+                                         workload::DnnModel::lstm2048());
+    EXPECT_NEAR(target * 1e3, 4.1, 0.8); // ~10 x 0.41 ms
+}
+
+TEST(Integration, SubcriticalLoadIsDelivered)
+{
+    auto cfg = presetConfig(Preset::Us500);
+    auto r = runAtLoad(cfg, 0.5, fastOptions());
+    EXPECT_NEAR(r.inference_tops / (0.5 * r.max_inference_tops), 1.0,
+                0.07);
+    EXPECT_GT(r.p99_ms, r.service_time_ms);
+    EXPECT_LT(r.p99_ms, 5.0); // within the paper's SLO
+}
+
+TEST(Integration, RelaxedDesignsDeliverMoreThroughput)
+{
+    // The abstract's claim: the 500us design delivers ~6.7x the
+    // latency-optimal design's throughput.
+    auto min_cfg = presetConfig(Preset::Min);
+    auto us500_cfg = presetConfig(Preset::Us500);
+    double min_sat = saturationOpRate(min_cfg,
+                                      workload::DnnModel::lstm2048());
+    double us500_sat = saturationOpRate(us500_cfg,
+                                        workload::DnnModel::lstm2048());
+    EXPECT_NEAR(us500_sat / min_sat, 6.0, 1.5);
+}
+
+TEST(Integration, TrainingPiggybacksWithoutHurtingInference)
+{
+    auto cfg = presetConfig(Preset::Us500);
+    auto opts = fastOptions();
+    auto inf_only = runAtLoad(cfg, 0.7, opts);
+    opts.train_model = workload::DnnModel::lstm2048();
+    auto both = runAtLoad(cfg, 0.7, opts);
+    EXPECT_NEAR(both.inference_tops / inf_only.inference_tops, 1.0,
+                0.08);
+    EXPECT_GT(both.training_tops, 20.0);
+    // Latency overhead exists but stays within the SLO.
+    double target_ms =
+        latencyTargetSeconds(cfg, workload::DnnModel::lstm2048()) * 1e3;
+    EXPECT_LT(both.p99_ms, target_ms);
+}
+
+TEST(Integration, TrainingCapIsDramBound)
+{
+    // Training alone saturates near the DRAM-bandwidth bound (~107
+    // TOp/s in the paper, ~100-120 here).
+    auto cfg = presetConfig(Preset::None);
+    auto opts = fastOptions();
+    opts.train_model = workload::DnnModel::lstm2048();
+    auto r = runAtLoad(cfg, 0.0, opts);
+    EXPECT_GT(r.training_tops, 85.0);
+    EXPECT_LT(r.training_tops, 130.0);
+}
+
+TEST(Integration, MinPresetTrainsPoorly)
+{
+    // Figure 9: the latency-optimal design reaches only ~19% of the
+    // maximum training throughput.
+    auto opts = fastOptions();
+    opts.train_model = workload::DnnModel::lstm2048();
+    auto min_r = runAtLoad(presetConfig(Preset::Min), 0.6, opts);
+    auto relaxed_r = runAtLoad(presetConfig(Preset::Us500), 0.6, opts);
+    EXPECT_LT(min_r.training_tops, 0.45 * relaxed_r.training_tops);
+}
+
+TEST(Integration, BreakdownAt95PercentIsSaturated)
+{
+    auto cfg = presetConfig(Preset::Us500);
+    auto r = runAtLoad(cfg, 0.95, fastOptions());
+    using stats::CycleClass;
+    EXPECT_GT(r.sim.mmu_breakdown.fraction(CycleClass::Working), 0.6);
+    EXPECT_LT(r.sim.mmu_breakdown.fraction(CycleClass::Idle), 0.1);
+}
+
+TEST(Integration, Bfloat16PresetIsMuchSlower)
+{
+    auto h = presetConfig(Preset::Us500, arith::Encoding::Hbfp8);
+    auto b = presetConfig(Preset::Us500, arith::Encoding::Bfloat16);
+    double hs = saturationOpRate(h, workload::DnnModel::lstm2048());
+    double bs = saturationOpRate(b, workload::DnnModel::lstm2048());
+    EXPECT_GT(hs / bs, 4.0); // paper: up to 5.15x
+}
+
+TEST(Integration, GruAndLstmShareTrainingThroughputScale)
+{
+    // Table 2: LSTM and GRU reach similar training throughput.
+    auto cfg = presetConfig(Preset::Us500);
+    auto opts = fastOptions();
+    opts.warmup_requests = 20;
+    opts.measure_requests = 250;
+    opts.model = workload::DnnModel::lstm2048();
+    opts.train_model = workload::DnnModel::lstm2048();
+    auto lstm = runAtLoad(cfg, 0.6, opts);
+    opts.model = workload::DnnModel::gru2816();
+    opts.train_model = workload::DnnModel::gru2816();
+    auto gru = runAtLoad(cfg, 0.6, opts);
+    EXPECT_GT(gru.training_tops, 0.4 * lstm.training_tops);
+    EXPECT_LT(gru.training_tops, 1.6 * lstm.training_tops);
+}
+
+} // namespace
+} // namespace core
+} // namespace equinox
+
+// Appended: CSV export and queueing-behaviour validation.
+
+#include <cstdio>
+#include <fstream>
+
+namespace equinox
+{
+namespace core
+{
+namespace
+{
+
+TEST(CsvExport, RoundTripsASweep)
+{
+    auto cfg = presetConfig(Preset::Us500);
+    ExperimentOptions opts = fastOptions();
+    opts.measure_requests = 600;
+    auto sweep = runLoadSweep(cfg, {0.2, 0.6}, opts);
+
+    std::string path = "/tmp/equinox_sweep_test.csv";
+    ASSERT_TRUE(writeCsv(path, sweep));
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_NE(header.find("load,inference_tops"), std::string::npos);
+    int rows = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty())
+            ++rows;
+    }
+    EXPECT_EQ(rows, 2);
+    std::remove(path.c_str());
+}
+
+TEST(CsvExport, FailsOnUnwritablePath)
+{
+    EXPECT_FALSE(writeCsv("/nonexistent-dir/x.csv", {}));
+}
+
+TEST(QueueingBehaviour, TailGrowsTowardsSaturation)
+{
+    // Open-loop queueing sanity: past ~95% load the p99 must grow
+    // steeply (the Figure 7 hockey stick), and sub-critical loads must
+    // stay near the batch-formation floor.
+    auto cfg = presetConfig(Preset::Us500);
+    ExperimentOptions opts = fastOptions();
+    opts.min_measure_s = 0.15;
+    opts.warmup_s = 0.01;
+    auto mid = runAtLoad(cfg, 0.6, opts);
+    auto sat = runAtLoad(cfg, 1.05, opts);
+    EXPECT_LT(mid.p99_ms, 2.0);
+    EXPECT_GT(sat.p99_ms, 3.0 * mid.p99_ms);
+    // Delivered throughput clips at the saturation rate.
+    EXPECT_LE(sat.inference_tops, sat.max_inference_tops * 1.01);
+    EXPECT_GT(sat.inference_tops, sat.max_inference_tops * 0.95);
+}
+
+TEST(QueueingBehaviour, LittlesLawHoldsSubcritical)
+{
+    // At a stable load, delivered request rate x mean latency must be
+    // finite and consistent with the offered rate (throughput == input
+    // rate in steady state).
+    auto cfg = presetConfig(Preset::Us500);
+    ExperimentOptions opts = fastOptions();
+    opts.measure_requests = 2500;
+    auto r = runAtLoad(cfg, 0.5, opts);
+    double req_rate = r.inference_tops * 1e12 /
+                      workload::DnnModel::lstm2048().opsPerRequest();
+    double offered = 0.5 * r.max_inference_tops * 1e12 /
+                     workload::DnnModel::lstm2048().opsPerRequest();
+    EXPECT_NEAR(req_rate / offered, 1.0, 0.07);
+    EXPECT_GT(r.mean_ms, 0.0);
+    EXPECT_LT(r.mean_ms, 2.0);
+}
+
+} // namespace
+} // namespace core
+} // namespace equinox

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the ISA: opcode classification, instruction geometry
+ * arithmetic, and TileWork aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace equinox
+{
+namespace isa
+{
+namespace
+{
+
+TEST(Opcode, Classification)
+{
+    EXPECT_TRUE(isMmuOp(Opcode::MatMul));
+    EXPECT_FALSE(isMmuOp(Opcode::VectorOp));
+    EXPECT_TRUE(isSimdOp(Opcode::VectorOp));
+    EXPECT_TRUE(isSimdOp(Opcode::VectorTrainOp));
+    EXPECT_TRUE(isSimdOp(Opcode::Accumulate));
+    EXPECT_TRUE(isDataMoveOp(Opcode::LoadDram));
+    EXPECT_TRUE(isDataMoveOp(Opcode::Im2col));
+    EXPECT_FALSE(isDataMoveOp(Opcode::MatMul));
+    EXPECT_STREQ(opcodeName(Opcode::MatMul), "matmul");
+    EXPECT_STREQ(opcodeName(Opcode::VectorTrainOp), "vtrain");
+}
+
+Instruction
+makeMatMul(std::uint32_t rows_real, std::uint32_t rows_dummy,
+           std::uint32_t rows_slots, std::uint32_t k_valid,
+           std::uint32_t k_slots, std::uint32_t cols_valid,
+           std::uint32_t cols_slots)
+{
+    Instruction inst;
+    inst.op = Opcode::MatMul;
+    inst.rows_real = rows_real;
+    inst.rows_dummy = rows_dummy;
+    inst.rows_slots = rows_slots;
+    inst.k_valid = k_valid;
+    inst.k_slots = k_slots;
+    inst.cols_valid = cols_valid;
+    inst.cols_slots = cols_slots;
+    return inst;
+}
+
+TEST(Instruction, MacCounting)
+{
+    auto inst = makeMatMul(3, 1, 4, 8, 8, 6, 8);
+    EXPECT_EQ(inst.realMacs(), 3u * 8 * 6);
+    EXPECT_EQ(inst.dummyMacs(), 1u * 8 * 6);
+    EXPECT_EQ(inst.totalAluSlots(), 4u * 8 * 8);
+    EXPECT_EQ(inst.mmuOccupancy(), 4u);
+}
+
+TEST(TileWork, FullTileIsAllWorking)
+{
+    // 4x4x2-wide, m=2 arrays: macs/cycle = 2*16*2 = 64.
+    std::vector<Instruction> insts{makeMatMul(4, 0, 4, 8, 8, 8, 8)};
+    auto tw = makeTileWork(insts, 64, 0);
+    EXPECT_EQ(tw.instructions, 1u);
+    EXPECT_EQ(tw.occupancy, 4u); // 256 slots / 64 per cycle
+    EXPECT_DOUBLE_EQ(tw.geom_frac, 1.0);
+    EXPECT_EQ(tw.real_ops, 2u * 4 * 8 * 8);
+}
+
+TEST(TileWork, PartialTileGeometry)
+{
+    // Half the K dimension valid: geometry efficiency 0.5.
+    std::vector<Instruction> insts{makeMatMul(4, 0, 4, 4, 8, 8, 8)};
+    auto tw = makeTileWork(insts, 64, 0);
+    EXPECT_DOUBLE_EQ(tw.geom_frac, 0.5);
+    EXPECT_EQ(tw.real_ops, 2u * 4 * 4 * 8);
+}
+
+TEST(TileWork, AggregatesAcrossInstructions)
+{
+    std::vector<Instruction> insts{makeMatMul(4, 0, 4, 8, 8, 8, 8),
+                                   makeMatMul(4, 0, 4, 4, 8, 8, 8)};
+    auto tw = makeTileWork(insts, 64, 123);
+    EXPECT_EQ(tw.instructions, 2u);
+    EXPECT_EQ(tw.occupancy, 8u);
+    EXPECT_DOUBLE_EQ(tw.geom_frac, 0.75);
+    EXPECT_EQ(tw.stream_bytes, 123u);
+}
+
+TEST(TileWork, DummyRowsCountInGeometry)
+{
+    // Dummy rows occupy valid geometry; the simulator splits them from
+    // working at run time via the real-request fraction.
+    std::vector<Instruction> insts{makeMatMul(2, 2, 4, 8, 8, 8, 8)};
+    auto tw = makeTileWork(insts, 64, 0);
+    EXPECT_DOUBLE_EQ(tw.geom_frac, 1.0);
+    EXPECT_EQ(tw.real_ops, 2u * 4 * 8 * 8); // all data rows
+}
+
+TEST(TileWork, OccupancyRoundsUp)
+{
+    // 255 valid of 256 slots at 64/cycle still takes 4 cycles.
+    std::vector<Instruction> insts{makeMatMul(4, 0, 4, 8, 8, 8, 8)};
+    auto tw = makeTileWork(insts, 63, 0);
+    EXPECT_EQ(tw.occupancy, (4u * 8 * 8 + 62) / 63);
+}
+
+TEST(CompiledProgram, Accounting)
+{
+    CompiledProgram prog;
+    prog.batch_rows = 4;
+    for (int i = 0; i < 3; ++i) {
+        StepBlock sb;
+        std::vector<Instruction> insts{makeMatMul(4, 0, 4, 8, 8, 8, 8)};
+        sb.mmu = makeTileWork(insts, 64, 100);
+        sb.simd_cycles = 2;
+        sb.drain_cycles = 8;
+        prog.steps.push_back(sb);
+    }
+    EXPECT_EQ(prog.mmuBusyCycles(), 12u);
+    EXPECT_EQ(prog.serviceCycles(), 12u + 3 * (2 + 8));
+    EXPECT_EQ(prog.totalRealOps(), 3u * 2 * 4 * 8 * 8);
+    EXPECT_DOUBLE_EQ(prog.opsPerRequest(),
+                     static_cast<double>(3 * 2 * 4 * 8 * 8) / 4.0);
+    EXPECT_EQ(prog.totalStreamBytes(), 300u);
+    EXPECT_EQ(prog.totalInstructions(), 3u);
+}
+
+} // namespace
+} // namespace isa
+} // namespace equinox

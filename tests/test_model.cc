@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the section-4 analytical models and the design-space
+ * exploration, including the Table 1 reproduction bands.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hh"
+#include "model/analytical.hh"
+#include "model/cacti_lite.hh"
+#include "model/dse.hh"
+#include "model/tech_params.hh"
+
+namespace equinox
+{
+namespace model
+{
+namespace
+{
+
+TEST(TechParams, VoltageFrequencyScaling)
+{
+    auto tp = defaultTechParams();
+    EXPECT_DOUBLE_EQ(tp.voltageAt(tp.f_min), tp.v_min);
+    EXPECT_DOUBLE_EQ(tp.voltageAt(tp.f_max), tp.v_max);
+    // Energy scale is quadratic in voltage and 1.0 at the corner.
+    EXPECT_DOUBLE_EQ(tp.energyScaleAt(tp.f_max), 1.0);
+    EXPECT_NEAR(tp.energyScaleAt(tp.f_min),
+                (0.6 * 0.6) / (0.9 * 0.9), 1e-12);
+    // Clamped outside the range.
+    EXPECT_DOUBLE_EQ(tp.voltageAt(1e3), tp.v_min);
+    EXPECT_DOUBLE_EQ(tp.voltageAt(1e12), tp.v_max);
+}
+
+TEST(TechParams, EncodingDensityGap)
+{
+    auto tp = defaultTechParams();
+    // bfloat16 ALUs are several times larger and hungrier (the paper's
+    // "order of magnitude" silicon-density argument).
+    EXPECT_GT(tp.e_alu_bf16 / tp.e_alu_hbfp8, 4.0);
+    EXPECT_GT(tp.a_alu_bf16 / tp.a_alu_hbfp8, 3.0);
+}
+
+TEST(CactiLite, MonotoneInCapacity)
+{
+    CactiLite cacti;
+    EXPECT_LT(cacti.areaMm2(1 << 20), cacti.areaMm2(50 << 20));
+    EXPECT_LT(cacti.energyPerByte(1 << 20),
+              cacti.energyPerByte(50 << 20));
+    EXPECT_LT(cacti.leakageW(1 << 20), cacti.leakageW(50 << 20));
+    // 28nm values are below the 32nm baselines.
+    EXPECT_LT(cacti.areaMm2(1 << 20), 1.25 + 0.05);
+}
+
+TEST(AnalyticalModel, ThroughputIsEquation3)
+{
+    AnalyticalModel eq(defaultTechParams(), arith::Encoding::Hbfp8);
+    EXPECT_DOUBLE_EQ(eq.throughput(143, 4, 4, 610e6),
+                     2.0 * 4 * 143 * 143 * 4 * 610e6);
+}
+
+TEST(AnalyticalModel, AreaIsEquation1)
+{
+    auto tp = defaultTechParams();
+    AnalyticalModel eq(tp, arith::Encoding::Hbfp8);
+    double expect = 4.0 * 143 * 143 * 4 * tp.a_alu_hbfp8 +
+                    tp.sramArea() + tp.a_dram;
+    EXPECT_DOUBLE_EQ(eq.area(143, 4, 4), expect);
+}
+
+TEST(AnalyticalModel, PowerMonotoneInDimensionsAndFrequency)
+{
+    AnalyticalModel eq(defaultTechParams(), arith::Encoding::Hbfp8);
+    EXPECT_LT(eq.power(16, 8, 8, 532e6), eq.power(16, 16, 8, 532e6));
+    EXPECT_LT(eq.power(16, 8, 8, 532e6), eq.power(16, 8, 16, 532e6));
+    EXPECT_LT(eq.power(16, 8, 8, 532e6), eq.power(16, 8, 8, 1200e6));
+}
+
+TEST(AnalyticalModel, MaxMIsTightAgainstEnvelopes)
+{
+    AnalyticalModel eq(defaultTechParams(), arith::Encoding::Hbfp8);
+    for (unsigned n : {1u, 16u, 143u}) {
+        for (double f : {532e6, 610e6, 1200e6}) {
+            unsigned m = eq.maxM(n, 4, f);
+            if (m == 0)
+                continue;
+            EXPECT_TRUE(eq.feasible(n, m, 4, f))
+                << "n=" << n << " f=" << f;
+            EXPECT_FALSE(eq.feasible(n, m + 1, 4, f))
+                << "n=" << n << " f=" << f;
+        }
+    }
+}
+
+TEST(Dse, AllPointsFeasible)
+{
+    DseConfig cfg;
+    cfg.n_values = {1, 8, 32, 128};
+    auto res = exploreDesignSpace(defaultTechParams(),
+                                  arith::Encoding::Hbfp8, cfg);
+    auto tp = defaultTechParams();
+    EXPECT_FALSE(res.points.empty());
+    for (const auto &p : res.points) {
+        EXPECT_LE(p.area_mm2, tp.die_area * 1.0001);
+        EXPECT_LE(p.power_w, tp.power_budget * 1.0001);
+        EXPECT_GT(p.throughput_ops, 0.0);
+        EXPECT_GT(p.service_time_s, 0.0);
+    }
+}
+
+TEST(Dse, ParetoFrontierIsMonotone)
+{
+    DseConfig cfg;
+    cfg.n_values = {1, 2, 4, 8, 16, 32, 64, 128, 192};
+    auto res = exploreDesignSpace(defaultTechParams(),
+                                  arith::Encoding::Hbfp8, cfg);
+    auto frontier = paretoFrontier(res);
+    ASSERT_GE(frontier.size(), 3u);
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+        EXPECT_GT(frontier[i].throughput_ops,
+                  frontier[i - 1].throughput_ops);
+        EXPECT_GT(frontier[i].service_time_s,
+                  frontier[i - 1].service_time_s);
+    }
+}
+
+TEST(Dse, ParetoPointsAreUndominated)
+{
+    DseConfig cfg;
+    cfg.n_values = {1, 4, 16, 64, 143, 191};
+    auto res = exploreDesignSpace(defaultTechParams(),
+                                  arith::Encoding::Hbfp8, cfg);
+    paretoFrontier(res);
+    for (const auto &p : res.points) {
+        if (!p.pareto)
+            continue;
+        for (const auto &q : res.points) {
+            bool dominates = q.throughput_ops >= p.throughput_ops &&
+                             q.service_time_s < p.service_time_s;
+            EXPECT_FALSE(dominates)
+                << "pareto point n=" << p.n << " dominated by n=" << q.n;
+        }
+    }
+}
+
+/** Table 1 reproduction bands, hbfp8 side. */
+TEST(Dse, Table1Hbfp8Bands)
+{
+    auto res = exploreDesignSpace(defaultTechParams(),
+                                  arith::Encoding::Hbfp8);
+    auto mn = minLatencyDesign(res);
+    auto c50 = bestUnderLatency(res, 50e-6);
+    auto c500 = bestUnderLatency(res, 500e-6);
+    auto none = bestUnderLatency(res, 1e9);
+    ASSERT_TRUE(mn && c50 && c500 && none);
+
+    // Paper: 60.2 / 333 / 390 / 400 TOp/s at 15.6 / 49.2 / 381 / 509 us.
+    EXPECT_NEAR(mn->throughput_ops / 1e12, 60.2, 10.0);
+    EXPECT_NEAR(mn->service_time_s * 1e6, 15.6, 4.0);
+    EXPECT_EQ(mn->n, 1u);
+
+    EXPECT_NEAR(c50->throughput_ops / 1e12, 333.0, 40.0);
+    EXPECT_LE(c50->service_time_s, 50e-6);
+
+    EXPECT_NEAR(c500->throughput_ops / 1e12, 390.0, 20.0);
+    EXPECT_LE(c500->service_time_s, 500e-6);
+    EXPECT_NEAR(static_cast<double>(c500->n), 143.0, 30.0);
+
+    EXPECT_NEAR(none->throughput_ops / 1e12, 400.0, 10.0);
+
+    // The headline ratios: ~5.5x at 50us, ~6.7x unconstrained.
+    EXPECT_NEAR(c50->throughput_ops / mn->throughput_ops, 5.5, 1.0);
+    EXPECT_NEAR(none->throughput_ops / mn->throughput_ops, 6.67, 0.8);
+}
+
+/** Table 1 reproduction bands, bfloat16 side. */
+TEST(Dse, Table1Bfloat16Bands)
+{
+    auto res = exploreDesignSpace(defaultTechParams(),
+                                  arith::Encoding::Bfloat16);
+    auto mn = minLatencyDesign(res);
+    auto c500 = bestUnderLatency(res, 500e-6);
+    ASSERT_TRUE(mn && c500);
+
+    // Paper: 23.9 TOp/s at 37.3 us; 63.3 TOp/s under 500 us.
+    EXPECT_NEAR(mn->throughput_ops / 1e12, 23.9, 4.0);
+    EXPECT_NEAR(mn->service_time_s * 1e6, 37.3, 6.0);
+    EXPECT_NEAR(c500->throughput_ops / 1e12, 63.3, 10.0);
+
+    // bfloat16 cannot batch below 50us: the 50us optimum is the
+    // latency-optimal design itself (the paper's merged rows).
+    auto c50 = bestUnderLatency(res, 50e-6);
+    ASSERT_TRUE(c50);
+    EXPECT_EQ(c50->n, mn->n);
+
+    // hbfp8 beats bfloat16 by ~5x+ under the same constraint.
+    auto hb = exploreDesignSpace(defaultTechParams(),
+                                 arith::Encoding::Hbfp8);
+    auto hb500 = bestUnderLatency(hb, 500e-6);
+    ASSERT_TRUE(hb500);
+    EXPECT_GT(hb500->throughput_ops / c500->throughput_ops, 4.5);
+}
+
+TEST(Dse, OptimalDesignsFavourLowFrequencies)
+{
+    // Near-threshold operation: feasible high-throughput designs run at
+    // the low end of the frequency range (section 4.2).
+    auto res = exploreDesignSpace(defaultTechParams(),
+                                  arith::Encoding::Hbfp8);
+    auto none = bestUnderLatency(res, 1e9);
+    ASSERT_TRUE(none);
+    EXPECT_LE(none->frequency_hz, 800e6);
+}
+
+TEST(Dse, ToAcceleratorConfigCopiesGeometry)
+{
+    DesignPoint p;
+    p.n = 14;
+    p.m = 39;
+    p.w = 37;
+    p.frequency_hz = 532e6;
+    p.encoding = arith::Encoding::Hbfp8;
+    auto cfg = toAcceleratorConfig(p, "probe");
+    EXPECT_EQ(cfg.n, 14u);
+    EXPECT_EQ(cfg.m, 39u);
+    EXPECT_EQ(cfg.w, 37u);
+    EXPECT_EQ(cfg.name, "probe");
+    EXPECT_DOUBLE_EQ(cfg.frequency_hz, 532e6);
+}
+
+} // namespace
+} // namespace model
+} // namespace equinox

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit tests for the training substrate: layers, losses, datasets, and a
+ * short end-to-end training sanity run in each encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arith/gemm.hh"
+#include "nn/datasets.hh"
+#include "nn/layers.hh"
+#include "nn/loss.hh"
+#include "nn/mlp.hh"
+#include "nn/trainer.hh"
+
+namespace equinox
+{
+namespace nn
+{
+namespace
+{
+
+TEST(Activations, ReluAndTanh)
+{
+    Matrix m(1, 4);
+    m.at(0, 0) = -2.0f;
+    m.at(0, 1) = 0.0f;
+    m.at(0, 2) = 3.0f;
+    m.at(0, 3) = -0.5f;
+    Matrix relu = m;
+    applyActivation(Activation::Relu, relu);
+    EXPECT_EQ(relu.at(0, 0), 0.0f);
+    EXPECT_EQ(relu.at(0, 2), 3.0f);
+
+    Matrix th = m;
+    applyActivation(Activation::Tanh, th);
+    EXPECT_NEAR(th.at(0, 2), std::tanh(3.0f), 1e-6);
+}
+
+TEST(SoftmaxLoss, UniformLogits)
+{
+    Matrix logits(2, 4, 0.0f);
+    auto res = softmaxCrossEntropy(logits, {0, 3});
+    EXPECT_NEAR(res.mean_loss, std::log(4.0), 1e-9);
+    // Gradient rows sum to zero.
+    for (std::size_t r = 0; r < 2; ++r) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < 4; ++c)
+            s += res.logit_grad.at(r, c);
+        EXPECT_NEAR(s, 0.0, 1e-7);
+    }
+}
+
+TEST(SoftmaxLoss, ConfidentCorrectPredictionHasLowLoss)
+{
+    Matrix logits(1, 3, 0.0f);
+    logits.at(0, 1) = 20.0f;
+    auto res = softmaxCrossEntropy(logits, {1});
+    EXPECT_LT(res.mean_loss, 1e-6);
+    EXPECT_EQ(res.error_rate, 0.0);
+}
+
+TEST(SoftmaxLoss, ErrorRateCountsArgmaxMismatch)
+{
+    Matrix logits(2, 2, 0.0f);
+    logits.at(0, 0) = 5.0f; // predicts 0, label 1 -> error
+    logits.at(1, 1) = 5.0f; // predicts 1, label 1 -> correct
+    auto res = softmaxCrossEntropy(logits, {1, 1});
+    EXPECT_DOUBLE_EQ(res.error_rate, 0.5);
+}
+
+TEST(SoftmaxLoss, GradientMatchesFiniteDifference)
+{
+    Matrix logits(1, 3);
+    logits.at(0, 0) = 0.3f;
+    logits.at(0, 1) = -0.8f;
+    logits.at(0, 2) = 1.1f;
+    std::vector<std::uint32_t> labels{2};
+    auto base = softmaxCrossEntropy(logits, labels);
+    const double eps = 1e-3;
+    for (std::size_t c = 0; c < 3; ++c) {
+        Matrix bumped = logits;
+        bumped.at(0, c) += static_cast<float>(eps);
+        auto res = softmaxCrossEntropy(bumped, labels);
+        double fd = (res.mean_loss - base.mean_loss) / eps;
+        EXPECT_NEAR(fd, base.logit_grad.at(0, c), 1e-3) << c;
+    }
+}
+
+TEST(Perplexity, ExpOfLoss)
+{
+    EXPECT_NEAR(perplexityFromLoss(std::log(32.0)), 32.0, 1e-9);
+}
+
+TEST(Mse, LossAndGradient)
+{
+    Matrix p(1, 2), t(1, 2);
+    p.at(0, 0) = 1.0f;
+    p.at(0, 1) = 3.0f;
+    t.at(0, 0) = 0.0f;
+    t.at(0, 1) = 3.0f;
+    auto res = meanSquaredError(p, t);
+    EXPECT_DOUBLE_EQ(res.mean_loss, 0.5);
+    EXPECT_FLOAT_EQ(res.grad.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(res.grad.at(0, 1), 0.0f);
+}
+
+TEST(DenseLayer, ForwardShapeAndBias)
+{
+    Rng rng(1);
+    DenseLayer layer(3, 2, Activation::None, rng);
+    arith::Fp32Gemm eng;
+    Matrix x(4, 3, 0.0f);
+    Matrix y = layer.forward(x, eng);
+    EXPECT_EQ(y.rows(), 4u);
+    EXPECT_EQ(y.cols(), 2u);
+    // Zero input with zero bias -> zero output.
+    EXPECT_EQ(y.maxAbs(), 0.0f);
+}
+
+TEST(DenseLayer, GradientMatchesFiniteDifference)
+{
+    // Check dL/dx through a dense+tanh layer against finite differences
+    // of a scalar loss L = sum(y).
+    Rng rng(9);
+    DenseLayer layer(4, 3, Activation::Tanh, rng);
+    arith::Fp32Gemm eng;
+    Matrix x(2, 4);
+    x.randomize(rng, 0.5);
+
+    auto loss_of = [&](const Matrix &input) {
+        DenseLayer copy = layer;
+        Matrix y = copy.forward(input, eng);
+        double s = 0.0;
+        for (std::size_t i = 0; i < y.size(); ++i)
+            s += y.data()[i];
+        return s;
+    };
+
+    Matrix y = layer.forward(x, eng);
+    Matrix ones(y.rows(), y.cols(), 1.0f);
+    Matrix dx = layer.backward(ones, eng);
+
+    const double eps = 1e-3;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        for (std::size_t c = 0; c < x.cols(); ++c) {
+            Matrix bumped = x;
+            bumped.at(r, c) += static_cast<float>(eps);
+            double fd = (loss_of(bumped) - loss_of(x)) / eps;
+            EXPECT_NEAR(fd, dx.at(r, c), 5e-2) << r << "," << c;
+        }
+    }
+}
+
+TEST(SgdConfig, StepDecaySchedule)
+{
+    SgdConfig cfg;
+    cfg.learning_rate = 1.0;
+    cfg.decay_factor = 0.1;
+    cfg.decay_epochs = {10, 20};
+    EXPECT_DOUBLE_EQ(cfg.rateForEpoch(0), 1.0);
+    EXPECT_DOUBLE_EQ(cfg.rateForEpoch(9), 1.0);
+    EXPECT_DOUBLE_EQ(cfg.rateForEpoch(10), 0.1);
+    EXPECT_NEAR(cfg.rateForEpoch(25), 0.01, 1e-12);
+}
+
+TEST(ClusterDataset, ShapesAndDeterminism)
+{
+    ClusterDataset a(4, 8, 256, 64, 0.4, 7);
+    ClusterDataset b(4, 8, 256, 64, 0.4, 7);
+    EXPECT_EQ(a.featureDim(), 8u);
+    EXPECT_EQ(a.classCount(), 4u);
+    EXPECT_EQ(a.trainSize(), 256u);
+    EXPECT_EQ(a.validation().labels.size(), 64u);
+    EXPECT_EQ(arith::maxAbsDiff(a.validation().inputs,
+                                b.validation().inputs),
+              0.0);
+    // Labels span the class range.
+    for (auto l : a.validation().labels)
+        EXPECT_LT(l, 4u);
+}
+
+TEST(ClusterDataset, BatchesPartitionEpoch)
+{
+    ClusterDataset d(3, 6, 100, 10, 0.3, 11);
+    std::size_t seen = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+        Batch batch = d.trainBatch(0, b, 32);
+        seen += batch.labels.size();
+        EXPECT_EQ(batch.inputs.rows(), batch.labels.size());
+    }
+    EXPECT_EQ(seen, 100u);
+}
+
+TEST(MarkovTextDataset, OneHotRows)
+{
+    MarkovTextDataset d(8, 3, 128, 32, 1.5, 13);
+    EXPECT_EQ(d.featureDim(), 24u);
+    const Batch &v = d.validation();
+    for (std::size_t r = 0; r < v.inputs.rows(); ++r) {
+        // Each of the 3 context groups has exactly one hot unit.
+        for (std::size_t g = 0; g < 3; ++g) {
+            float sum = 0.0f;
+            for (std::size_t c = 0; c < 8; ++c)
+                sum += v.inputs.at(r, g * 8 + c);
+            EXPECT_EQ(sum, 1.0f);
+        }
+    }
+}
+
+TEST(MarkovTextDataset, EntropyFloorPositiveAndBelowUniform)
+{
+    MarkovTextDataset d(16, 2, 64, 16, 2.0, 17);
+    EXPECT_GT(d.sourceEntropy(), 0.0);
+    EXPECT_LT(d.sourceEntropy(), std::log(16.0));
+}
+
+/** End-to-end: a few epochs of training must reduce validation loss in
+ *  every encoding, and hbfp8 must track fp32 closely. */
+TEST(Trainer, LearnsInAllEncodings)
+{
+    ClusterDataset data(4, 10, 512, 256, 0.5, 21);
+    TrainConfig cfg;
+    cfg.epochs = 8;
+    cfg.batch_size = 32;
+    cfg.hidden_dims = {32};
+    cfg.sgd.learning_rate = 0.05;
+
+    double first_losses[3], last_losses[3];
+    int idx = 0;
+    for (auto enc :
+         {arith::Encoding::Fp32, arith::Encoding::Bfloat16,
+          arith::Encoding::Hbfp8}) {
+        auto engine = arith::makeGemmEngine(enc);
+        auto history = trainClassifier(data, *engine, cfg);
+        ASSERT_EQ(history.size(), cfg.epochs);
+        first_losses[idx] = history.front().valid_loss;
+        last_losses[idx] = history.back().valid_loss;
+        EXPECT_LT(history.back().valid_loss, history.front().valid_loss)
+            << encodingName(enc);
+        EXPECT_LT(history.back().valid_error, 0.5) << encodingName(enc);
+        ++idx;
+    }
+    // hbfp8 final loss within a modest factor of fp32's (Figure 2 claim).
+    EXPECT_LT(last_losses[2], last_losses[0] * 1.5 + 0.1);
+    (void)first_losses;
+}
+
+TEST(Trainer, DeterministicAcrossRuns)
+{
+    ClusterDataset data(3, 8, 128, 64, 0.5, 23);
+    TrainConfig cfg;
+    cfg.epochs = 3;
+    cfg.batch_size = 32;
+    cfg.hidden_dims = {16};
+    arith::Fp32Gemm eng;
+    auto h1 = trainClassifier(data, eng, cfg);
+    auto h2 = trainClassifier(data, eng, cfg);
+    for (std::size_t e = 0; e < h1.size(); ++e) {
+        EXPECT_DOUBLE_EQ(h1[e].valid_loss, h2[e].valid_loss);
+        EXPECT_DOUBLE_EQ(h1[e].train_loss, h2[e].train_loss);
+    }
+}
+
+} // namespace
+} // namespace nn
+} // namespace equinox

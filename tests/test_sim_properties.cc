@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Parameterized property sweeps over the simulator: invariants that must
+ * hold for every (scheduling policy, batching policy, load, seed)
+ * combination.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/units.hh"
+#include "sim/accelerator.hh"
+#include "workload/compiler.hh"
+#include "workload/dnn_model.hh"
+
+namespace equinox
+{
+namespace sim
+{
+namespace
+{
+
+AcceleratorConfig
+smallConfig()
+{
+    AcceleratorConfig cfg;
+    cfg.name = "prop";
+    cfg.n = 8;
+    cfg.m = 2;
+    cfg.w = 2;
+    cfg.frequency_hz = units::MHz(100);
+    cfg.simd_lanes = 256;
+    return cfg;
+}
+
+workload::DnnModel
+tinyRnn()
+{
+    workload::DnnModel model;
+    model.name = "tiny";
+    model.kind = workload::DnnModel::Kind::Rnn;
+    model.rnn.hidden = 64;
+    model.rnn.steps = 4;
+    model.rnn.gate_groups = {2};
+    model.rnn.simd_passes = 4.0;
+    return model;
+}
+
+using PropertyParam =
+    std::tuple<SchedPolicy, BatchPolicy, double /*load*/,
+               std::uint64_t /*seed*/>;
+
+class SimInvariants : public ::testing::TestWithParam<PropertyParam>
+{
+  protected:
+    SimResult
+    runCase(bool with_training)
+    {
+        auto [sched, batch, load, seed] = GetParam();
+        auto cfg = smallConfig();
+        cfg.sched_policy = sched;
+        cfg.batch_policy = batch;
+        workload::Compiler compiler(cfg);
+        Accelerator accel(cfg);
+        accel.installInference(compiler.compileInference(tinyRnn()));
+        if (with_training)
+            accel.installTraining(compiler.compileTraining(tinyRnn(),
+                                                           16));
+        RunSpec spec;
+        spec.arrival_rate_per_s = load * accel.maxRequestRate();
+        spec.warmup_requests = 50;
+        spec.measure_requests = 800;
+        spec.seed = seed;
+        spec.max_sim_s = 10.0;
+        max_rate = accel.maxInferenceOpRate();
+        auto train = compiler.compileTraining(tinyRnn(), 16);
+        double bytes = 0.0;
+        for (const auto &s : train.iteration.steps)
+            bytes += static_cast<double>(s.mmu.stream_bytes +
+                                         s.store_bytes);
+        dram_train_bound =
+            static_cast<double>(train.iteration.totalRealOps()) / bytes *
+            cfg.dram.bandwidth_bytes_per_s;
+        frequency = cfg.frequency_hz;
+        return accel.run(spec);
+    }
+
+    double max_rate = 0.0;
+    double dram_train_bound = 0.0;
+    double frequency = 0.0;
+};
+
+TEST_P(SimInvariants, BreakdownAccountsForAllTime)
+{
+    for (bool training : {false, true}) {
+        auto res = runCase(training);
+        double total_cycles = res.sim_seconds * frequency;
+        EXPECT_NEAR(res.mmu_breakdown.total() / total_cycles, 1.0, 0.03)
+            << "training=" << training;
+        for (auto c : {stats::CycleClass::Working,
+                       stats::CycleClass::Dummy, stats::CycleClass::Idle,
+                       stats::CycleClass::Other}) {
+            EXPECT_GE(res.mmu_breakdown.get(c), 0.0);
+        }
+    }
+}
+
+TEST_P(SimInvariants, ThroughputNeverExceedsAnalyticCaps)
+{
+    auto res = runCase(true);
+    EXPECT_LE(res.inference_throughput_ops, max_rate * 1.02);
+    EXPECT_LE(res.training_throughput_ops, dram_train_bound * 1.02);
+}
+
+TEST_P(SimInvariants, LatencyOrderingHolds)
+{
+    auto res = runCase(false);
+    if (res.completed_requests == 0)
+        return;
+    EXPECT_GE(res.p99_latency_s, res.p50_latency_s);
+    EXPECT_GE(res.max_latency_s, res.p99_latency_s * 0.999);
+    EXPECT_GT(res.mean_latency_s, 0.0);
+    // No request can finish faster than one batch's pure service time
+    // divided among... it must at least cover the program's MMU time.
+    EXPECT_GT(res.mean_service_s, 0.0);
+}
+
+TEST_P(SimInvariants, WorkingCyclesMatchDeliveredOps)
+{
+    // Working MMU cycles x peak MAC rate must equal delivered useful
+    // ops (inference + training) exactly -- the accounting identity
+    // behind Figure 8.
+    auto res = runCase(true);
+    auto cfg = smallConfig();
+    double working_ops = res.mmu_breakdown.get(
+                             stats::CycleClass::Working) *
+                         2.0 * static_cast<double>(cfg.macsPerCycle());
+    double delivered = (res.inference_throughput_ops +
+                        res.training_throughput_ops) *
+                       res.sim_seconds;
+    if (delivered > 0.0) {
+        EXPECT_NEAR(working_ops / delivered, 1.0, 0.03);
+    }
+}
+
+TEST_P(SimInvariants, DeterministicGivenSeed)
+{
+    auto a = runCase(true);
+    auto b = runCase(true);
+    EXPECT_DOUBLE_EQ(a.inference_throughput_ops,
+                     b.inference_throughput_ops);
+    EXPECT_DOUBLE_EQ(a.training_throughput_ops,
+                     b.training_throughput_ops);
+    EXPECT_DOUBLE_EQ(a.p99_latency_s, b.p99_latency_s);
+}
+
+std::string
+propertyParamName(const ::testing::TestParamInfo<PropertyParam> &info)
+{
+    std::string name = schedPolicyName(std::get<0>(info.param));
+    name += '_';
+    name += batchPolicyName(std::get<1>(info.param));
+    name += "_l" + std::to_string(
+                       static_cast<int>(std::get<2>(info.param) * 100));
+    name += "_s" + std::to_string(std::get<3>(info.param));
+    for (auto &c : name) {
+        if (c == '-')
+            c = '_';
+    }
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyLoadSweep, SimInvariants,
+    ::testing::Combine(
+        ::testing::Values(SchedPolicy::InferenceOnly,
+                          SchedPolicy::Priority, SchedPolicy::FairShare,
+                          SchedPolicy::SoftwareBatch),
+        ::testing::Values(BatchPolicy::Adaptive, BatchPolicy::Static),
+        ::testing::Values(0.15, 0.6, 0.9),
+        ::testing::Values(1u, 42u)),
+    propertyParamName);
+
+} // namespace
+} // namespace sim
+} // namespace equinox

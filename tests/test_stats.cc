@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit tests for src/stats: percentile tracking, histograms, cycle
+ * breakdowns and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.hh"
+#include "stats/counter.hh"
+#include "stats/cycle_breakdown.hh"
+#include "stats/histogram.hh"
+#include "stats/table.hh"
+
+namespace equinox
+{
+namespace stats
+{
+namespace
+{
+
+TEST(Counter, Accumulates)
+{
+    Counter c("reqs");
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    EXPECT_EQ(c.name(), "reqs");
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(LatencyTracker, EmptyIsZero)
+{
+    LatencyTracker t;
+    EXPECT_EQ(t.count(), 0u);
+    EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(t.percentile(0.99), 0.0);
+}
+
+TEST(LatencyTracker, SingleSample)
+{
+    LatencyTracker t;
+    t.record(7.0);
+    EXPECT_DOUBLE_EQ(t.mean(), 7.0);
+    EXPECT_DOUBLE_EQ(t.percentile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(t.percentile(1.0), 7.0);
+    EXPECT_DOUBLE_EQ(t.min(), 7.0);
+    EXPECT_DOUBLE_EQ(t.max(), 7.0);
+}
+
+TEST(LatencyTracker, ExactPercentiles)
+{
+    LatencyTracker t;
+    // 1..100 shuffled: p-quantiles are exactly computable.
+    Rng rng(3);
+    std::vector<double> v;
+    for (int i = 1; i <= 100; ++i)
+        v.push_back(i);
+    for (std::size_t i = v.size(); i > 1; --i)
+        std::swap(v[i - 1], v[rng.uniformInt(0, i - 1)]);
+    for (double x : v)
+        t.record(x);
+
+    EXPECT_DOUBLE_EQ(t.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(t.percentile(1.0), 100.0);
+    // median of 1..100 with linear interpolation: 50.5
+    EXPECT_DOUBLE_EQ(t.percentile(0.5), 50.5);
+    // p99 of 1..100: rank 98.01 -> 99.01
+    EXPECT_NEAR(t.percentile(0.99), 99.01, 1e-9);
+    EXPECT_DOUBLE_EQ(t.mean(), 50.5);
+}
+
+TEST(LatencyTracker, PercentileMonotoneInP)
+{
+    LatencyTracker t;
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i)
+        t.record(rng.exponential(1.0));
+    double prev = -1.0;
+    for (double p = 0.0; p <= 1.0; p += 0.05) {
+        double q = t.percentile(p);
+        EXPECT_GE(q, prev);
+        prev = q;
+    }
+}
+
+TEST(LatencyTracker, RecordAfterQueryStaysCorrect)
+{
+    LatencyTracker t;
+    t.record(10.0);
+    EXPECT_DOUBLE_EQ(t.percentile(0.5), 10.0);
+    t.record(20.0);
+    t.record(0.0);
+    EXPECT_DOUBLE_EQ(t.percentile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(t.max(), 20.0);
+}
+
+TEST(LogHistogram, BucketsAndOverflow)
+{
+    LogHistogram h(1.0, 1000.0, 1); // 3 buckets: [1,10), [10,100), ...
+    EXPECT_EQ(h.bucketCount(), 3u);
+    h.record(5.0);
+    h.record(50.0);
+    h.record(0.5);    // underflow
+    h.record(5000.0); // overflow
+    EXPECT_EQ(h.bucketValue(0), 1u);
+    EXPECT_EQ(h.bucketValue(1), 1u);
+    EXPECT_EQ(h.bucketValue(2), 0u);
+    EXPECT_EQ(h.underflows(), 1u);
+    EXPECT_EQ(h.overflows(), 1u);
+}
+
+TEST(LogHistogram, MidpointsAreGeometric)
+{
+    LogHistogram h(1.0, 100.0, 1);
+    EXPECT_NEAR(h.bucketMid(0), std::sqrt(10.0), 1e-9);
+    EXPECT_NEAR(h.bucketMid(1), std::sqrt(1000.0), 1e-6);
+}
+
+TEST(CycleBreakdown, FractionsSumToOne)
+{
+    CycleBreakdown b;
+    b.add(CycleClass::Working, 60.0);
+    b.add(CycleClass::Dummy, 25.0);
+    b.add(CycleClass::Idle, 10.0);
+    b.add(CycleClass::Other, 5.0);
+    EXPECT_DOUBLE_EQ(b.total(), 100.0);
+    double sum = 0.0;
+    for (auto c : {CycleClass::Working, CycleClass::Dummy, CycleClass::Idle,
+                   CycleClass::Other})
+        sum += b.fraction(c);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(b.fraction(CycleClass::Working), 0.6);
+}
+
+TEST(CycleBreakdown, MergeAccumulates)
+{
+    CycleBreakdown a, b;
+    a.add(CycleClass::Working, 10.0);
+    b.add(CycleClass::Idle, 30.0);
+    a += b;
+    EXPECT_DOUBLE_EQ(a.get(CycleClass::Working), 10.0);
+    EXPECT_DOUBLE_EQ(a.get(CycleClass::Idle), 30.0);
+    EXPECT_DOUBLE_EQ(a.total(), 40.0);
+}
+
+TEST(CycleBreakdown, EmptyFractionsZero)
+{
+    CycleBreakdown b;
+    EXPECT_DOUBLE_EQ(b.fraction(CycleClass::Idle), 0.0);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addSeparator();
+    t.addRow({"b", "12345"});
+    std::ostringstream oss;
+    t.print(oss);
+    std::string s = oss.str();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("12345"), std::string::npos);
+    // All lines equally wide.
+    std::istringstream lines(s);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(lines, line)) {
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width);
+    }
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace stats
+} // namespace equinox
+
+// Appended: named-statistics registry tests.
+
+#include <sstream>
+
+#include "stats/registry.hh"
+
+namespace equinox
+{
+namespace stats
+{
+namespace
+{
+
+TEST(StatRegistry, RegisterAndRead)
+{
+    StatRegistry reg;
+    int counter = 0;
+    reg.registerStat("mmu.busy", [&] { return counter * 1.0; }, "cycles");
+    reg.setValue("cfg.n", 143.0);
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_TRUE(reg.contains("mmu.busy"));
+    EXPECT_FALSE(reg.contains("mmu.idle"));
+    EXPECT_DOUBLE_EQ(reg.value("mmu.busy"), 0.0);
+    counter = 7;
+    EXPECT_DOUBLE_EQ(reg.value("mmu.busy"), 7.0); // live getter
+    EXPECT_DOUBLE_EQ(reg.value("cfg.n"), 143.0);
+}
+
+TEST(StatRegistry, ReRegistrationReplaces)
+{
+    StatRegistry reg;
+    reg.setValue("x", 1.0);
+    reg.setValue("x", 2.0);
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_DOUBLE_EQ(reg.value("x"), 2.0);
+}
+
+TEST(StatRegistry, DumpIsSortedAndComplete)
+{
+    StatRegistry reg;
+    reg.setValue("b.second", 2.0, "two");
+    reg.setValue("a.first", 1.0, "one");
+    std::ostringstream oss;
+    reg.dump(oss);
+    std::string s = oss.str();
+    auto a_pos = s.find("a.first");
+    auto b_pos = s.find("b.second");
+    EXPECT_NE(a_pos, std::string::npos);
+    EXPECT_NE(b_pos, std::string::npos);
+    EXPECT_LT(a_pos, b_pos);
+    EXPECT_NE(s.find("two"), std::string::npos);
+}
+
+TEST(StatRegistryDeath, MissingStatIsFatal)
+{
+    StatRegistry reg;
+    EXPECT_DEATH(reg.value("nope"), "no statistic named");
+}
+
+} // namespace
+} // namespace stats
+} // namespace equinox

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the synthesis proxy: component coverage, totals, and the
+ * paper's Table 3 overhead claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hh"
+#include "synth/synthesis.hh"
+
+namespace equinox
+{
+namespace synth
+{
+namespace
+{
+
+TEST(Synthesis, ComponentsCoverTable3Rows)
+{
+    auto cfg = core::presetConfig(core::Preset::Us500);
+    auto rep = synthesize(cfg);
+    for (const char *name :
+         {"MMU", "DRAM Interface", "SIMD Unit", "Weight Buffer",
+          "Activation Buffer", "Request Dispatcher",
+          "Instruction Dispatcher", "Others"}) {
+        EXPECT_GT(rep.component(name).area_mm2, 0.0) << name;
+        EXPECT_GT(rep.component(name).power_w, 0.0) << name;
+    }
+}
+
+TEST(Synthesis, TotalsAreComponentSums)
+{
+    auto cfg = core::presetConfig(core::Preset::Us500);
+    auto rep = synthesize(cfg);
+    double area = 0.0, power = 0.0;
+    for (const auto &c : rep.components) {
+        area += c.area_mm2;
+        power += c.power_w;
+    }
+    EXPECT_NEAR(rep.total_area, area, 1e-9);
+    EXPECT_NEAR(rep.total_power, power, 1e-9);
+}
+
+TEST(Synthesis, Equinox500MatchesTable3Bands)
+{
+    auto cfg = core::presetConfig(core::Preset::Us500);
+    auto rep = synthesize(cfg);
+    // Table 3: MMU 185.6 mm^2 / 36.8 W; total 313.9 mm^2 / 85.9 W.
+    EXPECT_NEAR(rep.component("MMU").area_mm2, 185.6, 20.0);
+    EXPECT_NEAR(rep.component("MMU").power_w, 36.8, 6.0);
+    EXPECT_NEAR(rep.component("DRAM Interface").area_mm2, 46.9, 1e-9);
+    EXPECT_NEAR(rep.component("DRAM Interface").power_w, 28.6, 1e-9);
+    EXPECT_NEAR(rep.component("Weight Buffer").area_mm2, 45.96, 6.0);
+    EXPECT_NEAR(rep.component("Activation Buffer").area_mm2, 18.27, 3.0);
+    EXPECT_NEAR(rep.total_area, 313.85, 35.0);
+    EXPECT_NEAR(rep.total_power, 85.91, 12.0);
+    // MMU + DRAM + buffers dominate (~95% area / ~82% power).
+    double big_area = rep.component("MMU").area_mm2 +
+                      rep.component("DRAM Interface").area_mm2 +
+                      rep.component("Weight Buffer").area_mm2 +
+                      rep.component("Activation Buffer").area_mm2;
+    EXPECT_GT(big_area / rep.total_area, 0.85);
+}
+
+TEST(Synthesis, ControllerOverheadBelowOnePercent)
+{
+    auto cfg = core::presetConfig(core::Preset::Us500);
+    auto rep = synthesize(cfg);
+    EXPECT_LT(rep.controller_area_frac, 0.01);
+    EXPECT_LT(rep.controller_power_frac, 0.01);
+    EXPECT_GT(rep.controller_area_frac, 0.0);
+}
+
+TEST(Synthesis, EncodingOverheadMatchesPaperClaim)
+{
+    // The SIMD unit (bfloat16 ALUs + register file for HBFP training):
+    // ~13% power and ~4% area of the accelerator.
+    auto cfg = core::presetConfig(core::Preset::Us500);
+    auto rep = synthesize(cfg);
+    EXPECT_NEAR(rep.encoding_power_frac, 0.13, 0.05);
+    EXPECT_NEAR(rep.encoding_area_frac, 0.04, 0.025);
+}
+
+TEST(Synthesis, Bf16MmuIsSmallerButHungrier)
+{
+    // The bfloat16 datapath has far fewer ALUs (Table 1) but each is
+    // larger; at the preset design points the bf16 MMU burns comparable
+    // power for a fraction of the throughput.
+    auto h = synthesize(core::presetConfig(core::Preset::Us500,
+                                           arith::Encoding::Hbfp8));
+    auto b = synthesize(core::presetConfig(core::Preset::Us500,
+                                           arith::Encoding::Bfloat16));
+    double h_tput = core::presetDesign(core::Preset::Us500,
+                                       arith::Encoding::Hbfp8)
+                        .throughput_ops;
+    double b_tput = core::presetDesign(core::Preset::Us500,
+                                       arith::Encoding::Bfloat16)
+                        .throughput_ops;
+    double h_eff = h_tput / h.component("MMU").power_w;
+    double b_eff = b_tput / b.component("MMU").power_w;
+    EXPECT_GT(h_eff / b_eff, 3.0);
+}
+
+TEST(SynthesisDeath, UnknownComponentIsFatal)
+{
+    auto cfg = core::presetConfig(core::Preset::Us500);
+    auto rep = synthesize(cfg);
+    EXPECT_DEATH(rep.component("Flux Capacitor"),
+                 "no component estimate");
+}
+
+} // namespace
+} // namespace synth
+} // namespace equinox
+
+// Appended: run-energy model tests.
+
+#include "core/experiment.hh"
+#include "workload/dnn_model.hh"
+
+namespace equinox
+{
+namespace synth
+{
+namespace
+{
+
+TEST(EnergyModel, ComponentsSumAndPowerWithinEnvelope)
+{
+    auto cfg = core::presetConfig(core::Preset::Us500);
+    core::ExperimentOptions opts;
+    opts.warmup_requests = 150;
+    opts.measure_requests = 1200;
+    auto r = core::runAtLoad(cfg, 0.9, opts);
+    auto e = estimateEnergy(cfg, r.sim);
+    EXPECT_NEAR(e.total_j,
+                e.alu_j + e.sram_j + e.simd_j + e.dram_j + e.static_j,
+                e.total_j * 1e-9);
+    EXPECT_GT(e.avg_power_w, 30.0);
+    // Average power cannot exceed the design's peak power model by much
+    // (the DSE sized the arrays against 75 W).
+    EXPECT_LT(e.avg_power_w, 90.0);
+    EXPECT_GT(e.pj_per_op, 0.0);
+}
+
+TEST(EnergyModel, IdleLoadBurnsLessDynamicEnergy)
+{
+    auto cfg = core::presetConfig(core::Preset::Us500);
+    core::ExperimentOptions opts;
+    opts.warmup_requests = 150;
+    opts.measure_requests = 1200;
+    auto low = core::runAtLoad(cfg, 0.1, opts);
+    auto high = core::runAtLoad(cfg, 0.9, opts);
+    auto el = estimateEnergy(cfg, low.sim);
+    auto eh = estimateEnergy(cfg, high.sim);
+    EXPECT_LT(el.avg_power_w, eh.avg_power_w);
+    // But energy per op is WORSE at low load: fixed power amortises
+    // over less work.
+    EXPECT_GT(el.pj_per_op, eh.pj_per_op);
+}
+
+TEST(EnergyModel, MinLatencyDesignIsDataMovementBound)
+{
+    // The section-2 argument: the n=1 design spends most dynamic energy
+    // moving data; the batched designs do not.
+    core::ExperimentOptions opts;
+    opts.warmup_requests = 150;
+    opts.measure_requests = 1200;
+    auto min_cfg = core::presetConfig(core::Preset::Min);
+    auto big_cfg = core::presetConfig(core::Preset::Us500);
+    auto rm = core::runAtLoad(min_cfg, 0.9, opts);
+    auto rb = core::runAtLoad(big_cfg, 0.9, opts);
+    auto em = estimateEnergy(min_cfg, rm.sim);
+    auto eb = estimateEnergy(big_cfg, rb.sim);
+    EXPECT_GT(em.data_movement_frac, 0.75);
+    EXPECT_LT(eb.data_movement_frac, 0.6);
+    EXPECT_GT(em.pj_per_op, 3.0 * eb.pj_per_op);
+}
+
+TEST(EnergyModel, EmptyRunIsZero)
+{
+    auto cfg = core::presetConfig(core::Preset::Us500);
+    sim::SimResult empty;
+    auto e = estimateEnergy(cfg, empty);
+    EXPECT_DOUBLE_EQ(e.total_j, 0.0);
+}
+
+} // namespace
+} // namespace synth
+} // namespace equinox
