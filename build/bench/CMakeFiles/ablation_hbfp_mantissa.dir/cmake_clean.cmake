@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hbfp_mantissa.dir/ablation_hbfp_mantissa.cc.o"
+  "CMakeFiles/ablation_hbfp_mantissa.dir/ablation_hbfp_mantissa.cc.o.d"
+  "ablation_hbfp_mantissa"
+  "ablation_hbfp_mantissa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hbfp_mantissa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spike_threshold.dir/ablation_spike_threshold.cc.o"
+  "CMakeFiles/ablation_spike_threshold.dir/ablation_spike_threshold.cc.o.d"
+  "ablation_spike_threshold"
+  "ablation_spike_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spike_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_staging_buffer.dir/ablation_staging_buffer.cc.o"
+  "CMakeFiles/ablation_staging_buffer.dir/ablation_staging_buffer.cc.o.d"
+  "ablation_staging_buffer"
+  "ablation_staging_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_staging_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_scheduling.dir/fig10_scheduling.cc.o"
+  "CMakeFiles/fig10_scheduling.dir/fig10_scheduling.cc.o.d"
+  "fig10_scheduling"
+  "fig10_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

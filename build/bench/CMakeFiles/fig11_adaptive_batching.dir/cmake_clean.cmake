@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_adaptive_batching.dir/fig11_adaptive_batching.cc.o"
+  "CMakeFiles/fig11_adaptive_batching.dir/fig11_adaptive_batching.cc.o.d"
+  "fig11_adaptive_batching"
+  "fig11_adaptive_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_adaptive_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_training_throughput.dir/fig9_training_throughput.cc.o"
+  "CMakeFiles/fig9_training_throughput.dir/fig9_training_throughput.cc.o.d"
+  "fig9_training_throughput"
+  "fig9_training_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_training_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

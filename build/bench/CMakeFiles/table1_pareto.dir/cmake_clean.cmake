@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pareto.dir/table1_pareto.cc.o"
+  "CMakeFiles/table1_pareto.dir/table1_pareto.cc.o.d"
+  "table1_pareto"
+  "table1_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_workload_sensitivity.dir/table2_workload_sensitivity.cc.o"
+  "CMakeFiles/table2_workload_sensitivity.dir/table2_workload_sensitivity.cc.o.d"
+  "table2_workload_sensitivity"
+  "table2_workload_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_workload_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocated_training.dir/colocated_training.cpp.o"
+  "CMakeFiles/colocated_training.dir/colocated_training.cpp.o.d"
+  "colocated_training"
+  "colocated_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocated_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbfp_trainer.dir/hbfp_trainer.cpp.o"
+  "CMakeFiles/hbfp_trainer.dir/hbfp_trainer.cpp.o.d"
+  "hbfp_trainer"
+  "hbfp_trainer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbfp_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

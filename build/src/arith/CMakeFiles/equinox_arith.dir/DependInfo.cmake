@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arith/bfloat16.cc" "src/arith/CMakeFiles/equinox_arith.dir/bfloat16.cc.o" "gcc" "src/arith/CMakeFiles/equinox_arith.dir/bfloat16.cc.o.d"
+  "/root/repo/src/arith/bfp.cc" "src/arith/CMakeFiles/equinox_arith.dir/bfp.cc.o" "gcc" "src/arith/CMakeFiles/equinox_arith.dir/bfp.cc.o.d"
+  "/root/repo/src/arith/gemm.cc" "src/arith/CMakeFiles/equinox_arith.dir/gemm.cc.o" "gcc" "src/arith/CMakeFiles/equinox_arith.dir/gemm.cc.o.d"
+  "/root/repo/src/arith/tensor.cc" "src/arith/CMakeFiles/equinox_arith.dir/tensor.cc.o" "gcc" "src/arith/CMakeFiles/equinox_arith.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/equinox_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equinox_arith.dir/bfloat16.cc.o"
+  "CMakeFiles/equinox_arith.dir/bfloat16.cc.o.d"
+  "CMakeFiles/equinox_arith.dir/bfp.cc.o"
+  "CMakeFiles/equinox_arith.dir/bfp.cc.o.d"
+  "CMakeFiles/equinox_arith.dir/gemm.cc.o"
+  "CMakeFiles/equinox_arith.dir/gemm.cc.o.d"
+  "CMakeFiles/equinox_arith.dir/tensor.cc.o"
+  "CMakeFiles/equinox_arith.dir/tensor.cc.o.d"
+  "libequinox_arith.a"
+  "libequinox_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equinox_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equinox_common.dir/logging.cc.o"
+  "CMakeFiles/equinox_common.dir/logging.cc.o.d"
+  "CMakeFiles/equinox_common.dir/random.cc.o"
+  "CMakeFiles/equinox_common.dir/random.cc.o.d"
+  "libequinox_common.a"
+  "libequinox_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equinox_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equinox.dir/experiment.cc.o"
+  "CMakeFiles/equinox.dir/experiment.cc.o.d"
+  "CMakeFiles/equinox.dir/presets.cc.o"
+  "CMakeFiles/equinox.dir/presets.cc.o.d"
+  "libequinox.a"
+  "libequinox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equinox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

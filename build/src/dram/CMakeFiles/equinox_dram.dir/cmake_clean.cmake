@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equinox_dram.dir/hbm.cc.o"
+  "CMakeFiles/equinox_dram.dir/hbm.cc.o.d"
+  "CMakeFiles/equinox_dram.dir/host_link.cc.o"
+  "CMakeFiles/equinox_dram.dir/host_link.cc.o.d"
+  "libequinox_dram.a"
+  "libequinox_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equinox_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equinox_isa.dir/instruction.cc.o"
+  "CMakeFiles/equinox_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/equinox_isa.dir/program.cc.o"
+  "CMakeFiles/equinox_isa.dir/program.cc.o.d"
+  "libequinox_isa.a"
+  "libequinox_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equinox_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equinox_model.dir/analytical.cc.o"
+  "CMakeFiles/equinox_model.dir/analytical.cc.o.d"
+  "CMakeFiles/equinox_model.dir/cacti_lite.cc.o"
+  "CMakeFiles/equinox_model.dir/cacti_lite.cc.o.d"
+  "CMakeFiles/equinox_model.dir/dse.cc.o"
+  "CMakeFiles/equinox_model.dir/dse.cc.o.d"
+  "CMakeFiles/equinox_model.dir/tech_params.cc.o"
+  "CMakeFiles/equinox_model.dir/tech_params.cc.o.d"
+  "libequinox_model.a"
+  "libequinox_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equinox_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equinox_nn.dir/datasets.cc.o"
+  "CMakeFiles/equinox_nn.dir/datasets.cc.o.d"
+  "CMakeFiles/equinox_nn.dir/layers.cc.o"
+  "CMakeFiles/equinox_nn.dir/layers.cc.o.d"
+  "CMakeFiles/equinox_nn.dir/loss.cc.o"
+  "CMakeFiles/equinox_nn.dir/loss.cc.o.d"
+  "CMakeFiles/equinox_nn.dir/mlp.cc.o"
+  "CMakeFiles/equinox_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/equinox_nn.dir/optimizer.cc.o"
+  "CMakeFiles/equinox_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/equinox_nn.dir/rnn.cc.o"
+  "CMakeFiles/equinox_nn.dir/rnn.cc.o.d"
+  "CMakeFiles/equinox_nn.dir/trainer.cc.o"
+  "CMakeFiles/equinox_nn.dir/trainer.cc.o.d"
+  "libequinox_nn.a"
+  "libequinox_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equinox_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/accelerator.cc" "src/sim/CMakeFiles/equinox_sim.dir/accelerator.cc.o" "gcc" "src/sim/CMakeFiles/equinox_sim.dir/accelerator.cc.o.d"
+  "/root/repo/src/sim/buffer.cc" "src/sim/CMakeFiles/equinox_sim.dir/buffer.cc.o" "gcc" "src/sim/CMakeFiles/equinox_sim.dir/buffer.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/equinox_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/equinox_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/equinox_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/equinox_sim.dir/event_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/equinox_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/equinox_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/equinox_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/equinox_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/equinox_arith.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

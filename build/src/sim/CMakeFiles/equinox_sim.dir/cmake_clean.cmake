@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equinox_sim.dir/accelerator.cc.o"
+  "CMakeFiles/equinox_sim.dir/accelerator.cc.o.d"
+  "CMakeFiles/equinox_sim.dir/buffer.cc.o"
+  "CMakeFiles/equinox_sim.dir/buffer.cc.o.d"
+  "CMakeFiles/equinox_sim.dir/config.cc.o"
+  "CMakeFiles/equinox_sim.dir/config.cc.o.d"
+  "CMakeFiles/equinox_sim.dir/event_queue.cc.o"
+  "CMakeFiles/equinox_sim.dir/event_queue.cc.o.d"
+  "libequinox_sim.a"
+  "libequinox_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equinox_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

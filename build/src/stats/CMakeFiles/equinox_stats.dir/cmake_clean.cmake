@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equinox_stats.dir/cycle_breakdown.cc.o"
+  "CMakeFiles/equinox_stats.dir/cycle_breakdown.cc.o.d"
+  "CMakeFiles/equinox_stats.dir/histogram.cc.o"
+  "CMakeFiles/equinox_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/equinox_stats.dir/registry.cc.o"
+  "CMakeFiles/equinox_stats.dir/registry.cc.o.d"
+  "CMakeFiles/equinox_stats.dir/table.cc.o"
+  "CMakeFiles/equinox_stats.dir/table.cc.o.d"
+  "libequinox_stats.a"
+  "libequinox_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equinox_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libequinox_stats.a"
+)

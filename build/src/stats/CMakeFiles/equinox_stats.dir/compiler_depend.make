@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for equinox_stats.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equinox_synth.dir/synthesis.cc.o"
+  "CMakeFiles/equinox_synth.dir/synthesis.cc.o.d"
+  "libequinox_synth.a"
+  "libequinox_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equinox_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

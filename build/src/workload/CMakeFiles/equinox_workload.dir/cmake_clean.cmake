@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equinox_workload.dir/compiler.cc.o"
+  "CMakeFiles/equinox_workload.dir/compiler.cc.o.d"
+  "CMakeFiles/equinox_workload.dir/dnn_model.cc.o"
+  "CMakeFiles/equinox_workload.dir/dnn_model.cc.o.d"
+  "libequinox_workload.a"
+  "libequinox_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equinox_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_buffer.cc" "tests/CMakeFiles/test_buffer.dir/test_buffer.cc.o" "gcc" "tests/CMakeFiles/test_buffer.dir/test_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/equinox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/equinox_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/equinox_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/equinox_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/equinox_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/equinox_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

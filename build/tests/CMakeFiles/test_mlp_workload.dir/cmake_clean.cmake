@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mlp_workload.dir/test_mlp_workload.cc.o"
+  "CMakeFiles/test_mlp_workload.dir/test_mlp_workload.cc.o.d"
+  "test_mlp_workload"
+  "test_mlp_workload.pdb"
+  "test_mlp_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mlp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_bfloat16[1]_include.cmake")
+include("/root/repo/build/tests/test_bfp[1]_include.cmake")
+include("/root/repo/build/tests/test_gemm[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_buffer[1]_include.cmake")
+include("/root/repo/build/tests/test_accelerator[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_synth[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_rnn[1]_include.cmake")
+include("/root/repo/build/tests/test_mlp_workload[1]_include.cmake")
