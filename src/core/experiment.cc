@@ -33,6 +33,20 @@ LoadPointResult
 runAtLoad(const sim::AcceleratorConfig &cfg, double load,
           const ExperimentOptions &opts)
 {
+    // Reject unusable user input with the full actionable report before
+    // any machinery is built; internal invariants further down still
+    // panic, but a bad knob should never get that far.
+    if (auto errors = cfg.validate(); !errors.empty()) {
+        EQX_FATAL("invalid accelerator configuration '", cfg.name,
+                  "':\n", sim::formatConfigErrors(errors));
+    }
+    if (auto errors = opts.fault_plan.validate(); !errors.empty()) {
+        std::string joined;
+        for (const auto &e : errors)
+            joined += "\n  " + e;
+        EQX_FATAL("invalid fault plan:", joined);
+    }
+
     workload::Compiler compiler(cfg);
     sim::Accelerator accel(cfg);
 
@@ -54,6 +68,7 @@ runAtLoad(const sim::AcceleratorConfig &cfg, double load,
     spec.measure_iterations = opts.measure_iterations;
     spec.max_sim_s = opts.max_sim_s;
     spec.seed = opts.seed;
+    spec.faults = opts.fault_plan;
 
     LoadPointResult res;
     res.load = load;

@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault_plan.hh"
 #include "sim/accelerator.hh"
 #include "sim/config.hh"
 #include "workload/compiler.hh"
@@ -41,6 +42,13 @@ struct ExperimentOptions
     std::uint64_t measure_iterations = 15;
     double max_sim_s = 30.0;
     std::uint64_t seed = 1;
+
+    /**
+     * Faults to inject and recovery policies to answer them with. The
+     * default plan injects nothing, keeping fault-free experiments
+     * byte-identical to a build without the fault layer.
+     */
+    fault::FaultPlan fault_plan;
 };
 
 /** One measured load point. */

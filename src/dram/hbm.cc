@@ -39,6 +39,13 @@ PriorityLink::streamCycles(ByteCount bytes) const
 Tick
 PriorityLink::transfer(Tick now, ByteCount bytes, Priority priority)
 {
+    return transfer(now, bytes, priority, nullptr);
+}
+
+Tick
+PriorityLink::transfer(Tick now, ByteCount bytes, Priority priority,
+                       TransferFault *fault)
+{
     Tick cycles = streamCycles(bytes);
     Tick start;
     if (priority == Priority::High) {
@@ -57,7 +64,14 @@ PriorityLink::transfer(Tick now, ByteCount bytes, Priority priority)
         lp_bytes += bytes;
     }
     busy_cycles += cycles;
-    return start + cycles + latency_cycles;
+    Tick finish = start + cycles + latency_cycles;
+    if (fault_hook) {
+        TransferFault f = fault_hook->onTransfer(now, bytes, priority);
+        finish += f.extra_cycles;
+        if (fault)
+            *fault = f;
+    }
+    return finish;
 }
 
 Tick

@@ -30,6 +30,32 @@ enum class Priority
     Low,  //!< training / best-effort traffic
 };
 
+/** What the fault layer did to one transfer (all-clear by default). */
+struct TransferFault
+{
+    /** Extra completion latency (e.g. ECC correction stalls). */
+    Tick extra_cycles = 0;
+    /** Payload never arrived (drop) or failed its CRC (corruption);
+     *  either way the caller must retry the transfer. */
+    bool failed = false;
+    /** ECC flagged a detected-uncorrectable data error. */
+    bool uncorrectable = false;
+};
+
+/**
+ * Fault-injection hook consulted once per transfer. Implemented by the
+ * fault subsystem; links without a hook attached behave exactly as
+ * before the fault layer existed.
+ */
+class LinkFaultHook
+{
+  public:
+    virtual ~LinkFaultHook() = default;
+    /** Decide the fate of a transfer of @p bytes issued at @p now. */
+    virtual TransferFault onTransfer(Tick now, ByteCount bytes,
+                                     Priority p) = 0;
+};
+
 /** A shared link with queuing, latency and priority reservation. */
 class PriorityLink
 {
@@ -52,6 +78,18 @@ class PriorityLink
      * @return the tick at which the last byte is available.
      */
     Tick transfer(Tick now, ByteCount bytes, Priority priority);
+
+    /**
+     * Like transfer(), but reports what the attached fault hook did to
+     * the access through @p fault (untouched when no hook is attached).
+     * A failed transfer still occupies the link -- the bytes moved (or
+     * timed out) even though the payload is unusable.
+     */
+    Tick transfer(Tick now, ByteCount bytes, Priority priority,
+                  TransferFault *fault);
+
+    /** Attach (or clear, with nullptr) the fault-injection hook. */
+    void setFaultHook(LinkFaultHook *hook) { fault_hook = hook; }
 
     /** Earliest tick at which a transfer of class @p p could begin. */
     Tick nextFree(Priority p) const;
@@ -77,6 +115,7 @@ class PriorityLink
     Config cfg;
     double bytes_per_cycle;
     Tick latency_cycles;
+    LinkFaultHook *fault_hook = nullptr;
     Tick hp_free = 0;       //!< next tick with free capacity for HP
     Tick lp_free = 0;       //!< next tick with free capacity for LP
     Tick busy_cycles = 0;

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * FaultPlan: the deterministic, seeded description of every fault process
+ * and recovery policy a simulation run is subjected to.
+ *
+ * A plan combines stochastic fault processes (Poisson/Bernoulli rates for
+ * DRAM transient bit errors, host-link drops and corruptions, and
+ * MMU/dispatcher hangs) with explicitly scheduled faults, plus the
+ * recovery policies the machine answers them with: per-request retry with
+ * exponential backoff and jitter at the host interface, a watchdog that
+ * detects hung service and performs a costed reset, periodic
+ * training-weight checkpoints with rollback-and-replay, and a
+ * graceful-degradation policy that sheds work during fault storms.
+ *
+ * The default-constructed plan has every rate at zero and injects
+ * nothing: the simulator skips the fault layer entirely, so fault-free
+ * runs are byte-identical to a build without this subsystem.
+ */
+
+#ifndef EQUINOX_FAULT_FAULT_PLAN_HH
+#define EQUINOX_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace equinox
+{
+namespace fault
+{
+
+/** Kinds of injectable faults. */
+enum class FaultKind
+{
+    DramBitError,      //!< transient DRAM bit flip(s) during one access
+    DramUncorrectable, //!< multi-bit flip in one codeword (forced DUE)
+    HostLinkDrop,      //!< host-link request lost in flight
+    HostLinkCorrupt,   //!< host-link payload corrupted (CRC-detected)
+    MmuHang,           //!< MMU/dispatcher stops issuing until recovered
+};
+
+const char *faultKindName(FaultKind k);
+
+/** One explicitly scheduled (non-stochastic) fault. */
+struct ScheduledFault
+{
+    double at_s = 0.0;
+    FaultKind kind = FaultKind::MmuHang;
+};
+
+/** Host-interface retry policy (exponential backoff with jitter). */
+struct RetryPolicy
+{
+    /** Retries after the first attempt before giving up. */
+    unsigned max_retries = 8;
+    /** First backoff wait. */
+    double base_backoff_s = 2e-6;
+    /** Geometric backoff growth per retry. */
+    double backoff_multiplier = 2.0;
+    /** Uniform jitter fraction added to each wait (decorrelates herds). */
+    double jitter_frac = 0.25;
+    /**
+     * Per-request recovery deadline; once the accumulated retry delay
+     * exceeds it the request is shed instead of retried. 0 = none.
+     */
+    double deadline_s = 0.0;
+};
+
+/** Watchdog policy for hung-service detection and reset. */
+struct WatchdogPolicy
+{
+    bool enabled = true;
+    /** Silence interval after which the service is declared hung. */
+    double timeout_s = 500e-6;
+    /** Fixed controller-reset cost before weights re-install from DRAM. */
+    double reset_cost_s = 50e-6;
+    /**
+     * How long an undetected hang persists before clearing on its own
+     * (models a transient dispatcher stall); only used when the
+     * watchdog is disabled.
+     */
+    double hang_duration_s = 5e-3;
+};
+
+/** Periodic training-weight checkpoint policy. */
+struct CheckpointPolicy
+{
+    /** Iterations between checkpoints to DRAM; 0 disables them. */
+    unsigned interval_iterations = 10;
+};
+
+/** Graceful degradation during fault storms. */
+struct DegradePolicy
+{
+    bool enabled = true;
+    /** Faults inside the window that declare a storm. */
+    unsigned storm_faults = 8;
+    /** Sliding storm-detection window. */
+    double storm_window_s = 1e-3;
+    /**
+     * Storm severity (multiple of storm_faults in the window) at which
+     * inference requests are shed in addition to training.
+     */
+    unsigned shed_inference_factor = 2;
+};
+
+/** SECDED ECC model parameters for the DRAM interface. */
+struct EccConfig
+{
+    /** Data bits per codeword (SECDED(72,64) by default). */
+    unsigned word_bits = 64;
+    /** Extra access latency charged per corrected error. */
+    unsigned correction_cycles = 32;
+};
+
+/** A complete, seeded fault-injection and recovery plan for one run. */
+struct FaultPlan
+{
+    std::uint64_t seed = 1;
+
+    // -- stochastic fault processes (all default to "never") ----------
+    /** Transient DRAM bit flips per bit transferred (Poisson). */
+    double dram_bit_error_rate = 0.0;
+    /** Probability one host-link transfer is dropped in flight. */
+    double host_drop_prob = 0.0;
+    /** Probability one host-link transfer arrives corrupted. */
+    double host_corrupt_prob = 0.0;
+    /** MMU/dispatcher hang events per simulated second (Poisson). */
+    double mmu_hang_rate_per_s = 0.0;
+
+    /** Explicitly scheduled faults, any order. */
+    std::vector<ScheduledFault> scheduled;
+
+    // -- recovery policies --------------------------------------------
+    EccConfig ecc;
+    RetryPolicy retry;
+    WatchdogPolicy watchdog;
+    CheckpointPolicy checkpoint;
+    DegradePolicy degrade;
+
+    /** True when the plan can inject at least one fault. */
+    bool enabled() const;
+
+    /**
+     * Sanity-check the plan; returns actionable messages for each
+     * out-of-range knob (empty = valid).
+     */
+    std::vector<std::string> validate() const;
+};
+
+} // namespace fault
+} // namespace equinox
+
+#endif // EQUINOX_FAULT_FAULT_PLAN_HH

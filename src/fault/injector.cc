@@ -1,0 +1,216 @@
+#include "fault/injector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace equinox
+{
+namespace fault
+{
+
+// ---------------------------------------------------------------------
+// SECDED ECC model
+// ---------------------------------------------------------------------
+
+EccModel::Outcome
+EccModel::apply(unsigned flips, ByteCount bytes, Rng &rng) const
+{
+    Outcome out;
+    if (flips == 0)
+        return out;
+    std::uint64_t words =
+        std::max<std::uint64_t>(1, (bytes * 8 + cfg.word_bits - 1) /
+                                       cfg.word_bits);
+    // Land each flip in a uniform codeword; a word with one flip is
+    // corrected, two or more in the same word defeat SECDED's single
+    // correction and are detected uncorrectable. Flip counts are tiny
+    // (transient upsets), so a sorted scan beats a per-word array.
+    std::vector<std::uint64_t> hit;
+    hit.reserve(flips);
+    for (unsigned i = 0; i < flips; ++i)
+        hit.push_back(rng.uniformInt(0, words - 1));
+    std::sort(hit.begin(), hit.end());
+    for (std::size_t i = 0; i < hit.size();) {
+        std::size_t j = i + 1;
+        while (j < hit.size() && hit[j] == hit[i])
+            ++j;
+        if (j - i == 1)
+            ++out.corrected;
+        else
+            ++out.uncorrectable;
+        i = j;
+    }
+    out.extra_cycles =
+        static_cast<Tick>(out.corrected) * cfg.correction_cycles;
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------
+
+FaultInjector::FaultInjector(const FaultPlan &plan, double freq_hz,
+                             stats::FaultStats *fault_stats)
+    : plan_(plan),
+      frequency_hz(freq_hz),
+      stats(fault_stats),
+      ecc(plan.ecc),
+      // Fixed offsets fork one seed into independent streams.
+      dram_rng(plan.seed * 6364136223846793005ull + 1),
+      host_rng(plan.seed * 6364136223846793005ull + 2),
+      hang_rng(plan.seed * 6364136223846793005ull + 3),
+      retry_rng(plan.seed * 6364136223846793005ull + 4)
+{
+    EQX_ASSERT(frequency_hz > 0.0, "injector needs a positive clock");
+    for (const auto &sf : plan_.scheduled) {
+        Tick at = units::secondsToCycles(sf.at_s, frequency_hz);
+        switch (sf.kind) {
+          case FaultKind::DramBitError:
+          case FaultKind::DramUncorrectable:
+            forced_dram.push_back({at, sf.kind});
+            break;
+          case FaultKind::HostLinkDrop:
+          case FaultKind::HostLinkCorrupt:
+            forced_host.push_back({at, sf.kind});
+            break;
+          case FaultKind::MmuHang:
+            break; // folded into hangSchedule()
+        }
+    }
+    auto by_time = [](const Forced &a, const Forced &b) {
+        return a.at < b.at;
+    };
+    std::sort(forced_dram.begin(), forced_dram.end(), by_time);
+    std::sort(forced_host.begin(), forced_host.end(), by_time);
+}
+
+void
+FaultInjector::record(Tick tick, FaultKind kind, ByteCount bytes)
+{
+    if (trace_.size() < kTraceCap)
+        trace_.push_back({tick, kind, bytes});
+}
+
+std::vector<Tick>
+FaultInjector::hangSchedule(Tick horizon)
+{
+    std::vector<Tick> ticks;
+    for (const auto &sf : plan_.scheduled) {
+        if (sf.kind != FaultKind::MmuHang)
+            continue;
+        Tick at = units::secondsToCycles(sf.at_s, frequency_hz);
+        if (at <= horizon)
+            ticks.push_back(at);
+    }
+    if (plan_.mmu_hang_rate_per_s > 0.0) {
+        double rate_per_cycle = plan_.mmu_hang_rate_per_s / frequency_hz;
+        double t = 0.0;
+        while (true) {
+            t += hang_rng.exponential(rate_per_cycle);
+            if (t > static_cast<double>(horizon))
+                break;
+            ticks.push_back(static_cast<Tick>(t));
+        }
+    }
+    std::sort(ticks.begin(), ticks.end());
+    return ticks;
+}
+
+Tick
+FaultInjector::backoffCycles(unsigned attempt)
+{
+    const auto &rp = plan_.retry;
+    double wait_s = rp.base_backoff_s *
+                    std::pow(rp.backoff_multiplier,
+                             static_cast<double>(attempt));
+    wait_s *= 1.0 + rp.jitter_frac * retry_rng.uniform();
+    return std::max<Tick>(1, units::secondsToCycles(wait_s,
+                                                    frequency_hz));
+}
+
+dram::TransferFault
+FaultInjector::DramHook::onTransfer(Tick now, ByteCount bytes,
+                                    dram::Priority)
+{
+    auto &inj = injector;
+    dram::TransferFault out;
+
+    unsigned flips = 0;
+    unsigned forced_due = 0;
+    if (inj.next_forced_dram < inj.forced_dram.size() &&
+        now >= inj.forced_dram[inj.next_forced_dram].at) {
+        const auto &f = inj.forced_dram[inj.next_forced_dram++];
+        if (f.kind == FaultKind::DramUncorrectable)
+            forced_due = 1;
+        else
+            flips = 1;
+    }
+    if (inj.plan_.dram_bit_error_rate > 0.0) {
+        double mean = static_cast<double>(bytes) * 8.0 *
+                      inj.plan_.dram_bit_error_rate;
+        std::poisson_distribution<unsigned> dist(mean);
+        flips += dist(inj.dram_rng.raw());
+    }
+    if (flips == 0 && forced_due == 0)
+        return out;
+
+    auto ecc = inj.ecc.apply(flips, bytes, inj.dram_rng);
+    ecc.uncorrectable += forced_due;
+    if (inj.stats) {
+        inj.stats->dram_corrected += ecc.corrected;
+        inj.stats->dram_uncorrectable += ecc.uncorrectable;
+    }
+    if (ecc.corrected > 0)
+        inj.record(now, FaultKind::DramBitError, bytes);
+    if (ecc.uncorrectable > 0)
+        inj.record(now, FaultKind::DramUncorrectable, bytes);
+    out.extra_cycles = ecc.extra_cycles;
+    out.uncorrectable = ecc.uncorrectable > 0;
+    return out;
+}
+
+dram::TransferFault
+FaultInjector::HostHook::onTransfer(Tick now, ByteCount bytes,
+                                    dram::Priority)
+{
+    auto &inj = injector;
+    dram::TransferFault out;
+
+    if (inj.next_forced_host < inj.forced_host.size() &&
+        now >= inj.forced_host[inj.next_forced_host].at) {
+        const auto &f = inj.forced_host[inj.next_forced_host++];
+        out.failed = true;
+        if (inj.stats) {
+            if (f.kind == FaultKind::HostLinkDrop)
+                ++inj.stats->host_drops;
+            else
+                ++inj.stats->host_corruptions;
+        }
+        inj.record(now, f.kind, bytes);
+        return out;
+    }
+
+    double drop = inj.plan_.host_drop_prob;
+    double corrupt = inj.plan_.host_corrupt_prob;
+    if (drop <= 0.0 && corrupt <= 0.0)
+        return out;
+    double u = inj.host_rng.uniform();
+    if (u < drop) {
+        out.failed = true;
+        if (inj.stats)
+            ++inj.stats->host_drops;
+        inj.record(now, FaultKind::HostLinkDrop, bytes);
+    } else if (u < drop + corrupt) {
+        out.failed = true;
+        if (inj.stats)
+            ++inj.stats->host_corruptions;
+        inj.record(now, FaultKind::HostLinkCorrupt, bytes);
+    }
+    return out;
+}
+
+} // namespace fault
+} // namespace equinox

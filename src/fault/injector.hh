@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The deterministic fault injector: turns a FaultPlan into concrete fault
+ * events using seeded per-process random streams, so identical
+ * (seed, plan) pairs produce bit-identical fault traces.
+ *
+ * Three injection surfaces:
+ *  - a DRAM hook that samples transient bit flips per access and pushes
+ *    them through a SECDED ECC model (corrected errors cost extra access
+ *    latency, double-bit errors in one codeword are detected
+ *    uncorrectable and must be answered by rollback upstairs);
+ *  - a host-link hook that drops or corrupts whole transfers (both
+ *    CRC/timeout-detected, so the caller retries);
+ *  - a pre-sampled Poisson schedule of MMU/dispatcher hang events the
+ *    simulator turns into watchdog recoveries.
+ *
+ * Every injected fault is appended to a bounded trace for determinism
+ * tests and debugging.
+ */
+
+#ifndef EQUINOX_FAULT_INJECTOR_HH
+#define EQUINOX_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "dram/link.hh"
+#include "fault/fault_plan.hh"
+#include "stats/fault_stats.hh"
+
+namespace equinox
+{
+namespace fault
+{
+
+/** One injected fault, as recorded in the trace. */
+struct FaultRecord
+{
+    Tick tick = 0;
+    FaultKind kind = FaultKind::MmuHang;
+    /** Bytes of the affected access (0 for hangs). */
+    ByteCount bytes = 0;
+
+    bool
+    operator==(const FaultRecord &o) const
+    {
+        return tick == o.tick && kind == o.kind && bytes == o.bytes;
+    }
+};
+
+/**
+ * SECDED ECC outcome model. Bit flips land uniformly in the access's
+ * codewords; a codeword with exactly one flip is corrected (costing
+ * correction_cycles of extra latency), one with two or more is a
+ * detected-uncorrectable error. Stateless apart from the caller's Rng.
+ */
+class EccModel
+{
+  public:
+    struct Outcome
+    {
+        unsigned corrected = 0;
+        unsigned uncorrectable = 0;
+        Tick extra_cycles = 0;
+    };
+
+    explicit EccModel(const EccConfig &config) : cfg(config) {}
+
+    /**
+     * Push @p flips bit errors in an access of @p bytes through SECDED.
+     * @p rng decides which codewords the flips land in.
+     */
+    Outcome apply(unsigned flips, ByteCount bytes, Rng &rng) const;
+
+  private:
+    EccConfig cfg;
+};
+
+/** Per-run fault event source; owns the hooks the links call back into. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param plan the fault processes and policies to realise
+     * @param frequency_hz accelerator clock, to convert plan seconds
+     * @param stats counters updated as faults are injected
+     */
+    FaultInjector(const FaultPlan &plan, double frequency_hz,
+                  stats::FaultStats *stats);
+
+    /** Hook for the DRAM (HBM) interface: ECC bit-error model. */
+    dram::LinkFaultHook *dramHook() { return &dram_hook; }
+
+    /** Hook for the host (PCIe) interface: drop/corruption model. */
+    dram::LinkFaultHook *hostHook() { return &host_hook; }
+
+    /**
+     * All MMU-hang ticks (Poisson-sampled plus scheduled) inside
+     * [0, horizon], ascending. Sampled once; stable for the run.
+     */
+    std::vector<Tick> hangSchedule(Tick horizon);
+
+    /** Jittered exponential-backoff wait before retry @p attempt. */
+    Tick backoffCycles(unsigned attempt);
+
+    /** The plan being realised. */
+    const FaultPlan &plan() const { return plan_; }
+
+    /** Everything injected so far (bounded at kTraceCap records). */
+    const std::vector<FaultRecord> &trace() const { return trace_; }
+
+    static constexpr std::size_t kTraceCap = 65536;
+
+  private:
+    class DramHook : public dram::LinkFaultHook
+    {
+      public:
+        explicit DramHook(FaultInjector &inj) : injector(inj) {}
+        dram::TransferFault onTransfer(Tick now, ByteCount bytes,
+                                       dram::Priority p) override;
+
+      private:
+        FaultInjector &injector;
+    };
+
+    class HostHook : public dram::LinkFaultHook
+    {
+      public:
+        explicit HostHook(FaultInjector &inj) : injector(inj) {}
+        dram::TransferFault onTransfer(Tick now, ByteCount bytes,
+                                       dram::Priority p) override;
+
+      private:
+        FaultInjector &injector;
+    };
+
+    void record(Tick tick, FaultKind kind, ByteCount bytes);
+
+    /** A scheduled fault armed against the next matching transfer. */
+    struct Forced
+    {
+        Tick at = 0;
+        FaultKind kind = FaultKind::DramBitError;
+    };
+
+    FaultPlan plan_;
+    double frequency_hz;
+    stats::FaultStats *stats;
+    EccModel ecc;
+
+    // Independent deterministic streams so one process's draw count
+    // cannot perturb another's sequence.
+    Rng dram_rng;
+    Rng host_rng;
+    Rng hang_rng;
+    Rng retry_rng;
+
+    DramHook dram_hook{*this};
+    HostHook host_hook{*this};
+
+    // Scheduled link faults fire on the first transfer at/after their
+    // time (ascending; next_* indexes the next unconsumed entry).
+    std::vector<Forced> forced_dram;
+    std::vector<Forced> forced_host;
+    std::size_t next_forced_dram = 0;
+    std::size_t next_forced_host = 0;
+
+    std::vector<FaultRecord> trace_;
+};
+
+} // namespace fault
+} // namespace equinox
+
+#endif // EQUINOX_FAULT_INJECTOR_HH

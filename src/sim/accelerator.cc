@@ -58,6 +58,13 @@ struct Accelerator::TrainState
     std::size_t prefetch_step = 0;
     ByteCount prefetch_off = 0;
     std::uint64_t iterations = 0;
+    /** Iterations durably saved by the last checkpoint (recovery). */
+    std::uint64_t committed_iterations = 0;
+    /**
+     * Bumped on every rollback/reset; in-flight prefetch completions
+     * and MMU chunks from an older epoch are stale and ignored.
+     */
+    std::uint64_t epoch = 0;
 };
 
 Accelerator::Accelerator(AcceleratorConfig config)
@@ -67,8 +74,13 @@ Accelerator::Accelerator(AcceleratorConfig config)
       instr_buffer("instruction", cfg.instr_buffer_bytes, 1, 1, 1),
       simd_rf("simd-rf", cfg.simd_rf_bytes, 4, 2, 2)
 {
-    EQX_ASSERT(cfg.n > 0 && cfg.m > 0 && cfg.w > 0, "degenerate MMU");
-    EQX_ASSERT(cfg.frequency_hz > 0.0, "accelerator needs a clock");
+    // Bad geometry/clock here is user configuration, not a simulator
+    // bug: report every problem with an actionable message and exit.
+    auto errors = cfg.validate();
+    if (!errors.empty()) {
+        EQX_FATAL("invalid accelerator configuration '", cfg.name,
+                  "':\n", formatConfigErrors(errors));
+    }
 }
 
 Accelerator::~Accelerator() = default;
@@ -182,6 +194,13 @@ Accelerator::onRequestArrival(std::size_t svc_idx)
         scheduleNextArrival(svc_idx);
         return;
     }
+    if (shed_inference) {
+        // Severe fault storm: the degradation policy sheds requests at
+        // admission rather than queuing into an impaired machine.
+        ++fstats.shed_requests;
+        scheduleNextArrival(svc_idx);
+        return;
+    }
     svc.pending.push_back(events.now());
     formFullBatches(svc);
     armBatchTimeout(svc);
@@ -205,8 +224,8 @@ Accelerator::formFullBatches(InfService &svc)
         ByteCount in_bytes = static_cast<ByteCount>(batch->real) *
                              svc.desc.input_bytes_per_request;
         batch->ready_at = in_bytes
-                              ? host->transfer(events.now(), in_bytes,
-                                               dram::Priority::High)
+                              ? hostTransfer(events.now(), in_bytes,
+                                             dram::Priority::High)
                               : events.now();
         if (measuring) {
             ++batches_formed;
@@ -234,8 +253,8 @@ Accelerator::formPartialBatch(InfService &svc)
     ByteCount in_bytes = static_cast<ByteCount>(batch->real) *
                          svc.desc.input_bytes_per_request;
     batch->ready_at = in_bytes
-                          ? host->transfer(events.now(), in_bytes,
-                                           dram::Priority::High)
+                          ? hostTransfer(events.now(), in_bytes,
+                                         dram::Priority::High)
                           : events.now();
     if (measuring) {
         ++batches_formed;
@@ -258,18 +277,37 @@ Accelerator::armBatchTimeout(InfService &svc)
     Tick fire_at = svc.pending.front() + svc.timeout_cycles;
     fire_at = std::max(fire_at, events.now());
     InfService *p = &svc;
-    events.schedule(fire_at, [this, p] {
-        p->timeout_armed = false;
-        if (p->pending.empty() || stopping)
-            return;
-        if (events.now() >= p->pending.front() + p->timeout_cycles) {
-            // The request controller pads the input arrays with dummy
-            // requests whose results are disposed (section 3.1).
-            formPartialBatch(*p);
-        }
-        armBatchTimeout(*p);
-        tryDispatch();
-    });
+    events.schedule(fire_at, [this, p] { onBatchTimeout(p); });
+}
+
+/**
+ * The armed batch-formation timeout fired. The queue may have changed
+ * arbitrarily since arming: the request the timer was armed for can be
+ * long gone (batched into a full batch), and the queue can have drained
+ * and refilled with younger requests. Each case must leave exactly one
+ * live timer whenever requests are pending, keyed to the CURRENT oldest
+ * request's deadline -- a request left waiting without a timer would
+ * strand until the next arrival.
+ */
+void
+Accelerator::onBatchTimeout(InfService *svc)
+{
+    // The armed flag must drop before any early return: every exit path
+    // below either re-arms explicitly or leaves the queue empty (and
+    // the next arrival re-arms).
+    svc->timeout_armed = false;
+    if (svc->pending.empty() || stopping)
+        return;
+    if (events.now() >= svc->pending.front() + svc->timeout_cycles) {
+        // The request controller pads the input arrays with dummy
+        // requests whose results are disposed (section 3.1).
+        formPartialBatch(*svc);
+    }
+    // Queue drained between arm and fire, then refilled: the oldest
+    // pending request is younger than the one the timer was armed for,
+    // so its deadline is still in the future -- re-arm for it.
+    armBatchTimeout(*svc);
+    tryDispatch();
 }
 
 std::uint64_t
@@ -348,6 +386,10 @@ Accelerator::trainingReady() const
 {
     if (!train || train->in_flight)
         return false;
+    // Graceful degradation: during a fault storm training is shed first
+    // so the machine's remaining capacity serves inference.
+    if (storm_active)
+        return false;
     if (train->ready_at > events.now())
         return false;
     const auto &tw = train->desc.iteration.steps[train->step].mmu;
@@ -367,7 +409,9 @@ Accelerator::trainingReady() const
 void
 Accelerator::tryDispatch()
 {
-    if (mmu_busy || stopping)
+    // A hung dispatcher issues nothing until the watchdog (or the
+    // transient stall itself) clears the hang and re-invokes us.
+    if (mmu_busy || stopping || mmu_hung)
         return;
     Tick now = events.now();
 
@@ -570,8 +614,8 @@ Accelerator::completeInferenceChunk(InfBatch *batch, Tick chunk)
         // Batch complete: stream results to the host and retire.
         ByteCount out = static_cast<ByteCount>(batch->real) *
                         batch->svc->desc.output_bytes_per_request;
-        Tick finish = out ? host->transfer(ready, out,
-                                           dram::Priority::High)
+        Tick finish = out ? hostTransfer(ready, out,
+                                         dram::Priority::High)
                           : ready;
         if (measuring) {
             for (Tick a : batch->arrivals) {
@@ -637,7 +681,18 @@ Accelerator::issueTrainingChunk()
 
     mmu_busy = true;
     train->in_flight = true;
-    events.scheduleIn(chunk, [this, chunk] {
+    std::uint64_t epoch = train->epoch;
+    events.scheduleIn(chunk, [this, chunk, epoch] {
+        if (epoch != train->epoch) {
+            // A rollback/reset invalidated this chunk mid-flight: free
+            // the array but do not advance the (replayed) iteration.
+            mmu_busy = false;
+            train->in_flight = false;
+            mmu_last_release = events.now();
+            inf_waiting_at_release = !batch_queue.empty();
+            tryDispatch();
+            return;
+        }
         completeTrainingChunk(chunk, 0.0);
     });
 }
@@ -669,8 +724,17 @@ Accelerator::advanceTrainingStep()
 
     // Write results (activations for the backward pass, gradient
     // accumulations) back to DRAM at best-effort priority.
-    if (sb.store_bytes > 0)
-        hbm->transfer(now, sb.store_bytes, dram::Priority::Low);
+    if (sb.store_bytes > 0) {
+        dram::TransferFault f;
+        hbm->transfer(now, sb.store_bytes, dram::Priority::Low,
+                      injector ? &f : nullptr);
+        syncFaults();
+        if (f.uncorrectable) {
+            // The written-back gradients are poisoned; finish this
+            // event's bookkeeping, then roll back to the checkpoint.
+            events.schedule(now, [this] { trainingRollback(); });
+        }
+    }
 
     Tick drained = now + sb.drain_cycles;
     Tick simd_start = std::max(drained, simd_free);
@@ -691,13 +755,14 @@ Accelerator::advanceTrainingStep()
         // host interface; double-buffered so it overlaps the next
         // iteration's compute.
         if (train->desc.sync_bytes_per_iteration > 0) {
-            host->transfer(now, train->desc.sync_bytes_per_iteration,
-                           dram::Priority::Low);
+            hostTransfer(now, train->desc.sync_bytes_per_iteration,
+                         dram::Priority::Low);
             if (measuring) {
                 host_bytes_measured +=
                     train->desc.sync_bytes_per_iteration;
             }
         }
+        maybeWriteCheckpoint();
         if (measuring) {
             ++train_iterations_measured;
             if (!inference_load &&
@@ -754,15 +819,298 @@ Accelerator::prefetchPump()
                                                   train->prefetch_off);
         train->prefetch_off += chunk;
         train->inflight_bytes += static_cast<double>(chunk);
+        dram::TransferFault f;
         Tick done = hbm->transfer(events.now(), chunk,
-                                  dram::Priority::Low);
-        events.schedule(done, [this, chunk] {
+                                  dram::Priority::Low,
+                                  injector ? &f : nullptr);
+        syncFaults();
+        if (f.uncorrectable) {
+            // ECC flagged the staged operands as poisoned: when the
+            // access would have landed, roll training back to the last
+            // checkpoint instead of consuming garbage.
+            events.schedule(done, [this] { trainingRollback(); });
+            return;
+        }
+        std::uint64_t epoch = train->epoch;
+        events.schedule(done, [this, chunk, epoch] {
+            if (epoch != train->epoch)
+                return; // superseded by a rollback/reset
             train->inflight_bytes -= static_cast<double>(chunk);
             train->staged_bytes += static_cast<double>(chunk);
             prefetchPump();
             tryDispatch();
         });
     }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection and recovery
+// ---------------------------------------------------------------------
+
+Tick
+Accelerator::hostTransfer(Tick start, ByteCount bytes,
+                          dram::Priority prio, bool *ok)
+{
+    if (ok)
+        *ok = true;
+    if (!injector)
+        return host->transfer(start, bytes, prio);
+
+    const auto &rp = spec.faults.retry;
+    Tick deadline = kTickMax;
+    if (rp.deadline_s > 0.0) {
+        deadline = start + units::secondsToCycles(rp.deadline_s,
+                                                  cfg.frequency_hz);
+    }
+    Tick first_finish = 0;
+    for (unsigned attempt = 0;; ++attempt) {
+        dram::TransferFault f;
+        Tick finish = host->transfer(start, bytes, prio, &f);
+        syncFaults();
+        if (attempt == 0)
+            first_finish = finish;
+        if (!f.failed) {
+            if (attempt > 0) {
+                fstats.recovery_cycles.record(
+                    static_cast<double>(finish - first_finish));
+            }
+            return finish;
+        }
+        if (attempt >= rp.max_retries || finish >= deadline) {
+            // Retry budget or per-request deadline exhausted: the
+            // payload is lost for good; livelock is impossible because
+            // both bounds are finite.
+            ++fstats.host_give_ups;
+            if (ok)
+                *ok = false;
+            return finish;
+        }
+        ++fstats.host_retries;
+        // A drop is detected by the response timeout, a corruption by
+        // the delivery CRC; either way the retry launches after the
+        // attempt's delivery horizon plus jittered backoff.
+        start = finish + injector->backoffCycles(attempt);
+    }
+}
+
+void
+Accelerator::onMmuHang()
+{
+    if (stopping || mmu_hung)
+        return;
+    Tick now = events.now();
+    mmu_hung = true;
+    hang_started_at = now;
+    ++fstats.mmu_hangs;
+    syncFaults();
+    const auto &wd = spec.faults.watchdog;
+    if (wd.enabled) {
+        Tick detect = now + units::secondsToCycles(wd.timeout_s,
+                                                   cfg.frequency_hz);
+        events.schedule(detect, [this] { onWatchdogFire(); });
+    } else {
+        // No watchdog: the stall persists until it clears on its own.
+        Tick clear = now + units::secondsToCycles(wd.hang_duration_s,
+                                                  cfg.frequency_hz);
+        Tick started = now;
+        events.schedule(clear, [this, started] {
+            clearTransientHang(started);
+        });
+    }
+}
+
+void
+Accelerator::onWatchdogFire()
+{
+    if (!mmu_hung || stopping)
+        return;
+    Tick now = events.now();
+    ++fstats.watchdog_resets;
+    const auto &wd = spec.faults.watchdog;
+    // Costed reset: fixed controller reset, then every installed
+    // service's weights re-install from DRAM at critical priority.
+    Tick resume = now + units::secondsToCycles(wd.reset_cost_s,
+                                               cfg.frequency_hz);
+    ByteCount weights = 0;
+    for (const auto &svc : services)
+        weights += svc->desc.weight_footprint;
+    if (weights > 0)
+        resume = hbm->transfer(resume, weights, dram::Priority::High);
+    syncFaults();
+    Tick hang_start = hang_started_at;
+    events.schedule(resume, [this, hang_start] {
+        finishReset(hang_start);
+    });
+}
+
+void
+Accelerator::finishReset(Tick hang_start)
+{
+    Tick now = events.now();
+    mmu_hung = false;
+    accountDowntime(hang_start, now);
+    fstats.recovery_cycles.record(static_cast<double>(now - hang_start));
+    // The reset wiped the training context's in-flight SRAM state.
+    trainingRollback();
+    tryDispatch();
+}
+
+void
+Accelerator::clearTransientHang(Tick hang_start)
+{
+    if (!mmu_hung)
+        return;
+    Tick now = events.now();
+    mmu_hung = false;
+    accountDowntime(hang_start, now);
+    fstats.recovery_cycles.record(static_cast<double>(now - hang_start));
+    tryDispatch();
+}
+
+void
+Accelerator::accountDowntime(Tick from, Tick upto)
+{
+    // Availability is reported over the measured window only.
+    if (!measuring)
+        return;
+    from = std::max(from, measure_start);
+    if (upto > from)
+        fstats.downtime_cycles += upto - from;
+}
+
+void
+Accelerator::trainingRollback()
+{
+    if (!train)
+        return;
+    Tick now = events.now();
+    ++fstats.rollbacks;
+    std::uint64_t lost = train->iterations - train->committed_iterations;
+    fstats.lost_training_iterations += lost;
+    if (measuring) {
+        // Rolled-back iterations are re-counted when the replay
+        // re-completes them, so net progress reflects the loss.
+        train_iterations_measured -=
+            std::min<std::uint64_t>(train_iterations_measured, lost);
+    }
+    train->iterations = train->committed_iterations;
+    train->step = 0;
+    train->issued_in_step = 0;
+    train->staged_bytes = 0.0;
+    train->inflight_bytes = 0.0;
+    train->prefetch_step = 0;
+    train->prefetch_off = 0;
+    ++train->epoch;
+    // Restore: the checkpointed master weights stream back from DRAM
+    // before the replay's first operands can stage.
+    Tick resume = now;
+    if (train->desc.checkpoint_bytes > 0) {
+        resume = hbm->transfer(now, train->desc.checkpoint_bytes,
+                               dram::Priority::Low);
+        syncFaults();
+    }
+    train->ready_at = resume;
+    fstats.recovery_cycles.record(static_cast<double>(resume - now));
+    std::uint64_t epoch = train->epoch;
+    events.schedule(resume, [this, epoch] {
+        if (epoch != train->epoch)
+            return;
+        prefetchPump();
+        tryDispatch();
+    });
+}
+
+void
+Accelerator::maybeWriteCheckpoint()
+{
+    if (!injector || !train)
+        return;
+    unsigned interval = spec.faults.checkpoint.interval_iterations;
+    if (interval == 0)
+        return;
+    if (train->iterations - train->committed_iterations < interval)
+        return;
+    dram::TransferFault f;
+    if (train->desc.checkpoint_bytes > 0) {
+        // Asynchronous snapshot: the write overlaps the next iteration's
+        // compute and is charged as best-effort DRAM traffic.
+        hbm->transfer(events.now(), train->desc.checkpoint_bytes,
+                      dram::Priority::Low, &f);
+        syncFaults();
+    }
+    if (f.uncorrectable) {
+        // The checkpoint image itself is damaged: do not commit; the
+        // previous checkpoint stays the rollback target and the next
+        // interval tries again.
+        return;
+    }
+    ++fstats.checkpoints_written;
+    train->committed_iterations = train->iterations;
+}
+
+void
+Accelerator::syncFaults()
+{
+    std::uint64_t total = fstats.totalFaults();
+    while (faults_seen < total) {
+        ++faults_seen;
+        noteFault();
+    }
+}
+
+void
+Accelerator::noteFault()
+{
+    const auto &dp = spec.faults.degrade;
+    if (!dp.enabled)
+        return;
+    Tick now = events.now();
+    Tick window = units::secondsToCycles(dp.storm_window_s,
+                                         cfg.frequency_hz);
+    recent_faults.push_back(now);
+    while (!recent_faults.empty() &&
+           recent_faults.front() + window < now)
+        recent_faults.pop_front();
+    auto count = static_cast<unsigned>(recent_faults.size());
+    if (!storm_active && count >= dp.storm_faults) {
+        storm_active = true;
+        ++fstats.storms_entered;
+    }
+    shed_inference = storm_active &&
+                     count >= dp.storm_faults *
+                                  std::max(1u, dp.shed_inference_factor);
+    if (storm_active && !storm_check_armed) {
+        storm_check_armed = true;
+        events.schedule(now + window + 1, [this] { stormCheck(); });
+    }
+}
+
+void
+Accelerator::stormCheck()
+{
+    storm_check_armed = false;
+    if (!storm_active)
+        return;
+    const auto &dp = spec.faults.degrade;
+    Tick now = events.now();
+    Tick window = units::secondsToCycles(dp.storm_window_s,
+                                         cfg.frequency_hz);
+    while (!recent_faults.empty() &&
+           recent_faults.front() + window < now)
+        recent_faults.pop_front();
+    auto count = static_cast<unsigned>(recent_faults.size());
+    if (count < dp.storm_faults) {
+        // Storm over: training and full admission resume immediately.
+        storm_active = false;
+        shed_inference = false;
+        tryDispatch();
+        return;
+    }
+    shed_inference = count >= dp.storm_faults *
+                                  std::max(1u, dp.shed_inference_factor);
+    storm_check_armed = true;
+    events.schedule(recent_faults.front() + window + 1,
+                    [this] { stormCheck(); });
 }
 
 // ---------------------------------------------------------------------
@@ -814,6 +1162,28 @@ Accelerator::run(const RunSpec &run_spec)
     events = EventQueue{};
     hbm = std::make_unique<dram::HbmModel>(cfg.frequency_hz, cfg.dram);
     host = std::make_unique<dram::HostLink>(cfg.frequency_hz, cfg.host);
+    injector.reset();
+    fstats.reset();
+    mmu_hung = false;
+    hang_started_at = 0;
+    storm_active = false;
+    shed_inference = false;
+    storm_check_armed = false;
+    faults_seen = 0;
+    recent_faults.clear();
+    if (spec.faults.enabled()) {
+        auto plan_errors = spec.faults.validate();
+        if (!plan_errors.empty()) {
+            std::string joined;
+            for (const auto &e : plan_errors)
+                joined += "\n  " + e;
+            EQX_FATAL("invalid fault plan:", joined);
+        }
+        injector = std::make_unique<fault::FaultInjector>(
+            spec.faults, cfg.frequency_hz, &fstats);
+        hbm->setFaultHook(injector->dramHook());
+        host->setFaultHook(injector->hostHook());
+    }
     batch_queue.clear();
     batch_pool.clear();
     mmu_busy = false;
@@ -873,6 +1243,8 @@ Accelerator::run(const RunSpec &run_spec)
         train->prefetch_step = 0;
         train->prefetch_off = 0;
         train->iterations = 0;
+        train->committed_iterations = 0;
+        train->epoch = 0;
         prefetchPump();
     }
 
@@ -881,9 +1253,15 @@ Accelerator::run(const RunSpec &run_spec)
 
     Tick max_ticks = units::secondsToCycles(spec.max_sim_s,
                                             cfg.frequency_hz);
+    if (injector) {
+        for (Tick t : injector->hangSchedule(max_ticks))
+            events.schedule(t, [this] { onMmuHang(); });
+    }
     while (!stopping && !events.empty() && events.now() <= max_ticks)
         events.runOne();
 
+    if (mmu_hung)
+        accountDowntime(hang_started_at, events.now());
     if (!mmu_busy)
         accountGap(events.now());
 
@@ -939,6 +1317,16 @@ Accelerator::run(const RunSpec &run_spec)
         st.p99_latency_s = svc->latency_cycles.percentile(0.99) * inv_f;
         res.per_service.push_back(st);
     }
+    res.faults = fstats;
+    res.availability = fstats.availability(elapsed_ticks);
+    if (train) {
+        res.committed_training_iterations =
+            injector && spec.faults.checkpoint.interval_iterations > 0
+                ? train->committed_iterations
+                : train->iterations;
+    }
+    if (injector)
+        res.fault_trace = injector->trace();
     return res;
 }
 

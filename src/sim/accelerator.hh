@@ -23,11 +23,14 @@
 
 #include "common/random.hh"
 #include "common/types.hh"
+#include "fault/fault_plan.hh"
+#include "fault/injector.hh"
 #include "isa/program.hh"
 #include "sim/buffer.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "stats/cycle_breakdown.hh"
+#include "stats/fault_stats.hh"
 #include "stats/histogram.hh"
 
 namespace equinox
@@ -60,6 +63,12 @@ struct TrainingServiceDesc
     isa::CompiledProgram iteration;
     /** Parameter-server bytes exchanged per iteration (host link). */
     ByteCount sync_bytes_per_iteration = 0;
+    /**
+     * Bytes one training-weight checkpoint writes to (and a rollback
+     * re-reads from) DRAM: the master-precision weights. 0 makes
+     * checkpoints and restores free of DRAM cost but they still commit.
+     */
+    ByteCount checkpoint_bytes = 0;
 };
 
 /** Shape of the inference request arrival process. */
@@ -104,6 +113,12 @@ struct RunSpec
     /** Hard wall on simulated time. */
     double max_sim_s = 20.0;
     std::uint64_t seed = 1;
+    /**
+     * Faults to inject and recovery policies to answer them with. The
+     * default plan injects nothing and the fault layer is skipped
+     * entirely (fault-free runs stay byte-identical).
+     */
+    fault::FaultPlan faults;
 };
 
 /** Everything a run reports. */
@@ -152,6 +167,16 @@ struct SimResult
         double p99_latency_s = 0.0;
     };
     std::vector<ServiceStats> per_service;
+
+    // -- fault and recovery reporting ---------------------------------
+    /** Fault counters and recovery actions (all zero when fault-free). */
+    stats::FaultStats faults;
+    /** Serving fraction of the measured window (1.0 when fault-free). */
+    double availability = 1.0;
+    /** Training iterations durably committed (checkpointed or final). */
+    std::uint64_t committed_training_iterations = 0;
+    /** Every injected fault, in injection order (determinism checks). */
+    std::vector<fault::FaultRecord> fault_trace;
 };
 
 /** The simulated accelerator. */
@@ -202,6 +227,7 @@ class Accelerator
     void formFullBatches(InfService &svc);
     void formPartialBatch(InfService &svc);
     void armBatchTimeout(InfService &svc);
+    void onBatchTimeout(InfService *svc);
     std::uint64_t pendingInferenceWork() const;
 
     // -- instruction dispatcher / scheduler ----------------------------
@@ -219,6 +245,34 @@ class Accelerator
     // -- training prefetcher -------------------------------------------
     void prefetchPump();
     ByteCount remainingPrefetchBytes() const;
+
+    // -- fault injection and recovery -----------------------------------
+    /**
+     * Host-interface transfer with fault-aware retry: on drop or
+     * corruption, retries with exponential backoff and jitter until
+     * success, the retry budget, or the per-request deadline. With no
+     * injector this is exactly host->transfer().
+     * @param ok when non-null, set false if the payload was lost for good
+     * @return the delivery tick of the last (successful or final) attempt
+     */
+    Tick hostTransfer(Tick start, ByteCount bytes, dram::Priority prio,
+                      bool *ok = nullptr);
+    void onMmuHang();
+    void onWatchdogFire();
+    void finishReset(Tick hang_start);
+    void clearTransientHang(Tick hang_start);
+    void accountDowntime(Tick from, Tick upto);
+    /** Roll training back to the last committed checkpoint and replay. */
+    void trainingRollback();
+    void maybeWriteCheckpoint();
+    /**
+     * Feed faults newly counted in fstats (by the link hooks or the
+     * hang machinery) to the storm detector, one event per fault.
+     */
+    void syncFaults();
+    /** Register one fault occurrence with the storm detector. */
+    void noteFault();
+    void stormCheck();
 
     // -- accounting -----------------------------------------------------
     void accountGap(Tick upto);
@@ -278,6 +332,17 @@ class Accelerator
     std::uint64_t train_iterations_measured = 0;
     ByteCount host_bytes_measured = 0;
     ByteCount dram_lp_snapshot = 0;
+
+    // fault-injection state (null/inactive on fault-free runs)
+    std::unique_ptr<fault::FaultInjector> injector;
+    stats::FaultStats fstats;
+    bool mmu_hung = false;
+    Tick hang_started_at = 0;
+    bool storm_active = false;     //!< degradation: training shed
+    bool shed_inference = false;   //!< degradation: requests shed too
+    bool storm_check_armed = false;
+    std::uint64_t faults_seen = 0; //!< fstats faults already storm-fed
+    std::deque<Tick> recent_faults;
 };
 
 } // namespace sim

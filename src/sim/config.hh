@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "arith/gemm.hh"
 #include "common/types.hh"
@@ -42,6 +43,13 @@ enum class SchedPolicy
 
 const char *batchPolicyName(BatchPolicy p);
 const char *schedPolicyName(SchedPolicy p);
+
+/** One actionable problem validate() found with a configuration. */
+struct ConfigError
+{
+    std::string field;   //!< the offending knob, e.g. "frequency_hz"
+    std::string message; //!< what is wrong and what to do about it
+};
 
 /** A full accelerator design point. */
 struct AcceleratorConfig
@@ -125,7 +133,18 @@ struct AcceleratorConfig
 
     /** Systolic-array drain latency (fill/empty of the n-deep pipeline). */
     Tick drainCycles() const { return 2 * static_cast<Tick>(n); }
+
+    /**
+     * Check every user-settable knob and return one actionable error
+     * per problem (empty = usable). Callers building an accelerator
+     * from user input should report these and exit rather than letting
+     * internal invariants panic later.
+     */
+    std::vector<ConfigError> validate() const;
 };
+
+/** Render a validation report as "field: message" lines. */
+std::string formatConfigErrors(const std::vector<ConfigError> &errors);
 
 } // namespace sim
 } // namespace equinox

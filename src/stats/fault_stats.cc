@@ -1,0 +1,60 @@
+#include "stats/fault_stats.hh"
+
+#include <ostream>
+
+namespace equinox
+{
+namespace stats
+{
+
+std::uint64_t
+FaultStats::totalFaults() const
+{
+    return dram_corrected + dram_uncorrectable + host_drops +
+           host_corruptions + mmu_hangs;
+}
+
+std::uint64_t
+FaultStats::recoveryEvents() const
+{
+    return host_retries + watchdog_resets + rollbacks;
+}
+
+double
+FaultStats::availability(Tick elapsed_cycles) const
+{
+    if (elapsed_cycles == 0)
+        return 1.0;
+    Tick down = downtime_cycles < elapsed_cycles ? downtime_cycles
+                                                 : elapsed_cycles;
+    return 1.0 - static_cast<double>(down) /
+                     static_cast<double>(elapsed_cycles);
+}
+
+void
+FaultStats::reset()
+{
+    *this = FaultStats{};
+}
+
+std::ostream &
+operator<<(std::ostream &os, const FaultStats &fs)
+{
+    os << "faults{dram corrected=" << fs.dram_corrected
+       << " due=" << fs.dram_uncorrectable
+       << ", host drops=" << fs.host_drops
+       << " corrupt=" << fs.host_corruptions
+       << " retries=" << fs.host_retries
+       << " give-ups=" << fs.host_give_ups
+       << ", hangs=" << fs.mmu_hangs
+       << " resets=" << fs.watchdog_resets
+       << ", ckpts=" << fs.checkpoints_written
+       << " rollbacks=" << fs.rollbacks
+       << " lost-iters=" << fs.lost_training_iterations
+       << ", shed=" << fs.shed_requests
+       << ", downtime=" << fs.downtime_cycles << " cy}";
+    return os;
+}
+
+} // namespace stats
+} // namespace equinox

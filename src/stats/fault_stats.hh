@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fault and recovery statistics: counters for every injected fault and
+ * every recovery action, the downtime-derived availability, and a
+ * recovery-latency distribution.
+ *
+ * Filled in by the fault injector and the simulator's recovery machinery;
+ * a fault-free run reports the default (all-zero, availability 1.0)
+ * record.
+ */
+
+#ifndef EQUINOX_STATS_FAULT_STATS_HH
+#define EQUINOX_STATS_FAULT_STATS_HH
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "common/types.hh"
+#include "stats/histogram.hh"
+
+namespace equinox
+{
+namespace stats
+{
+
+/** Everything the fault layer counts during one run. */
+struct FaultStats
+{
+    // -- injected faults ----------------------------------------------
+    std::uint64_t dram_corrected = 0;     //!< ECC single-bit corrections
+    std::uint64_t dram_uncorrectable = 0; //!< ECC detected-uncorrectable
+    std::uint64_t host_drops = 0;         //!< host transfers lost
+    std::uint64_t host_corruptions = 0;   //!< host transfers CRC-failed
+    std::uint64_t mmu_hangs = 0;          //!< dispatcher hang events
+
+    // -- recovery actions ---------------------------------------------
+    std::uint64_t host_retries = 0;     //!< retried host transfers
+    std::uint64_t host_give_ups = 0;    //!< retry budget/deadline spent
+    std::uint64_t watchdog_resets = 0;  //!< costed hang recoveries
+    std::uint64_t checkpoints_written = 0;
+    std::uint64_t rollbacks = 0;        //!< checkpoint restores
+    std::uint64_t lost_training_iterations = 0; //!< replayed after rollback
+    std::uint64_t shed_requests = 0;    //!< inference shed in fault storms
+    std::uint64_t storms_entered = 0;   //!< degradation activations
+
+    /** Cycles the machine was unavailable (hang detect + reset). */
+    Tick downtime_cycles = 0;
+
+    /** Per-recovery-event latency samples, in cycles. */
+    LatencyTracker recovery_cycles;
+
+    /** Total injected faults of all kinds. */
+    std::uint64_t totalFaults() const;
+
+    /** Total recovery events (retries, resets, rollbacks). */
+    std::uint64_t recoveryEvents() const;
+
+    /** Fraction of @p elapsed_cycles the machine was serving. */
+    double availability(Tick elapsed_cycles) const;
+
+    void reset();
+};
+
+/** One-line human-readable summary (for examples and debugging). */
+std::ostream &operator<<(std::ostream &os, const FaultStats &fs);
+
+} // namespace stats
+} // namespace equinox
+
+#endif // EQUINOX_STATS_FAULT_STATS_HH

@@ -354,6 +354,10 @@ Compiler::compileMlpTraining(const DnnModel &model, std::size_t batch,
 
     desc.sync_bytes_per_iteration = static_cast<ByteCount>(
         static_cast<double>(model.paramCount()) * (gbv + bpv));
+    // One checkpoint snapshots the master-precision weights; a rollback
+    // re-reads the same image.
+    desc.checkpoint_bytes = static_cast<ByteCount>(
+        static_cast<double>(model.paramCount()) * topts.grad_acc_bytes);
     return desc;
 }
 
@@ -451,6 +455,10 @@ Compiler::compileRnnTraining(const DnnModel &model, std::size_t batch,
 
     desc.sync_bytes_per_iteration = static_cast<ByteCount>(
         static_cast<double>(model.paramCount()) * (gbv + bpv));
+    // One checkpoint snapshots the master-precision weights; a rollback
+    // re-reads the same image.
+    desc.checkpoint_bytes = static_cast<ByteCount>(
+        static_cast<double>(model.paramCount()) * topts.grad_acc_bytes);
     return desc;
 }
 
@@ -533,6 +541,10 @@ Compiler::compileCnnTraining(const DnnModel &model, std::size_t batch,
 
     desc.sync_bytes_per_iteration = static_cast<ByteCount>(
         static_cast<double>(model.paramCount()) * (gbv + bpv));
+    // One checkpoint snapshots the master-precision weights; a rollback
+    // re-reads the same image.
+    desc.checkpoint_bytes = static_cast<ByteCount>(
+        static_cast<double>(model.paramCount()) * topts.grad_acc_bytes);
     return desc;
 }
 

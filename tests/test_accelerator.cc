@@ -374,6 +374,70 @@ TEST(Accelerator, SoftwareSchedulerStarvesTraining)
               0.25 * hw_res.training_throughput_ops);
 }
 
+TEST(BatchTimeout, RearmsAgainstNewFrontAfterQueueDrains)
+{
+    // Regression: the adaptive timeout armed for request A must not fire
+    // a premature partial batch for a request that arrived after A's
+    // batch already formed. Here A+B form a full batch (clearing the
+    // queue) while A's timer is still pending; C arrives one cycle
+    // before that timer fires, so the handler must re-arm against C's
+    // arrival rather than cutting C's wait short.
+    auto cfg = smallConfig();
+    cfg.batch_timeout_mult = 2.0;
+    Accelerator accel(cfg);
+    auto svc = syntheticService(2, 3, 100, 10, 5, cfg.frequency_hz);
+    Tick service = svc.program.serviceCycles(); // 345 cycles
+    Tick timeout = 2 * service;                 // 690 cycles
+    accel.installInference(std::move(svc));
+
+    double cyc = 1.0 / cfg.frequency_hz;
+    RunSpec spec;
+    spec.arrival_trace_s = {0.0, 100 * cyc,
+                            static_cast<double>(timeout - 1) * cyc};
+    spec.warmup_requests = 0;
+    spec.measure_requests = 3;
+    auto res = accel.run(spec);
+
+    EXPECT_EQ(res.completed_requests, 3u);
+    EXPECT_EQ(res.batches_formed, 2u);
+    EXPECT_EQ(res.batches_incomplete, 1u);
+    // C waits its own full adaptive timeout, then runs alone.
+    double expect_max = units::cyclesToSeconds(timeout + service,
+                                               cfg.frequency_hz);
+    EXPECT_NEAR(res.max_latency_s, expect_max, expect_max * 0.001);
+}
+
+TEST(BatchTimeout, FiringIntoAnEmptyQueueIsHarmless)
+{
+    // Regression: a timer armed for a request whose batch later filled
+    // and dispatched fires into an empty pending queue; it must form
+    // nothing and leave the timeout machinery re-armable.
+    auto cfg = smallConfig();
+    cfg.batch_timeout_mult = 2.0;
+    Accelerator accel(cfg);
+    auto svc = syntheticService(2, 3, 100, 10, 5, cfg.frequency_hz);
+    Tick service = svc.program.serviceCycles();
+    Tick timeout = 2 * service;
+    accel.installInference(std::move(svc));
+
+    double cyc = 1.0 / cfg.frequency_hz;
+    RunSpec spec;
+    // A+B fill a batch before A's timer fires; D arrives long after the
+    // stale timer expired and must still get a freshly armed timeout.
+    spec.arrival_trace_s = {0.0, 100 * cyc,
+                            static_cast<double>(3 * timeout) * cyc};
+    spec.warmup_requests = 0;
+    spec.measure_requests = 3;
+    auto res = accel.run(spec);
+
+    EXPECT_EQ(res.completed_requests, 3u);
+    EXPECT_EQ(res.batches_formed, 2u);
+    EXPECT_EQ(res.batches_incomplete, 1u);
+    double expect_max = units::cyclesToSeconds(timeout + service,
+                                               cfg.frequency_hz);
+    EXPECT_NEAR(res.max_latency_s, expect_max, expect_max * 0.001);
+}
+
 TEST(AcceleratorDeath, OversizedServiceFailsInstallation)
 {
     auto cfg = smallConfig();

@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Fault-injection and recovery tests: SECDED ECC outcomes, retry/backoff
+ * timing, hang scheduling, watchdog reset cost, checkpoint/rollback
+ * bounds, plan and configuration validation, determinism of the whole
+ * fault pipeline, and the zero-rate pay-for-what-you-use guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "fault/fault_plan.hh"
+#include "fault/injector.hh"
+#include "sim/accelerator.hh"
+#include "workload/compiler.hh"
+#include "workload/dnn_model.hh"
+
+namespace equinox
+{
+namespace
+{
+
+constexpr double kFreq = 100e6; // 100 MHz test clock
+
+sim::AcceleratorConfig
+smallConfig()
+{
+    sim::AcceleratorConfig cfg;
+    cfg.name = "test";
+    cfg.n = 8;
+    cfg.m = 2;
+    cfg.w = 2;
+    cfg.frequency_hz = kFreq;
+    cfg.simd_lanes = 256;
+    return cfg;
+}
+
+workload::DnnModel
+tinyRnn()
+{
+    workload::DnnModel model;
+    model.name = "tiny";
+    model.kind = workload::DnnModel::Kind::Rnn;
+    model.rnn.hidden = 64;
+    model.rnn.steps = 4;
+    model.rnn.gate_groups = {2};
+    model.rnn.simd_passes = 4.0;
+    return model;
+}
+
+/** One-service synthetic program with exact, known timing. */
+sim::InferenceServiceDesc
+syntheticService(std::uint32_t batch_rows, std::size_t steps,
+                 Tick occupancy, Tick simd, Tick drain)
+{
+    sim::InferenceServiceDesc desc;
+    desc.model_name = "synthetic";
+    desc.program.name = "synthetic";
+    desc.program.batch_rows = batch_rows;
+    for (std::size_t s = 0; s < steps; ++s) {
+        isa::StepBlock sb;
+        sb.mmu.instructions = 1;
+        sb.mmu.occupancy = occupancy;
+        sb.mmu.rows_used = batch_rows;
+        sb.mmu.rows_slots = batch_rows;
+        sb.mmu.geom_frac = 1.0;
+        sb.mmu.real_ops = occupancy * 1000;
+        sb.simd_cycles = simd;
+        sb.drain_cycles = drain;
+        desc.program.steps.push_back(sb);
+    }
+    desc.service_time_s = units::cyclesToSeconds(
+        desc.program.serviceCycles(), kFreq);
+    return desc;
+}
+
+// ---------------------------------------------------------------------
+// SECDED ECC model
+// ---------------------------------------------------------------------
+
+TEST(EccModel, NoFlipsNoOutcome)
+{
+    fault::EccModel ecc{fault::EccConfig{}};
+    Rng rng(1);
+    auto out = ecc.apply(0, 4096, rng);
+    EXPECT_EQ(out.corrected, 0u);
+    EXPECT_EQ(out.uncorrectable, 0u);
+    EXPECT_EQ(out.extra_cycles, 0u);
+}
+
+TEST(EccModel, SingleFlipIsCorrectedAtFixedCost)
+{
+    fault::EccConfig cfg;
+    cfg.correction_cycles = 32;
+    fault::EccModel ecc{cfg};
+    Rng rng(1);
+    auto out = ecc.apply(1, 1 << 20, rng);
+    EXPECT_EQ(out.corrected, 1u);
+    EXPECT_EQ(out.uncorrectable, 0u);
+    EXPECT_EQ(out.extra_cycles, 32u);
+}
+
+TEST(EccModel, DoubleFlipInOneCodewordIsUncorrectable)
+{
+    // An 8-byte access holds exactly one 64-bit codeword, so two flips
+    // must collide and defeat the single-error correction.
+    fault::EccModel ecc{fault::EccConfig{}};
+    Rng rng(7);
+    auto out = ecc.apply(2, 8, rng);
+    EXPECT_EQ(out.corrected, 0u);
+    EXPECT_EQ(out.uncorrectable, 1u);
+    EXPECT_EQ(out.extra_cycles, 0u);
+}
+
+TEST(EccModel, ManyFlipsConserveCount)
+{
+    fault::EccModel ecc{fault::EccConfig{}};
+    Rng rng(11);
+    for (unsigned flips : {3u, 17u, 64u}) {
+        auto out = ecc.apply(flips, 4096, rng);
+        // Every flip lands in some codeword: corrected words hold one
+        // flip, uncorrectable words at least two.
+        EXPECT_LE(out.corrected + 2 * out.uncorrectable, flips);
+        EXPECT_GE(out.corrected + flips * out.uncorrectable, flips);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Retry backoff timing
+// ---------------------------------------------------------------------
+
+TEST(FaultInjector, BackoffGrowsGeometricallyWithoutJitter)
+{
+    fault::FaultPlan plan;
+    plan.retry.base_backoff_s = 2e-6; // 200 cycles at 100 MHz
+    plan.retry.backoff_multiplier = 2.0;
+    plan.retry.jitter_frac = 0.0;
+    stats::FaultStats fs;
+    fault::FaultInjector inj(plan, kFreq, &fs);
+    EXPECT_EQ(inj.backoffCycles(0), 200u);
+    EXPECT_EQ(inj.backoffCycles(1), 400u);
+    EXPECT_EQ(inj.backoffCycles(2), 800u);
+    EXPECT_EQ(inj.backoffCycles(5), 6400u);
+}
+
+TEST(FaultInjector, JitterStaysInsideItsFraction)
+{
+    fault::FaultPlan plan;
+    plan.retry.base_backoff_s = 2e-6;
+    plan.retry.backoff_multiplier = 2.0;
+    plan.retry.jitter_frac = 0.25;
+    stats::FaultStats fs;
+    fault::FaultInjector inj(plan, kFreq, &fs);
+    for (int i = 0; i < 64; ++i) {
+        Tick wait = inj.backoffCycles(1);
+        EXPECT_GE(wait, 400u);
+        EXPECT_LE(wait, 500u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Injection hooks
+// ---------------------------------------------------------------------
+
+TEST(FaultInjector, ScheduledFaultsFireOnFirstMatchingTransfer)
+{
+    fault::FaultPlan plan;
+    plan.scheduled.push_back({1e-5, fault::FaultKind::DramUncorrectable});
+    plan.scheduled.push_back({1e-5, fault::FaultKind::HostLinkDrop});
+    stats::FaultStats fs;
+    fault::FaultInjector inj(plan, kFreq, &fs);
+    Tick at = units::secondsToCycles(1e-5, kFreq);
+
+    // Before the scheduled time nothing fires.
+    auto early = inj.dramHook()->onTransfer(at - 1, 64,
+                                            dram::Priority::Low);
+    EXPECT_FALSE(early.uncorrectable);
+    // The first transfer at/after it consumes the fault...
+    auto hit = inj.dramHook()->onTransfer(at, 64, dram::Priority::Low);
+    EXPECT_TRUE(hit.uncorrectable);
+    EXPECT_EQ(fs.dram_uncorrectable, 1u);
+    // ...and it never fires twice.
+    auto later = inj.dramHook()->onTransfer(at + 10, 64,
+                                            dram::Priority::Low);
+    EXPECT_FALSE(later.uncorrectable);
+
+    auto drop = inj.hostHook()->onTransfer(at, 64, dram::Priority::High);
+    EXPECT_TRUE(drop.failed);
+    EXPECT_EQ(fs.host_drops, 1u);
+
+    ASSERT_EQ(inj.trace().size(), 2u);
+    EXPECT_EQ(inj.trace()[0].kind, fault::FaultKind::DramUncorrectable);
+    EXPECT_EQ(inj.trace()[1].kind, fault::FaultKind::HostLinkDrop);
+}
+
+TEST(FaultInjector, HangScheduleMergesScheduledAndPoisson)
+{
+    fault::FaultPlan plan;
+    plan.scheduled.push_back({1e-3, fault::FaultKind::MmuHang});
+    stats::FaultStats fs;
+    {
+        fault::FaultInjector inj(plan, kFreq, &fs);
+        auto hangs = inj.hangSchedule(units::secondsToCycles(2e-3, kFreq));
+        ASSERT_EQ(hangs.size(), 1u);
+        EXPECT_EQ(hangs[0], units::secondsToCycles(1e-3, kFreq));
+    }
+    plan.mmu_hang_rate_per_s = 5000.0;
+    fault::FaultInjector a(plan, kFreq, &fs);
+    fault::FaultInjector b(plan, kFreq, &fs);
+    Tick horizon = units::secondsToCycles(10e-3, kFreq);
+    auto ha = a.hangSchedule(horizon);
+    auto hb = b.hangSchedule(horizon);
+    EXPECT_EQ(ha, hb); // same seed, same schedule
+    EXPECT_GT(ha.size(), 1u);
+    EXPECT_TRUE(std::is_sorted(ha.begin(), ha.end()));
+    EXPECT_LE(ha.back(), horizon);
+}
+
+// ---------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------
+
+TEST(FaultPlan, DefaultPlanIsValidAndDisabled)
+{
+    fault::FaultPlan plan;
+    EXPECT_FALSE(plan.enabled());
+    EXPECT_TRUE(plan.validate().empty());
+}
+
+TEST(FaultPlan, ValidateCatchesBadKnobs)
+{
+    fault::FaultPlan plan;
+    plan.host_drop_prob = 0.7;
+    plan.host_corrupt_prob = 0.5; // sum >= 1: retries can never succeed
+    plan.retry.backoff_multiplier = 0.5;
+    plan.dram_bit_error_rate = -1.0;
+    auto errors = plan.validate();
+    EXPECT_GE(errors.size(), 3u);
+}
+
+TEST(AcceleratorConfig, DefaultConfigValidates)
+{
+    EXPECT_TRUE(sim::AcceleratorConfig{}.validate().empty());
+    EXPECT_TRUE(smallConfig().validate().empty());
+}
+
+TEST(AcceleratorConfig, ValidateNamesTheOffendingField)
+{
+    auto cfg = smallConfig();
+    cfg.n = 0;
+    cfg.frequency_hz = 0.0;
+    cfg.train_staging_frac = 1.5;
+    auto errors = cfg.validate();
+    EXPECT_GE(errors.size(), 3u);
+    auto report = sim::formatConfigErrors(errors);
+    EXPECT_NE(report.find("frequency_hz"), std::string::npos);
+    EXPECT_NE(report.find("train_staging_frac"), std::string::npos);
+}
+
+TEST(AcceleratorConfigDeath, ConstructionFailsFastOnBadConfig)
+{
+    auto cfg = smallConfig();
+    cfg.frequency_hz = -1.0;
+    EXPECT_EXIT({ sim::Accelerator accel(cfg); },
+                testing::ExitedWithCode(1),
+                "invalid accelerator configuration");
+}
+
+// ---------------------------------------------------------------------
+// End-to-end recovery behaviour
+// ---------------------------------------------------------------------
+
+TEST(FaultRecovery, WatchdogResetHasExactCost)
+{
+    auto cfg = smallConfig();
+    sim::Accelerator accel(cfg);
+    accel.installInference(syntheticService(4, 3, 100, 10, 5));
+
+    sim::RunSpec spec;
+    spec.arrival_rate_per_s = 2000.0;
+    spec.warmup_requests = 0;
+    spec.measure_requests = 400;
+    spec.seed = 3;
+    spec.faults.scheduled.push_back({0.01, fault::FaultKind::MmuHang});
+    spec.faults.watchdog.timeout_s = 500e-6;
+    spec.faults.watchdog.reset_cost_s = 50e-6;
+    auto res = accel.run(spec);
+
+    EXPECT_EQ(res.faults.mmu_hangs, 1u);
+    EXPECT_EQ(res.faults.watchdog_resets, 1u);
+    // The synthetic service has no weight footprint, so the outage is
+    // exactly detection timeout + fixed reset cost.
+    Tick expect = units::secondsToCycles(550e-6, cfg.frequency_hz);
+    EXPECT_EQ(res.faults.downtime_cycles, expect);
+    EXPECT_LT(res.availability, 1.0);
+    EXPECT_GT(res.availability, 0.0);
+    EXPECT_GE(res.faults.recovery_cycles.count(), 1u);
+    EXPECT_EQ(res.completed_requests, 400u);
+}
+
+TEST(FaultRecovery, UndetectedHangClearsAfterItsDuration)
+{
+    auto cfg = smallConfig();
+    sim::Accelerator accel(cfg);
+    accel.installInference(syntheticService(4, 3, 100, 10, 5));
+
+    sim::RunSpec spec;
+    spec.arrival_rate_per_s = 2000.0;
+    spec.warmup_requests = 0;
+    spec.measure_requests = 400;
+    spec.seed = 3;
+    spec.faults.scheduled.push_back({0.01, fault::FaultKind::MmuHang});
+    spec.faults.watchdog.enabled = false;
+    spec.faults.watchdog.hang_duration_s = 2e-3;
+    auto res = accel.run(spec);
+
+    EXPECT_EQ(res.faults.mmu_hangs, 1u);
+    EXPECT_EQ(res.faults.watchdog_resets, 0u);
+    Tick expect = units::secondsToCycles(2e-3, cfg.frequency_hz);
+    EXPECT_EQ(res.faults.downtime_cycles, expect);
+    EXPECT_EQ(res.completed_requests, 400u);
+}
+
+TEST(FaultRecovery, RetryRecoversEveryLossWithoutLivelock)
+{
+    auto cfg = smallConfig();
+    workload::Compiler compiler(cfg);
+    sim::Accelerator accel(cfg);
+    accel.installInference(compiler.compileInference(tinyRnn()));
+
+    sim::RunSpec spec;
+    spec.warmup_requests = 30;
+    spec.measure_requests = 400;
+    spec.seed = 5;
+    spec.arrival_rate_per_s = 0.4 * accel.maxRequestRate();
+    spec.faults.host_drop_prob = 0.2;
+    spec.faults.host_corrupt_prob = 0.1;
+    auto res = accel.run(spec);
+
+    const auto &fs = res.faults;
+    EXPECT_GT(fs.host_drops + fs.host_corruptions, 0u);
+    // Every detected loss is either retried or (rarely) given up on.
+    EXPECT_EQ(fs.host_drops + fs.host_corruptions,
+              fs.host_retries + fs.host_give_ups);
+    EXPECT_GE(res.completed_requests, 400u); // made progress: no livelock
+}
+
+TEST(FaultRecovery, CheckpointBoundsIterationsLostToRollback)
+{
+    auto cfg = smallConfig();
+    workload::Compiler compiler(cfg);
+    sim::Accelerator accel(cfg);
+    accel.installInference(compiler.compileInference(tinyRnn()));
+    accel.installTraining(compiler.compileTraining(tinyRnn(), 16));
+
+    sim::RunSpec spec;
+    spec.arrival_rate_per_s = 0.0;
+    spec.measure_iterations = 30;
+    spec.faults.checkpoint.interval_iterations = 5;
+    for (double at : {2e-5, 6e-5, 1e-4})
+        spec.faults.scheduled.push_back(
+            {at, fault::FaultKind::DramUncorrectable});
+    auto res = accel.run(spec);
+
+    const auto &fs = res.faults;
+    EXPECT_EQ(fs.dram_uncorrectable, 3u);
+    EXPECT_GE(fs.rollbacks, 1u);
+    EXPECT_GT(fs.checkpoints_written, 0u);
+    // A checkpoint every 5 iterations means no rollback can replay more
+    // than 5 (barring a failed checkpoint write, absent here).
+    EXPECT_LE(fs.lost_training_iterations, 5 * fs.rollbacks);
+    EXPECT_EQ(res.training_iterations, 30u);
+    EXPECT_GT(res.committed_training_iterations, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Determinism and the zero-rate guarantee
+// ---------------------------------------------------------------------
+
+TEST(FaultDeterminism, SameSeedAndPlanIsBitIdentical)
+{
+    auto cfg = smallConfig();
+    workload::Compiler compiler(cfg);
+
+    auto run_once = [&] {
+        sim::Accelerator accel(cfg);
+        accel.installInference(compiler.compileInference(tinyRnn()));
+        accel.installTraining(compiler.compileTraining(tinyRnn(), 16));
+        sim::RunSpec spec;
+        spec.warmup_requests = 30;
+        spec.measure_requests = 500;
+        spec.seed = 17;
+        spec.arrival_rate_per_s = 0.4 * accel.maxRequestRate();
+        spec.faults.seed = 23;
+        spec.faults.dram_bit_error_rate = 1e-7;
+        spec.faults.host_drop_prob = 0.05;
+        spec.faults.mmu_hang_rate_per_s = 200.0;
+        return accel.run(spec);
+    };
+
+    auto a = run_once();
+    auto b = run_once();
+
+    EXPECT_GT(a.faults.totalFaults(), 0u);
+    EXPECT_EQ(a.fault_trace, b.fault_trace);
+    EXPECT_EQ(a.faults.dram_corrected, b.faults.dram_corrected);
+    EXPECT_EQ(a.faults.dram_uncorrectable, b.faults.dram_uncorrectable);
+    EXPECT_EQ(a.faults.host_drops, b.faults.host_drops);
+    EXPECT_EQ(a.faults.host_retries, b.faults.host_retries);
+    EXPECT_EQ(a.faults.mmu_hangs, b.faults.mmu_hangs);
+    EXPECT_EQ(a.faults.watchdog_resets, b.faults.watchdog_resets);
+    EXPECT_EQ(a.faults.rollbacks, b.faults.rollbacks);
+    EXPECT_EQ(a.faults.downtime_cycles, b.faults.downtime_cycles);
+    EXPECT_EQ(a.completed_requests, b.completed_requests);
+    EXPECT_EQ(a.training_iterations, b.training_iterations);
+    EXPECT_EQ(a.mean_latency_s, b.mean_latency_s);
+    EXPECT_EQ(a.p99_latency_s, b.p99_latency_s);
+    EXPECT_EQ(a.availability, b.availability);
+}
+
+TEST(FaultDeterminism, ZeroRatePlanIsIdenticalToNoPlan)
+{
+    auto cfg = smallConfig();
+    workload::Compiler compiler(cfg);
+
+    auto run_once = [&](bool touch_policies) {
+        sim::Accelerator accel(cfg);
+        accel.installInference(compiler.compileInference(tinyRnn()));
+        sim::RunSpec spec;
+        spec.warmup_requests = 30;
+        spec.measure_requests = 500;
+        spec.seed = 9;
+        spec.arrival_rate_per_s = 0.5 * accel.maxRequestRate();
+        if (touch_policies) {
+            // Policy knobs without any fault process must change nothing.
+            spec.faults.retry.max_retries = 3;
+            spec.faults.watchdog.timeout_s = 1e-3;
+            spec.faults.checkpoint.interval_iterations = 2;
+        }
+        return accel.run(spec);
+    };
+
+    auto plain = run_once(false);
+    auto zero = run_once(true);
+
+    EXPECT_EQ(zero.faults.totalFaults(), 0u);
+    EXPECT_TRUE(zero.fault_trace.empty());
+    EXPECT_EQ(zero.availability, 1.0);
+    EXPECT_EQ(plain.completed_requests, zero.completed_requests);
+    EXPECT_EQ(plain.mean_latency_s, zero.mean_latency_s);
+    EXPECT_EQ(plain.p99_latency_s, zero.p99_latency_s);
+    EXPECT_EQ(plain.inference_throughput_ops,
+              zero.inference_throughput_ops);
+}
+
+} // namespace
+} // namespace equinox
