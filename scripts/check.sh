@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, and run the full tier1 test suite,
+# optionally under AddressSanitizer/UBSan, plus a formatting check when
+# clang-format is available.
+#
+# Usage:
+#   scripts/check.sh             # default preset (RelWithDebInfo) + tests
+#   scripts/check.sh --asan      # ALSO build + test the asan-ubsan preset
+#   scripts/check.sh --format    # only run the clang-format check
+#
+# Exits nonzero on the first failure.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_format_check() {
+    # The container image may not ship clang-format; the style gate is
+    # advisory there and must not fail the tier-1 run.
+    local cf
+    cf=$(command -v clang-format || true)
+    if [ -z "$cf" ]; then
+        echo "check.sh: clang-format not found; skipping format check"
+        return 0
+    fi
+    echo "check.sh: clang-format check ($cf)"
+    local bad=0
+    while IFS= read -r f; do
+        if ! "$cf" --dry-run --Werror "$f" >/dev/null 2>&1; then
+            echo "  needs formatting: $f"
+            bad=1
+        fi
+    done < <(git ls-files '*.cc' '*.hh')
+    if [ "$bad" -ne 0 ]; then
+        echo "check.sh: formatting violations (run clang-format -i)"
+        return 1
+    fi
+    echo "check.sh: formatting clean"
+}
+
+run_preset() {
+    local preset="$1"
+    echo "check.sh: configure+build+test preset '$preset'"
+    cmake --preset "$preset"
+    cmake --build --preset "$preset" -j "$(nproc)"
+    ctest --preset "$preset" -L tier1 -j "$(nproc)"
+}
+
+case "${1:-}" in
+  --format)
+    run_format_check
+    ;;
+  --asan)
+    run_format_check
+    run_preset default
+    run_preset asan-ubsan
+    ;;
+  "")
+    run_format_check
+    run_preset default
+    ;;
+  *)
+    echo "usage: scripts/check.sh [--asan|--format]" >&2
+    exit 2
+    ;;
+esac
+
+echo "check.sh: OK"

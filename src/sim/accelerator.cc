@@ -1,78 +1,27 @@
 #include "sim/accelerator.hh"
 
 #include <algorithm>
-#include <cmath>
 
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "sim/blocks/datapath.hh"
+#include "sim/blocks/fault_unit.hh"
+#include "sim/blocks/instruction_dispatcher.hh"
+#include "sim/blocks/request_dispatcher.hh"
+#include "sim/blocks/train_prefetcher.hh"
 
 namespace equinox
 {
 namespace sim
 {
 
-namespace
-{
-/** Training prefetch granularity over the DRAM interface. */
-constexpr ByteCount kPrefetchChunk = 256 * 1024;
-} // namespace
-
-/** One installed inference service (a hardware context, Figure 5). */
-struct Accelerator::InfService
-{
-    ContextId id = 0;
-    InferenceServiceDesc desc;
-    Tick timeout_cycles = 0;      //!< adaptive batch-formation threshold
-    double rate_per_cycle = 0.0;  //!< Poisson arrival rate
-    Rng rng{1};
-    std::deque<Tick> pending;     //!< arrival ticks awaiting batching
-    bool timeout_armed = false;
-    stats::LatencyTracker latency_cycles; //!< measured window
-};
-
-/** A formed batch moving through the datapath. */
-struct Accelerator::InfBatch
-{
-    InfService *svc = nullptr;
-    std::uint32_t real = 0;       //!< real requests (rest is padding)
-    std::vector<Tick> arrivals;
-    std::size_t step = 0;
-    Tick issued_in_step = 0;      //!< MMU cycles of the step already run
-    Tick ready_at = 0;            //!< next step's dependence-ready tick
-    Tick first_issue = kTickMax;
-    bool in_flight = false;
-    bool done = false;
-};
-
-/** The training service's execution and prefetch state. */
-struct Accelerator::TrainState
-{
-    TrainingServiceDesc desc;
-    ByteCount staging_capacity = 0;
-    std::size_t step = 0;
-    Tick issued_in_step = 0;
-    Tick ready_at = 0;
-    bool in_flight = false;
-    double staged_bytes = 0.0;
-    double inflight_bytes = 0.0;
-    std::size_t prefetch_step = 0;
-    ByteCount prefetch_off = 0;
-    std::uint64_t iterations = 0;
-    /** Iterations durably saved by the last checkpoint (recovery). */
-    std::uint64_t committed_iterations = 0;
-    /**
-     * Bumped on every rollback/reset; in-flight prefetch completions
-     * and MMU chunks from an older epoch are stale and ignored.
-     */
-    std::uint64_t epoch = 0;
-};
-
 Accelerator::Accelerator(AcceleratorConfig config)
     : cfg(std::move(config)),
       act_buffer("activation", cfg.act_buffer_bytes, 16, 1, 2),
       weight_buffer("weight", cfg.weight_buffer_bytes, cfg.m, 1, 1),
       instr_buffer("instruction", cfg.instr_buffer_bytes, 1, 1, 1),
-      simd_rf("simd-rf", cfg.simd_rf_bytes, 4, 2, 2)
+      simd_rf("simd-rf", cfg.simd_rf_bytes, 4, 2, 2),
+      ctx(cfg)
 {
     // Bad geometry/clock here is user configuration, not a simulator
     // bug: report every problem with an actionable message and exit.
@@ -81,16 +30,47 @@ Accelerator::Accelerator(AcceleratorConfig config)
         EQX_FATAL("invalid accelerator configuration '", cfg.name,
                   "':\n", formatConfigErrors(errors));
     }
+
+    // Build the blocks, then wire their control ports. Data flows
+    // through the SimContext (services, train state, the BatchQueue
+    // port); control flows through these explicit connections.
+    requests = std::make_unique<RequestDispatcher>(ctx);
+    dispatcher = std::make_unique<InstructionDispatcher>(ctx);
+    datapath = std::make_unique<Datapath>(ctx);
+    prefetcher = std::make_unique<TrainPrefetcher>(ctx);
+    faults = std::make_unique<FaultUnit>(ctx);
+
+    requests->connect(dispatcher.get(), faults.get());
+    dispatcher->connect(datapath.get(), requests.get(), faults.get());
+    datapath->connect(dispatcher.get(), prefetcher.get(), faults.get());
+    prefetcher->connect(dispatcher.get(), faults.get());
+    faults->connect(dispatcher.get(), prefetcher.get());
+
+    ctx.blocks = {requests.get(), dispatcher.get(), datapath.get(),
+                  prefetcher.get(), faults.get()};
 }
 
 Accelerator::~Accelerator() = default;
+
+void
+Accelerator::setTraceSink(TraceSink *sink)
+{
+    ctx.trace = sink;
+}
+
+void
+Accelerator::registerStats(stats::StatRegistry &reg)
+{
+    for (auto *b : ctx.blocks)
+        b->registerStats(reg);
+}
 
 ContextId
 Accelerator::installInference(InferenceServiceDesc desc)
 {
     EQX_ASSERT(!desc.program.steps.empty(), "empty inference program");
     auto svc = std::make_unique<InfService>();
-    svc->id = static_cast<ContextId>(services.size());
+    svc->id = static_cast<ContextId>(ctx.services.size());
     if (!weight_buffer.allocate(svc->id, desc.weight_footprint)) {
         EQX_FATAL("service ", desc.model_name, " weights (",
                   desc.weight_footprint, " B) exceed the weight buffer (",
@@ -103,33 +83,33 @@ Accelerator::installInference(InferenceServiceDesc desc)
     svc->timeout_cycles = units::secondsToCycles(
         desc.service_time_s * cfg.batch_timeout_mult, cfg.frequency_hz);
     svc->desc = std::move(desc);
-    services.push_back(std::move(svc));
-    return services.back()->id;
+    ctx.services.push_back(std::move(svc));
+    return ctx.services.back()->id;
 }
 
 ContextId
 Accelerator::installTraining(TrainingServiceDesc desc)
 {
-    EQX_ASSERT(!train, "only one training context is supported");
+    EQX_ASSERT(!ctx.train, "only one training context is supported");
     EQX_ASSERT(!desc.iteration.steps.empty(), "empty training program");
-    train = std::make_unique<TrainState>();
-    train->staging_capacity = cfg.stagingBytes();
-    train->desc = std::move(desc);
+    ctx.train = std::make_unique<TrainState>();
+    ctx.train->staging_capacity = cfg.stagingBytes();
+    ctx.train->desc = std::move(desc);
     // Training's staging buffers take <2% of on-chip SRAM (section 2.2):
     // carved out of the activation buffer's remaining space.
     ContextId id = 1000;
-    if (!act_buffer.allocate(id, train->staging_capacity)) {
-        EQX_FATAL("training staging (", train->staging_capacity,
+    if (!act_buffer.allocate(id, ctx.train->staging_capacity)) {
+        EQX_FATAL("training staging (", ctx.train->staging_capacity,
                   " B) does not fit the activation buffer");
     }
     return id;
 }
 
 double
-Accelerator::maxInferenceOpRate(ContextId ctx) const
+Accelerator::maxInferenceOpRate(ContextId id) const
 {
-    EQX_ASSERT(ctx < services.size(), "no such inference service");
-    const auto &prog = services[ctx]->desc.program;
+    EQX_ASSERT(id < ctx.services.size(), "no such inference service");
+    const auto &prog = ctx.services[id]->desc.program;
     Tick busy = prog.mmuBusyCycles();
     EQX_ASSERT(busy > 0, "program with no MMU work");
     return static_cast<double>(prog.totalRealOps()) /
@@ -137,1178 +117,119 @@ Accelerator::maxInferenceOpRate(ContextId ctx) const
 }
 
 double
-Accelerator::maxRequestRate(ContextId ctx) const
+Accelerator::maxRequestRate(ContextId id) const
 {
-    const auto &prog = services[ctx]->desc.program;
-    return maxInferenceOpRate(ctx) / prog.opsPerRequest();
-}
-
-// ---------------------------------------------------------------------
-// Front-end: request dispatcher and batch formation
-// ---------------------------------------------------------------------
-
-void
-Accelerator::scheduleNextArrival(std::size_t svc_idx)
-{
-    auto &svc = *services[svc_idx];
-    if (!spec.arrival_trace_s.empty() && svc_idx == 0)
-        return; // trace playback schedules arrivals up front
-    if (svc.rate_per_cycle <= 0.0 || stopping)
-        return;
-    // Bursty mode samples candidates at the peak rate and thins them to
-    // the on-phase at arrival time (Lewis-Shedler thinning), giving an
-    // on/off-modulated Poisson process with the configured mean.
-    double rate = svc.rate_per_cycle;
-    if (spec.arrival_process == ArrivalProcess::Bursty)
-        rate *= spec.burst_factor;
-    double wait = svc.rng.exponential(rate);
-    auto delta = static_cast<Tick>(wait) + 1;
-    events.scheduleIn(delta, [this, svc_idx] {
-        onRequestArrival(svc_idx);
-    });
-}
-
-bool
-Accelerator::inBurstOnPhase() const
-{
-    if (spec.arrival_process != ArrivalProcess::Bursty)
-        return true;
-    Tick period = units::secondsToCycles(spec.burst_period_s,
-                                         cfg.frequency_hz);
-    if (period == 0)
-        return true;
-    Tick on = static_cast<Tick>(static_cast<double>(period) /
-                                spec.burst_factor);
-    return (events.now() % period) < std::max<Tick>(on, 1);
-}
-
-void
-Accelerator::onRequestArrival(std::size_t svc_idx)
-{
-    if (stopping)
-        return;
-    auto &svc = *services[svc_idx];
-    if ((spec.arrival_trace_s.empty() || svc_idx != 0) &&
-        !inBurstOnPhase()) {
-        // Thinned candidate: no request in the off phase.
-        scheduleNextArrival(svc_idx);
-        return;
-    }
-    if (shed_inference) {
-        // Severe fault storm: the degradation policy sheds requests at
-        // admission rather than queuing into an impaired machine.
-        ++fstats.shed_requests;
-        scheduleNextArrival(svc_idx);
-        return;
-    }
-    svc.pending.push_back(events.now());
-    formFullBatches(svc);
-    armBatchTimeout(svc);
-    scheduleNextArrival(svc_idx);
-    tryDispatch();
-}
-
-void
-Accelerator::formFullBatches(InfService &svc)
-{
-    const std::uint32_t batch_rows = svc.desc.program.batch_rows;
-    while (svc.pending.size() >= batch_rows) {
-        auto batch = std::make_unique<InfBatch>();
-        batch->svc = &svc;
-        batch->real = batch_rows;
-        for (std::uint32_t i = 0; i < batch_rows; ++i) {
-            batch->arrivals.push_back(svc.pending.front());
-            svc.pending.pop_front();
-        }
-        // Batch inputs DMA in over the host interface before issue.
-        ByteCount in_bytes = static_cast<ByteCount>(batch->real) *
-                             svc.desc.input_bytes_per_request;
-        batch->ready_at = in_bytes
-                              ? hostTransfer(events.now(), in_bytes,
-                                             dram::Priority::High)
-                              : events.now();
-        if (measuring) {
-            ++batches_formed;
-            batch_fill_sum += 1.0;
-            host_bytes_measured += in_bytes;
-        }
-        batch_queue.push_back(batch.get());
-        batch_pool.push_back(std::move(batch));
-    }
-}
-
-void
-Accelerator::formPartialBatch(InfService &svc)
-{
-    EQX_ASSERT(!svc.pending.empty(), "partial batch from empty queue");
-    const std::uint32_t batch_rows = svc.desc.program.batch_rows;
-    auto batch = std::make_unique<InfBatch>();
-    batch->svc = &svc;
-    batch->real = static_cast<std::uint32_t>(
-        std::min<std::size_t>(svc.pending.size(), batch_rows));
-    for (std::uint32_t i = 0; i < batch->real; ++i) {
-        batch->arrivals.push_back(svc.pending.front());
-        svc.pending.pop_front();
-    }
-    ByteCount in_bytes = static_cast<ByteCount>(batch->real) *
-                         svc.desc.input_bytes_per_request;
-    batch->ready_at = in_bytes
-                          ? hostTransfer(events.now(), in_bytes,
-                                         dram::Priority::High)
-                          : events.now();
-    if (measuring) {
-        ++batches_formed;
-        ++batches_incomplete;
-        batch_fill_sum += static_cast<double>(batch->real) / batch_rows;
-        host_bytes_measured += in_bytes;
-    }
-    batch_queue.push_back(batch.get());
-    batch_pool.push_back(std::move(batch));
-}
-
-void
-Accelerator::armBatchTimeout(InfService &svc)
-{
-    if (cfg.batch_policy != BatchPolicy::Adaptive)
-        return;
-    if (svc.timeout_armed || svc.pending.empty())
-        return;
-    svc.timeout_armed = true;
-    Tick fire_at = svc.pending.front() + svc.timeout_cycles;
-    fire_at = std::max(fire_at, events.now());
-    InfService *p = &svc;
-    events.schedule(fire_at, [this, p] { onBatchTimeout(p); });
-}
-
-/**
- * The armed batch-formation timeout fired. The queue may have changed
- * arbitrarily since arming: the request the timer was armed for can be
- * long gone (batched into a full batch), and the queue can have drained
- * and refilled with younger requests. Each case must leave exactly one
- * live timer whenever requests are pending, keyed to the CURRENT oldest
- * request's deadline -- a request left waiting without a timer would
- * strand until the next arrival.
- */
-void
-Accelerator::onBatchTimeout(InfService *svc)
-{
-    // The armed flag must drop before any early return: every exit path
-    // below either re-arms explicitly or leaves the queue empty (and
-    // the next arrival re-arms).
-    svc->timeout_armed = false;
-    if (svc->pending.empty() || stopping)
-        return;
-    if (events.now() >= svc->pending.front() + svc->timeout_cycles) {
-        // The request controller pads the input arrays with dummy
-        // requests whose results are disposed (section 3.1).
-        formPartialBatch(*svc);
-    }
-    // Queue drained between arm and fire, then refilled: the oldest
-    // pending request is younger than the one the timer was armed for,
-    // so its deadline is still in the future -- re-arm for it.
-    armBatchTimeout(*svc);
-    tryDispatch();
-}
-
-std::uint64_t
-Accelerator::pendingInferenceWork() const
-{
-    std::uint64_t n = 0;
-    for (const auto &svc : services)
-        n += svc->pending.size();
-    for (const auto *b : batch_queue) {
-        if (!b->done)
-            n += b->real;
-    }
-    return n;
-}
-
-// ---------------------------------------------------------------------
-// Instruction dispatcher: scheduling policies (Figure 5, section 3.2)
-// ---------------------------------------------------------------------
-
-Accelerator::InfBatch *
-Accelerator::firstReadyBatch()
-{
-    // FIFO within a hardware context; round-robin across contexts so a
-    // long-running service (e.g. a 30 ms GRU batch) cannot head-of-line
-    // block a sub-ms one in its dependence gaps.
-    InfBatch *fallback = nullptr;
-    for (auto *b : batch_queue) {
-        if (b->done || b->in_flight)
-            continue;
-        if (b->ready_at > events.now())
-            continue;
-        if (!fallback)
-            fallback = b;
-        if (b->svc->id != last_served_ctx)
-            return b;
-    }
-    return fallback;
-}
-
-bool
-Accelerator::inferenceQueueLow() const
-{
-    // "Low queuing": at most one batch anywhere in the pipeline and no
-    // full batch of raw requests waiting to form.
-    std::size_t incomplete = batch_queue.size();
-    if (incomplete > 1)
-        return false;
-    for (const auto &svc : services) {
-        if (svc->pending.size() >= svc->desc.program.batch_rows)
-            return false;
-    }
-    return true;
-}
-
-bool
-Accelerator::spikeDetected() const
-{
-    // The instruction controller compares the inference queue size
-    // against an install-time threshold (section 3.2).
-    unsigned unstarted = 0;
-    for (const auto *b : batch_queue) {
-        if (!b->done && b->first_issue == kTickMax)
-            ++unstarted;
-    }
-    if (unstarted >= cfg.spike_threshold_batches)
-        return true;
-    for (const auto &svc : services) {
-        if (svc->pending.size() >= svc->desc.program.batch_rows)
-            return true;
-    }
-    return false;
-}
-
-bool
-Accelerator::trainingReady() const
-{
-    if (!train || train->in_flight)
-        return false;
-    // Graceful degradation: during a fault storm training is shed first
-    // so the machine's remaining capacity serves inference.
-    if (storm_active)
-        return false;
-    if (train->ready_at > events.now())
-        return false;
-    const auto &tw = train->desc.iteration.steps[train->step].mmu;
-    Tick remaining = tw.occupancy - train->issued_in_step;
-    if (remaining == 0)
-        return false;
-    if (tw.stream_bytes == 0)
-        return true;
-    double bpc = static_cast<double>(tw.stream_bytes) /
-                 static_cast<double>(tw.occupancy);
-    Tick granule = std::max<Tick>(1, tw.occupancy /
-                                         std::max(1u, tw.instructions));
-    granule = std::min(granule, remaining);
-    return train->staged_bytes >= static_cast<double>(granule) * bpc;
-}
-
-void
-Accelerator::tryDispatch()
-{
-    // A hung dispatcher issues nothing until the watchdog (or the
-    // transient stall itself) clears the hang and re-invokes us.
-    if (mmu_busy || stopping || mmu_hung)
-        return;
-    Tick now = events.now();
-
-    InfBatch *inf = firstReadyBatch();
-    bool train_ok = trainingReady();
-
-    switch (cfg.sched_policy) {
-      case SchedPolicy::InferenceOnly:
-        train_ok = false;
-        break;
-      case SchedPolicy::Priority:
-        // Three regimes (section 3.2): round-robin only while inference
-        // queuing is low; when batches back up, inference issues first
-        // and training only fills its dependence gaps; during a load
-        // spike training is frozen entirely.
-        if (spikeDetected()) {
-            train_ok = false;
-        } else if (!inferenceQueueLow() && inf) {
-            train_ok = false;
-        }
-        break;
-      case SchedPolicy::FairShare:
-        break;
-      case SchedPolicy::SoftwareBatch: {
-        if (sw_exclusive_training) {
-            // A software-scheduled training batch cannot be preempted.
-            inf = nullptr;
-        } else if (train_ok) {
-            // The software control plane schedules training only at
-            // batch granularity, only into a fully idle accelerator,
-            // and only after its decision turnaround elapses.
-            bool idle = !inf && pendingInferenceWork() == 0;
-            if (!idle || now < next_sw_decision) {
-                train_ok = false;
-                if (idle && now < next_sw_decision) {
-                    Tick at = next_sw_decision;
-                    events.schedule(at, [this] { tryDispatch(); });
-                }
-            }
-        }
-        break;
-      }
-    }
-
-    if (inf && train_ok) {
-        if (prefer_training) {
-            prefer_training = false;
-            issueTrainingChunk();
-        } else {
-            prefer_training = true;
-            issueInferenceChunk(inf);
-        }
-        return;
-    }
-    if (inf) {
-        prefer_training = true;
-        issueInferenceChunk(inf);
-        return;
-    }
-    if (train_ok) {
-        prefer_training = false;
-        if (cfg.sched_policy == SchedPolicy::SoftwareBatch) {
-            sw_exclusive_training = true;
-            next_sw_decision =
-                now + units::secondsToCycles(cfg.software_turnaround_s,
-                                             cfg.frequency_hz);
-        }
-        issueTrainingChunk();
-        return;
-    }
-
-    // Nothing ready: wake at the earliest dependence-ready tick. Staging
-    // arrivals and request arrivals re-invoke tryDispatch themselves.
-    Tick wake = kTickMax;
-    for (auto *b : batch_queue) {
-        if (!b->done && !b->in_flight)
-            wake = std::min(wake, b->ready_at);
-    }
-    if (train && !train->in_flight && train->ready_at > now)
-        wake = std::min(wake, train->ready_at);
-    if (wake != kTickMax && wake > now) {
-        events.schedule(wake, [this] { tryDispatch(); });
-    }
-}
-
-// ---------------------------------------------------------------------
-// Datapath timing
-// ---------------------------------------------------------------------
-
-void
-Accelerator::accountGap(Tick upto)
-{
-    if (!measuring)
-        return;
-    Tick from = std::max(mmu_last_release, measure_start);
-    if (upto <= from)
-        return;
-    auto gap = static_cast<double>(upto - from);
-    // Dependence stalls while inference work exists count as Other;
-    // load-dependent emptiness (including training starved on DRAM)
-    // counts as Idle, matching the Figure 8 categories.
-    if (inf_waiting_at_release)
-        breakdown.add(stats::CycleClass::Other, gap);
-    else
-        breakdown.add(stats::CycleClass::Idle, gap);
-}
-
-void
-Accelerator::chargeMmu(const isa::TileWork &tw, Tick cycles,
-                       double real_frac)
-{
-    if (!measuring)
-        return;
-    auto c = static_cast<double>(cycles);
-    mmu_busy_measured += c;
-    double working = c * tw.geom_frac * real_frac;
-    double dummy = c * tw.geom_frac * (1.0 - real_frac);
-    breakdown.add(stats::CycleClass::Working, working);
-    breakdown.add(stats::CycleClass::Dummy, dummy);
-    breakdown.add(stats::CycleClass::Other, c - working - dummy);
-}
-
-void
-Accelerator::issueInferenceChunk(InfBatch *batch)
-{
-    Tick now = events.now();
-    accountGap(now);
-
-    const auto &prog = batch->svc->desc.program;
-    const auto &sb = prog.steps[batch->step];
-    double real_frac = static_cast<double>(batch->real) /
-                       static_cast<double>(prog.batch_rows);
-
-    if (batch->first_issue == kTickMax)
-        batch->first_issue = now;
-    last_served_ctx = batch->svc->id;
-
-    // With a training context installed, the instruction controller
-    // interleaves the two services at instruction granularity
-    // (section 3.2); issue one instruction's worth of cycles at a time
-    // so training can slot in between. Without training, the whole step
-    // issues at once (no interleaving opportunity exists).
-    Tick remaining = sb.mmu.occupancy - batch->issued_in_step;
-    Tick chunk = remaining;
-    if (train) {
-        Tick granule = std::max<Tick>(
-            sb.mmu.occupancy / std::max(1u, sb.mmu.instructions), 64);
-        chunk = std::min(remaining, granule);
-    }
-
-    chargeMmu(sb.mmu, chunk, real_frac);
-    if (measuring) {
-        inf_useful_ops += static_cast<double>(sb.mmu.real_ops) *
-                          real_frac * static_cast<double>(chunk) /
-                          static_cast<double>(sb.mmu.occupancy);
-    }
-
-    mmu_busy = true;
-    batch->in_flight = true;
-    events.scheduleIn(chunk, [this, batch, chunk] {
-        completeInferenceChunk(batch, chunk);
-    });
-}
-
-void
-Accelerator::completeInferenceChunk(InfBatch *batch, Tick chunk)
-{
-    Tick now = events.now();
-    mmu_busy = false;
-    batch->in_flight = false;
-    mmu_last_release = now;
-
-    const auto &prog = batch->svc->desc.program;
-    const auto &sb = prog.steps[batch->step];
-
-    batch->issued_in_step += chunk;
-    if (batch->issued_in_step < sb.mmu.occupancy) {
-        // Step not finished: more instructions to issue immediately.
-        inf_waiting_at_release = true;
-        tryDispatch();
-        return;
-    }
-    batch->issued_in_step = 0;
-
-    // Results drain from the array, then the SIMD unit's epilogue
-    // (activation functions, recurrence updates) serialises the next
-    // step. The SIMD unit is shared, so back-to-back batches queue on it.
-    Tick drained = now + sb.drain_cycles;
-    Tick simd_start = std::max(drained, simd_free);
-    Tick ready = simd_start + sb.simd_cycles;
-    if (sb.simd_cycles > 0)
-        simd_free = ready;
-    if (measuring)
-        simd_busy_measured += static_cast<double>(sb.simd_cycles);
-
-    ++batch->step;
-    if (batch->step < prog.steps.size()) {
-        batch->ready_at = ready;
-    } else {
-        // Batch complete: stream results to the host and retire.
-        ByteCount out = static_cast<ByteCount>(batch->real) *
-                        batch->svc->desc.output_bytes_per_request;
-        Tick finish = out ? hostTransfer(ready, out,
-                                         dram::Priority::High)
-                          : ready;
-        if (measuring) {
-            for (Tick a : batch->arrivals) {
-                latency_cycles.record(static_cast<double>(finish - a));
-                batch->svc->latency_cycles.record(
-                    static_cast<double>(finish - a));
-            }
-            service_cycles.record(
-                static_cast<double>(finish - batch->first_issue));
-            host_bytes_measured += out;
-            completed_measured += batch->real;
-        }
-        completed_total += batch->real;
-        batch->done = true;
-        auto it = std::find(batch_queue.begin(), batch_queue.end(), batch);
-        EQX_ASSERT(it != batch_queue.end(), "finished batch not queued");
-        batch_queue.erase(it);
-        maybeFinishWarmup();
-        if (measuring && inference_load &&
-            completed_measured >= spec.measure_requests &&
-            units::cyclesToSeconds(events.now() - measure_start,
-                                   cfg.frequency_hz) >=
-                spec.min_measure_s) {
-            stopping = true;
-        }
-    }
-
-    inf_waiting_at_release = firstReadyBatch() != nullptr ||
-                             !batch_queue.empty();
-    tryDispatch();
-}
-
-void
-Accelerator::issueTrainingChunk()
-{
-    Tick now = events.now();
-    accountGap(now);
-
-    const auto &tw = train->desc.iteration.steps[train->step].mmu;
-    Tick remaining = tw.occupancy - train->issued_in_step;
-    Tick chunk = remaining;
-    double bpc = 0.0;
-    if (tw.stream_bytes > 0) {
-        bpc = static_cast<double>(tw.stream_bytes) /
-              static_cast<double>(tw.occupancy);
-        chunk = std::min(chunk, static_cast<Tick>(train->staged_bytes /
-                                                  bpc));
-    }
-    EQX_ASSERT(chunk > 0, "training issued with no issuable cycles");
-
-    double bytes = static_cast<double>(chunk) * bpc;
-    train->staged_bytes -= bytes;
-    // Consuming staged operands frees staging space: restart the
-    // prefetcher immediately so DRAM streams while the array computes.
-    prefetchPump();
-
-    chargeMmu(tw, chunk, 1.0);
-    if (measuring) {
-        train_useful_ops += static_cast<double>(tw.real_ops) *
-                            static_cast<double>(chunk) /
-                            static_cast<double>(tw.occupancy);
-    }
-
-    mmu_busy = true;
-    train->in_flight = true;
-    std::uint64_t epoch = train->epoch;
-    events.scheduleIn(chunk, [this, chunk, epoch] {
-        if (epoch != train->epoch) {
-            // A rollback/reset invalidated this chunk mid-flight: free
-            // the array but do not advance the (replayed) iteration.
-            mmu_busy = false;
-            train->in_flight = false;
-            mmu_last_release = events.now();
-            inf_waiting_at_release = !batch_queue.empty();
-            tryDispatch();
-            return;
-        }
-        completeTrainingChunk(chunk, 0.0);
-    });
-}
-
-void
-Accelerator::completeTrainingChunk(Tick chunk, double)
-{
-    Tick now = events.now();
-    mmu_busy = false;
-    train->in_flight = false;
-    mmu_last_release = now;
-    inf_waiting_at_release = !batch_queue.empty();
-
-    train->issued_in_step += chunk;
-    const auto &tw = train->desc.iteration.steps[train->step].mmu;
-    if (train->issued_in_step >= tw.occupancy)
-        advanceTrainingStep();
-
-    prefetchPump();
-    tryDispatch();
-}
-
-void
-Accelerator::advanceTrainingStep()
-{
-    Tick now = events.now();
-    const auto &prog = train->desc.iteration;
-    const auto &sb = prog.steps[train->step];
-
-    // Write results (activations for the backward pass, gradient
-    // accumulations) back to DRAM at best-effort priority.
-    if (sb.store_bytes > 0) {
-        dram::TransferFault f;
-        hbm->transfer(now, sb.store_bytes, dram::Priority::Low,
-                      injector ? &f : nullptr);
-        syncFaults();
-        if (f.uncorrectable) {
-            // The written-back gradients are poisoned; finish this
-            // event's bookkeeping, then roll back to the checkpoint.
-            events.schedule(now, [this] { trainingRollback(); });
-        }
-    }
-
-    Tick drained = now + sb.drain_cycles;
-    Tick simd_start = std::max(drained, simd_free);
-    Tick ready = simd_start + sb.simd_cycles;
-    if (sb.simd_cycles > 0)
-        simd_free = ready;
-    if (measuring)
-        simd_busy_measured += static_cast<double>(sb.simd_cycles);
-    train->ready_at = ready;
-
-    train->issued_in_step = 0;
-    ++train->step;
-    if (train->step >= prog.steps.size()) {
-        train->step = 0;
-        ++train->iterations;
-        sw_exclusive_training = false;
-        // Parameter-server sync: gradients out, fresh model in, over the
-        // host interface; double-buffered so it overlaps the next
-        // iteration's compute.
-        if (train->desc.sync_bytes_per_iteration > 0) {
-            hostTransfer(now, train->desc.sync_bytes_per_iteration,
-                         dram::Priority::Low);
-            if (measuring) {
-                host_bytes_measured +=
-                    train->desc.sync_bytes_per_iteration;
-            }
-        }
-        maybeWriteCheckpoint();
-        if (measuring) {
-            ++train_iterations_measured;
-            if (!inference_load &&
-                train_iterations_measured >= spec.measure_iterations) {
-                stopping = true;
-            }
-        } else if (!inference_load) {
-            // Training-only runs: measure from the second iteration.
-            resetMeasurement();
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Training prefetcher (staging buffers, section 2.2)
-// ---------------------------------------------------------------------
-
-void
-Accelerator::prefetchPump()
-{
-    if (!train || stopping)
-        return;
-    const auto &steps = train->desc.iteration.steps;
-    while (true) {
-        ByteCount step_bytes = steps[train->prefetch_step].mmu.stream_bytes;
-        if (train->prefetch_off >= step_bytes) {
-            train->prefetch_step = (train->prefetch_step + 1) %
-                                   steps.size();
-            train->prefetch_off = 0;
-            // Guard against a (synthetic) program with no streamed bytes.
-            bool any = false;
-            for (const auto &s : steps) {
-                if (s.mmu.stream_bytes > 0) {
-                    any = true;
-                    break;
-                }
-            }
-            if (!any)
-                return;
-            continue;
-        }
-        // Degrade gracefully when the staging share is smaller than the
-        // preferred burst: fetch in half-capacity chunks instead.
-        ByteCount max_chunk = std::min<ByteCount>(
-            kPrefetchChunk,
-            std::max<ByteCount>(train->staging_capacity / 2, 512));
-        double occupied = train->staged_bytes + train->inflight_bytes;
-        if (occupied + static_cast<double>(max_chunk) >
-            static_cast<double>(train->staging_capacity)) {
-            return;
-        }
-        ByteCount chunk = std::min<ByteCount>(max_chunk,
-                                              step_bytes -
-                                                  train->prefetch_off);
-        train->prefetch_off += chunk;
-        train->inflight_bytes += static_cast<double>(chunk);
-        dram::TransferFault f;
-        Tick done = hbm->transfer(events.now(), chunk,
-                                  dram::Priority::Low,
-                                  injector ? &f : nullptr);
-        syncFaults();
-        if (f.uncorrectable) {
-            // ECC flagged the staged operands as poisoned: when the
-            // access would have landed, roll training back to the last
-            // checkpoint instead of consuming garbage.
-            events.schedule(done, [this] { trainingRollback(); });
-            return;
-        }
-        std::uint64_t epoch = train->epoch;
-        events.schedule(done, [this, chunk, epoch] {
-            if (epoch != train->epoch)
-                return; // superseded by a rollback/reset
-            train->inflight_bytes -= static_cast<double>(chunk);
-            train->staged_bytes += static_cast<double>(chunk);
-            prefetchPump();
-            tryDispatch();
-        });
-    }
-}
-
-// ---------------------------------------------------------------------
-// Fault injection and recovery
-// ---------------------------------------------------------------------
-
-Tick
-Accelerator::hostTransfer(Tick start, ByteCount bytes,
-                          dram::Priority prio, bool *ok)
-{
-    if (ok)
-        *ok = true;
-    if (!injector)
-        return host->transfer(start, bytes, prio);
-
-    const auto &rp = spec.faults.retry;
-    Tick deadline = kTickMax;
-    if (rp.deadline_s > 0.0) {
-        deadline = start + units::secondsToCycles(rp.deadline_s,
-                                                  cfg.frequency_hz);
-    }
-    Tick first_finish = 0;
-    for (unsigned attempt = 0;; ++attempt) {
-        dram::TransferFault f;
-        Tick finish = host->transfer(start, bytes, prio, &f);
-        syncFaults();
-        if (attempt == 0)
-            first_finish = finish;
-        if (!f.failed) {
-            if (attempt > 0) {
-                fstats.recovery_cycles.record(
-                    static_cast<double>(finish - first_finish));
-            }
-            return finish;
-        }
-        if (attempt >= rp.max_retries || finish >= deadline) {
-            // Retry budget or per-request deadline exhausted: the
-            // payload is lost for good; livelock is impossible because
-            // both bounds are finite.
-            ++fstats.host_give_ups;
-            if (ok)
-                *ok = false;
-            return finish;
-        }
-        ++fstats.host_retries;
-        // A drop is detected by the response timeout, a corruption by
-        // the delivery CRC; either way the retry launches after the
-        // attempt's delivery horizon plus jittered backoff.
-        start = finish + injector->backoffCycles(attempt);
-    }
-}
-
-void
-Accelerator::onMmuHang()
-{
-    if (stopping || mmu_hung)
-        return;
-    Tick now = events.now();
-    mmu_hung = true;
-    hang_started_at = now;
-    ++fstats.mmu_hangs;
-    syncFaults();
-    const auto &wd = spec.faults.watchdog;
-    if (wd.enabled) {
-        Tick detect = now + units::secondsToCycles(wd.timeout_s,
-                                                   cfg.frequency_hz);
-        events.schedule(detect, [this] { onWatchdogFire(); });
-    } else {
-        // No watchdog: the stall persists until it clears on its own.
-        Tick clear = now + units::secondsToCycles(wd.hang_duration_s,
-                                                  cfg.frequency_hz);
-        Tick started = now;
-        events.schedule(clear, [this, started] {
-            clearTransientHang(started);
-        });
-    }
-}
-
-void
-Accelerator::onWatchdogFire()
-{
-    if (!mmu_hung || stopping)
-        return;
-    Tick now = events.now();
-    ++fstats.watchdog_resets;
-    const auto &wd = spec.faults.watchdog;
-    // Costed reset: fixed controller reset, then every installed
-    // service's weights re-install from DRAM at critical priority.
-    Tick resume = now + units::secondsToCycles(wd.reset_cost_s,
-                                               cfg.frequency_hz);
-    ByteCount weights = 0;
-    for (const auto &svc : services)
-        weights += svc->desc.weight_footprint;
-    if (weights > 0)
-        resume = hbm->transfer(resume, weights, dram::Priority::High);
-    syncFaults();
-    Tick hang_start = hang_started_at;
-    events.schedule(resume, [this, hang_start] {
-        finishReset(hang_start);
-    });
-}
-
-void
-Accelerator::finishReset(Tick hang_start)
-{
-    Tick now = events.now();
-    mmu_hung = false;
-    accountDowntime(hang_start, now);
-    fstats.recovery_cycles.record(static_cast<double>(now - hang_start));
-    // The reset wiped the training context's in-flight SRAM state.
-    trainingRollback();
-    tryDispatch();
-}
-
-void
-Accelerator::clearTransientHang(Tick hang_start)
-{
-    if (!mmu_hung)
-        return;
-    Tick now = events.now();
-    mmu_hung = false;
-    accountDowntime(hang_start, now);
-    fstats.recovery_cycles.record(static_cast<double>(now - hang_start));
-    tryDispatch();
-}
-
-void
-Accelerator::accountDowntime(Tick from, Tick upto)
-{
-    // Availability is reported over the measured window only.
-    if (!measuring)
-        return;
-    from = std::max(from, measure_start);
-    if (upto > from)
-        fstats.downtime_cycles += upto - from;
-}
-
-void
-Accelerator::trainingRollback()
-{
-    if (!train)
-        return;
-    Tick now = events.now();
-    ++fstats.rollbacks;
-    std::uint64_t lost = train->iterations - train->committed_iterations;
-    fstats.lost_training_iterations += lost;
-    if (measuring) {
-        // Rolled-back iterations are re-counted when the replay
-        // re-completes them, so net progress reflects the loss.
-        train_iterations_measured -=
-            std::min<std::uint64_t>(train_iterations_measured, lost);
-    }
-    train->iterations = train->committed_iterations;
-    train->step = 0;
-    train->issued_in_step = 0;
-    train->staged_bytes = 0.0;
-    train->inflight_bytes = 0.0;
-    train->prefetch_step = 0;
-    train->prefetch_off = 0;
-    ++train->epoch;
-    // Restore: the checkpointed master weights stream back from DRAM
-    // before the replay's first operands can stage.
-    Tick resume = now;
-    if (train->desc.checkpoint_bytes > 0) {
-        resume = hbm->transfer(now, train->desc.checkpoint_bytes,
-                               dram::Priority::Low);
-        syncFaults();
-    }
-    train->ready_at = resume;
-    fstats.recovery_cycles.record(static_cast<double>(resume - now));
-    std::uint64_t epoch = train->epoch;
-    events.schedule(resume, [this, epoch] {
-        if (epoch != train->epoch)
-            return;
-        prefetchPump();
-        tryDispatch();
-    });
-}
-
-void
-Accelerator::maybeWriteCheckpoint()
-{
-    if (!injector || !train)
-        return;
-    unsigned interval = spec.faults.checkpoint.interval_iterations;
-    if (interval == 0)
-        return;
-    if (train->iterations - train->committed_iterations < interval)
-        return;
-    dram::TransferFault f;
-    if (train->desc.checkpoint_bytes > 0) {
-        // Asynchronous snapshot: the write overlaps the next iteration's
-        // compute and is charged as best-effort DRAM traffic.
-        hbm->transfer(events.now(), train->desc.checkpoint_bytes,
-                      dram::Priority::Low, &f);
-        syncFaults();
-    }
-    if (f.uncorrectable) {
-        // The checkpoint image itself is damaged: do not commit; the
-        // previous checkpoint stays the rollback target and the next
-        // interval tries again.
-        return;
-    }
-    ++fstats.checkpoints_written;
-    train->committed_iterations = train->iterations;
-}
-
-void
-Accelerator::syncFaults()
-{
-    std::uint64_t total = fstats.totalFaults();
-    while (faults_seen < total) {
-        ++faults_seen;
-        noteFault();
-    }
-}
-
-void
-Accelerator::noteFault()
-{
-    const auto &dp = spec.faults.degrade;
-    if (!dp.enabled)
-        return;
-    Tick now = events.now();
-    Tick window = units::secondsToCycles(dp.storm_window_s,
-                                         cfg.frequency_hz);
-    recent_faults.push_back(now);
-    while (!recent_faults.empty() &&
-           recent_faults.front() + window < now)
-        recent_faults.pop_front();
-    auto count = static_cast<unsigned>(recent_faults.size());
-    if (!storm_active && count >= dp.storm_faults) {
-        storm_active = true;
-        ++fstats.storms_entered;
-    }
-    shed_inference = storm_active &&
-                     count >= dp.storm_faults *
-                                  std::max(1u, dp.shed_inference_factor);
-    if (storm_active && !storm_check_armed) {
-        storm_check_armed = true;
-        events.schedule(now + window + 1, [this] { stormCheck(); });
-    }
-}
-
-void
-Accelerator::stormCheck()
-{
-    storm_check_armed = false;
-    if (!storm_active)
-        return;
-    const auto &dp = spec.faults.degrade;
-    Tick now = events.now();
-    Tick window = units::secondsToCycles(dp.storm_window_s,
-                                         cfg.frequency_hz);
-    while (!recent_faults.empty() &&
-           recent_faults.front() + window < now)
-        recent_faults.pop_front();
-    auto count = static_cast<unsigned>(recent_faults.size());
-    if (count < dp.storm_faults) {
-        // Storm over: training and full admission resume immediately.
-        storm_active = false;
-        shed_inference = false;
-        tryDispatch();
-        return;
-    }
-    shed_inference = count >= dp.storm_faults *
-                                  std::max(1u, dp.shed_inference_factor);
-    storm_check_armed = true;
-    events.schedule(recent_faults.front() + window + 1,
-                    [this] { stormCheck(); });
-}
-
-// ---------------------------------------------------------------------
-// Measurement control and run loop
-// ---------------------------------------------------------------------
-
-void
-Accelerator::maybeFinishWarmup()
-{
-    if (!measuring && inference_load &&
-        completed_total >= spec.warmup_requests &&
-        units::cyclesToSeconds(events.now(), cfg.frequency_hz) >=
-            spec.warmup_s) {
-        resetMeasurement();
-    }
-}
-
-void
-Accelerator::resetMeasurement()
-{
-    measuring = true;
-    measure_start = events.now();
-    breakdown.reset();
-    latency_cycles.reset();
-    service_cycles.reset();
-    for (auto &svc : services)
-        svc->latency_cycles.reset();
-    inf_useful_ops = 0.0;
-    train_useful_ops = 0.0;
-    mmu_busy_measured = 0.0;
-    simd_busy_measured = 0.0;
-    batches_formed = 0;
-    batches_incomplete = 0;
-    batch_fill_sum = 0.0;
-    completed_measured = 0;
-    train_iterations_measured = 0;
-    host_bytes_measured = 0;
-    dram_lp_snapshot = hbm ? hbm->bytesMoved(dram::Priority::Low) : 0;
+    const auto &prog = ctx.services[id]->desc.program;
+    return maxInferenceOpRate(id) / prog.opsPerRequest();
 }
 
 SimResult
 Accelerator::run(const RunSpec &run_spec)
 {
-    EQX_ASSERT(!services.empty() || train,
+    EQX_ASSERT(!ctx.services.empty() || ctx.train,
                "run() needs at least one installed service");
-    spec = run_spec;
+    ctx.spec = run_spec;
 
-    // Reset all dynamic state.
-    events = EventQueue{};
-    hbm = std::make_unique<dram::HbmModel>(cfg.frequency_hz, cfg.dram);
-    host = std::make_unique<dram::HostLink>(cfg.frequency_hz, cfg.host);
-    injector.reset();
-    fstats.reset();
-    mmu_hung = false;
-    hang_started_at = 0;
-    storm_active = false;
-    shed_inference = false;
-    storm_check_armed = false;
-    faults_seen = 0;
-    recent_faults.clear();
-    if (spec.faults.enabled()) {
-        auto plan_errors = spec.faults.validate();
-        if (!plan_errors.empty()) {
-            std::string joined;
-            for (const auto &e : plan_errors)
-                joined += "\n  " + e;
-            EQX_FATAL("invalid fault plan:", joined);
-        }
-        injector = std::make_unique<fault::FaultInjector>(
-            spec.faults, cfg.frequency_hz, &fstats);
-        hbm->setFaultHook(injector->dramHook());
-        host->setFaultHook(injector->hostHook());
-    }
-    batch_queue.clear();
-    batch_pool.clear();
-    mmu_busy = false;
-    mmu_last_release = 0;
-    inf_waiting_at_release = false;
-    simd_free = 0;
-    prefer_training = false;
-    next_sw_decision = 0;
-    sw_exclusive_training = false;
-    stopping = false;
-    measuring = false;
-    measure_start = 0;
-    completed_total = 0;
-    completed_measured = 0;
-    resetMeasurement();
-    measuring = false; // warmup first
+    // Reset all dynamic state. The resetRun() contract forbids blocks
+    // from scheduling events or drawing randomness here, so the reset
+    // order cannot affect simulated behaviour; the fault unit's
+    // beginRun() builds the injector and link hooks the other blocks'
+    // transfers consult.
+    ctx.events = EventQueue{};
+    ctx.hbm = std::make_unique<dram::HbmModel>(cfg.frequency_hz, cfg.dram);
+    ctx.host = std::make_unique<dram::HostLink>(cfg.frequency_hz,
+                                                cfg.host);
+    for (auto *b : ctx.blocks)
+        b->resetRun();
+    faults->beginRun();
+    ctx.stopping = false;
+    ctx.measuring = false;
+    ctx.measure_start = 0;
+    ctx.completed_total = 0;
+    ctx.completed_measured = 0;
+    ctx.resetMeasurement();
+    ctx.measuring = false; // warmup first
 
-    inference_load = false;
-    for (std::size_t i = 0; i < services.size(); ++i) {
-        auto &svc = *services[i];
-        svc.pending.clear();
-        svc.timeout_armed = false;
-        svc.rng = Rng(spec.seed * 7919 + svc.id + 1);
-        double rate = 0.0;
-        if (!spec.arrival_rates.empty()) {
-            if (i < spec.arrival_rates.size())
-                rate = spec.arrival_rates[i];
-        } else if (i == 0) {
-            rate = spec.arrival_rate_per_s;
-        }
-        svc.rate_per_cycle = rate / cfg.frequency_hz;
-        inference_load = inference_load || rate > 0.0;
-        scheduleNextArrival(i);
+    // Schedule the first arrivals (per-service RNG streams re-seeded
+    // from the spec) and any explicit arrival trace.
+    requests->beginRun();
+
+    if (ctx.train) {
+        auto &train = *ctx.train;
+        train.step = 0;
+        train.issued_in_step = 0;
+        train.ready_at = 0;
+        train.in_flight = false;
+        train.staged_bytes = 0.0;
+        train.inflight_bytes = 0.0;
+        train.prefetch_step = 0;
+        train.prefetch_off = 0;
+        train.iterations = 0;
+        train.committed_iterations = 0;
+        train.epoch = 0;
+        prefetcher->pump();
     }
 
-    if (!spec.arrival_trace_s.empty()) {
-        EQX_ASSERT(!services.empty(),
-                   "arrival trace needs an inference service");
-        inference_load = true;
-        double prev = -1.0;
-        for (double t : spec.arrival_trace_s) {
-            EQX_ASSERT(t >= 0.0 && t >= prev,
-                       "arrival trace must be ascending");
-            prev = t;
-            events.schedule(units::secondsToCycles(t, cfg.frequency_hz),
-                            [this] { onRequestArrival(0); });
-        }
-    }
+    if (ctx.inference_load && ctx.spec.warmup_requests == 0)
+        ctx.resetMeasurement();
 
-    if (train) {
-        train->step = 0;
-        train->issued_in_step = 0;
-        train->ready_at = 0;
-        train->in_flight = false;
-        train->staged_bytes = 0.0;
-        train->inflight_bytes = 0.0;
-        train->prefetch_step = 0;
-        train->prefetch_off = 0;
-        train->iterations = 0;
-        train->committed_iterations = 0;
-        train->epoch = 0;
-        prefetchPump();
-    }
-
-    if (inference_load && spec.warmup_requests == 0)
-        resetMeasurement();
-
-    Tick max_ticks = units::secondsToCycles(spec.max_sim_s,
+    Tick max_ticks = units::secondsToCycles(ctx.spec.max_sim_s,
                                             cfg.frequency_hz);
-    if (injector) {
-        for (Tick t : injector->hangSchedule(max_ticks))
-            events.schedule(t, [this] { onMmuHang(); });
-    }
-    while (!stopping && !events.empty() && events.now() <= max_ticks)
-        events.runOne();
+    faults->scheduleHangs(max_ticks);
+    while (!ctx.stopping && !ctx.events.empty() &&
+           ctx.events.now() <= max_ticks)
+        ctx.events.runOne();
 
-    if (mmu_hung)
-        accountDowntime(hang_started_at, events.now());
-    if (!mmu_busy)
-        accountGap(events.now());
+    faults->finalizeDowntime();
+    if (!datapath->mmuBusy())
+        datapath->accountGap(ctx.events.now());
 
     // Assemble the result over the measured window.
     SimResult res;
-    Tick elapsed_ticks = events.now() > measure_start
-                             ? events.now() - measure_start
+    Tick elapsed_ticks = ctx.events.now() > ctx.measure_start
+                             ? ctx.events.now() - ctx.measure_start
                              : 1;
-    if (!measuring) {
+    if (!ctx.measuring) {
         EQX_WARN("run ended before the measurement window opened (",
-                 completed_total, " requests completed)");
-        elapsed_ticks = std::max<Tick>(events.now(), 1);
+                 ctx.completed_total, " requests completed)");
+        elapsed_ticks = std::max<Tick>(ctx.events.now(), 1);
     }
     double elapsed_s = units::cyclesToSeconds(elapsed_ticks,
                                               cfg.frequency_hz);
     double inv_f = 1.0 / cfg.frequency_hz;
 
     res.sim_seconds = elapsed_s;
-    res.completed_requests = completed_measured;
-    res.offered_rate_per_s = spec.arrival_rate_per_s;
-    if (!spec.arrival_rates.empty()) {
+    res.completed_requests = ctx.completed_measured;
+    res.offered_rate_per_s = ctx.spec.arrival_rate_per_s;
+    if (!ctx.spec.arrival_rates.empty()) {
         res.offered_rate_per_s = 0.0;
-        for (double r : spec.arrival_rates)
+        for (double r : ctx.spec.arrival_rates)
             res.offered_rate_per_s += r;
     }
-    res.inference_throughput_ops = inf_useful_ops / elapsed_s;
-    res.training_throughput_ops = train_useful_ops / elapsed_s;
-    res.mean_latency_s = latency_cycles.mean() * inv_f;
-    res.p50_latency_s = latency_cycles.percentile(0.5) * inv_f;
-    res.p99_latency_s = latency_cycles.percentile(0.99) * inv_f;
-    res.max_latency_s = latency_cycles.max() * inv_f;
-    res.mean_service_s = service_cycles.mean() * inv_f;
-    res.mmu_breakdown = breakdown;
-    res.batches_formed = batches_formed;
-    res.batches_incomplete = batches_incomplete;
+    res.inference_throughput_ops = datapath->infUsefulOps() / elapsed_s;
+    res.training_throughput_ops = datapath->trainUsefulOps() / elapsed_s;
+    const auto &latency = datapath->latencyCycles();
+    res.mean_latency_s = latency.mean() * inv_f;
+    res.p50_latency_s = latency.percentile(0.5) * inv_f;
+    res.p99_latency_s = latency.percentile(0.99) * inv_f;
+    res.max_latency_s = latency.max() * inv_f;
+    res.mean_service_s = datapath->serviceCycles().mean() * inv_f;
+    res.mmu_breakdown = datapath->breakdownStats();
+    res.batches_formed = requests->batchesFormed();
+    res.batches_incomplete = requests->batchesIncomplete();
     res.avg_batch_fill =
-        batches_formed ? batch_fill_sum / static_cast<double>(
-                                              batches_formed)
-                       : 0.0;
-    res.dram_utilization = hbm->utilization(events.now());
-    res.dram_train_bytes = hbm->bytesMoved(dram::Priority::Low) -
-                           dram_lp_snapshot;
-    res.host_bytes = host_bytes_measured;
-    res.training_iterations = train_iterations_measured;
-    res.mmu_busy_cycles = mmu_busy_measured;
-    res.simd_busy_cycles = simd_busy_measured;
-    for (const auto &svc : services) {
+        res.batches_formed
+            ? requests->batchFillSum() /
+                  static_cast<double>(res.batches_formed)
+            : 0.0;
+    res.dram_utilization = ctx.hbm->utilization(ctx.events.now());
+    res.dram_train_bytes = ctx.hbm->bytesMoved(dram::Priority::Low) -
+                           ctx.dram_lp_snapshot;
+    res.host_bytes = ctx.host_bytes_measured;
+    res.training_iterations = ctx.train_iterations_measured;
+    res.mmu_busy_cycles = datapath->mmuBusyMeasured();
+    res.simd_busy_cycles = datapath->simdBusyMeasured();
+    for (const auto &svc : ctx.services) {
         SimResult::ServiceStats st;
         st.ctx = svc->id;
         st.model_name = svc->desc.model_name;
@@ -1317,16 +238,17 @@ Accelerator::run(const RunSpec &run_spec)
         st.p99_latency_s = svc->latency_cycles.percentile(0.99) * inv_f;
         res.per_service.push_back(st);
     }
-    res.faults = fstats;
-    res.availability = fstats.availability(elapsed_ticks);
-    if (train) {
+    res.faults = faults->stats();
+    res.availability = faults->stats().availability(elapsed_ticks);
+    if (ctx.train) {
         res.committed_training_iterations =
-            injector && spec.faults.checkpoint.interval_iterations > 0
-                ? train->committed_iterations
-                : train->iterations;
+            faults->active() &&
+                    ctx.spec.faults.checkpoint.interval_iterations > 0
+                ? ctx.train->committed_iterations
+                : ctx.train->iterations;
     }
-    if (injector)
-        res.fault_trace = injector->trace();
+    if (faults->active())
+        res.fault_trace = faults->trace();
     return res;
 }
 

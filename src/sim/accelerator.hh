@@ -1,10 +1,15 @@
 /**
  * @file
- * The Equinox accelerator: the cycle-accurate top level tying together the
- * front-end (request dispatcher with hardware contexts, batch formation,
- * instruction dispatcher with the priority scheduler), the MMU and SIMD
- * datapath timing, the on-chip buffers, and the DRAM/host interfaces
- * (Figures 3 and 5 of the paper).
+ * The Equinox accelerator: the composition root of the block/port
+ * simulation architecture (Figures 3 and 5 of the paper).
+ *
+ * The cycle-accurate machinery lives in the blocks under sim/blocks/:
+ * the RequestDispatcher (arrivals + batch formation), the
+ * InstructionDispatcher (the Figure 5 scheduler with its pluggable
+ * SchedulingPolicy), the Datapath (MMU/SIMD timing and the Figure 8
+ * accounting), the TrainPrefetcher (operand staging), and the FaultUnit
+ * (injection + recovery). This class owns the SimContext they share,
+ * wires their ports, drives the run loop, and assembles the SimResult.
  *
  * The simulator executes compiled programs (isa::CompiledProgram) under a
  * Poisson inference load while an optional training service consumes idle
@@ -15,171 +20,32 @@
 #ifndef EQUINOX_SIM_ACCELERATOR_HH
 #define EQUINOX_SIM_ACCELERATOR_HH
 
-#include <deque>
 #include <memory>
-#include <optional>
-#include <string>
-#include <vector>
 
-#include "common/random.hh"
 #include "common/types.hh"
-#include "fault/fault_plan.hh"
-#include "fault/injector.hh"
-#include "isa/program.hh"
+#include "sim/accelerator_types.hh"
+#include "sim/blocks/context.hh"
 #include "sim/buffer.hh"
 #include "sim/config.hh"
-#include "sim/event_queue.hh"
-#include "stats/cycle_breakdown.hh"
-#include "stats/fault_stats.hh"
-#include "stats/histogram.hh"
 
 namespace equinox
 {
+namespace stats
+{
+class StatRegistry;
+}
+
 namespace sim
 {
 
-/** An inference service ready for installation. */
-struct InferenceServiceDesc
-{
-    std::string model_name;
-    /** Program compiled for a full batch of program.batch_rows requests. */
-    isa::CompiledProgram program;
-    /** Weight-buffer footprint (install-time space sharing). */
-    ByteCount weight_footprint = 0;
-    /** Activation-buffer footprint. */
-    ByteCount act_footprint = 0;
-    /** Per-request input / output bytes over the host interface. */
-    ByteCount input_bytes_per_request = 0;
-    ByteCount output_bytes_per_request = 0;
-    /** Analytic single-batch service time (sets the adaptive timeout). */
-    double service_time_s = 0.0;
-};
+class Datapath;
+class FaultUnit;
+class InstructionDispatcher;
+class RequestDispatcher;
+class TraceSink;
+class TrainPrefetcher;
 
-/** A training service (one SGD iteration loop) ready for installation. */
-struct TrainingServiceDesc
-{
-    std::string model_name;
-    /** One iteration; steps carry DRAM stream/store bytes. */
-    isa::CompiledProgram iteration;
-    /** Parameter-server bytes exchanged per iteration (host link). */
-    ByteCount sync_bytes_per_iteration = 0;
-    /**
-     * Bytes one training-weight checkpoint writes to (and a rollback
-     * re-reads from) DRAM: the master-precision weights. 0 makes
-     * checkpoints and restores free of DRAM cost but they still commit.
-     */
-    ByteCount checkpoint_bytes = 0;
-};
-
-/** Shape of the inference request arrival process. */
-enum class ArrivalProcess
-{
-    Poisson, //!< memoryless arrivals (the paper's load generator)
-    Bursty,  //!< on/off-modulated Poisson with the same mean rate
-};
-
-/** Parameters of one simulation run. */
-struct RunSpec
-{
-    /** Poisson arrival rate of inference requests (0 = training only). */
-    double arrival_rate_per_s = 0.0;
-    /**
-     * Per-service arrival rates (install order); when non-empty this
-     * overrides arrival_rate_per_s and drives multiple inference
-     * contexts concurrently.
-     */
-    std::vector<double> arrival_rates;
-    ArrivalProcess arrival_process = ArrivalProcess::Poisson;
-    /** Bursty mode: peak rate = burst_factor x mean (duty 1/factor). */
-    double burst_factor = 4.0;
-    /** Bursty mode: on/off modulation period in seconds. */
-    double burst_period_s = 2e-3;
-    /**
-     * Explicit arrival trace for service 0 (seconds, ascending); when
-     * non-empty it replaces the stochastic arrival process entirely
-     * and the run ends when the trace drains.
-     */
-    std::vector<double> arrival_trace_s;
-    /** Requests completed before measurement starts. */
-    std::uint64_t warmup_requests = 200;
-    /** Minimum simulated warmup time (both conditions must hold). */
-    double warmup_s = 0.0;
-    /** Requests measured before the run stops. */
-    std::uint64_t measure_requests = 2000;
-    /** Minimum measured simulated time (both conditions must hold). */
-    double min_measure_s = 0.0;
-    /** Training iterations measured when no inference load is offered. */
-    std::uint64_t measure_iterations = 20;
-    /** Hard wall on simulated time. */
-    double max_sim_s = 20.0;
-    std::uint64_t seed = 1;
-    /**
-     * Faults to inject and recovery policies to answer them with. The
-     * default plan injects nothing and the fault layer is skipped
-     * entirely (fault-free runs stay byte-identical).
-     */
-    fault::FaultPlan faults;
-};
-
-/** Everything a run reports. */
-struct SimResult
-{
-    double sim_seconds = 0.0;
-    std::uint64_t completed_requests = 0;
-    double offered_rate_per_s = 0.0;
-
-    // Throughput in ops/s on real (non-padded) data.
-    double inference_throughput_ops = 0.0;
-    double training_throughput_ops = 0.0;
-
-    // Per-request latency (seconds), measured window only.
-    double mean_latency_s = 0.0;
-    double p50_latency_s = 0.0;
-    double p99_latency_s = 0.0;
-    double max_latency_s = 0.0;
-
-    /** Mean batch processing time excluding queuing/formation. */
-    double mean_service_s = 0.0;
-
-    stats::CycleBreakdown mmu_breakdown;
-
-    std::uint64_t batches_formed = 0;
-    std::uint64_t batches_incomplete = 0;
-    double avg_batch_fill = 0.0;
-
-    double dram_utilization = 0.0;
-    ByteCount dram_train_bytes = 0;
-    ByteCount host_bytes = 0;
-    std::uint64_t training_iterations = 0;
-
-    /** MMU cycles with an instruction in the array (measured window). */
-    double mmu_busy_cycles = 0.0;
-    /** SIMD-unit busy cycles (measured window). */
-    double simd_busy_cycles = 0.0;
-
-    /** Per-inference-service latency summary (install order). */
-    struct ServiceStats
-    {
-        ContextId ctx = 0;
-        std::string model_name;
-        std::uint64_t completed = 0;
-        double mean_latency_s = 0.0;
-        double p99_latency_s = 0.0;
-    };
-    std::vector<ServiceStats> per_service;
-
-    // -- fault and recovery reporting ---------------------------------
-    /** Fault counters and recovery actions (all zero when fault-free). */
-    stats::FaultStats faults;
-    /** Serving fraction of the measured window (1.0 when fault-free). */
-    double availability = 1.0;
-    /** Training iterations durably committed (checkpointed or final). */
-    std::uint64_t committed_training_iterations = 0;
-    /** Every injected fault, in injection order (determinism checks). */
-    std::vector<fault::FaultRecord> fault_trace;
-};
-
-/** The simulated accelerator. */
+/** The simulated accelerator (composition root of the blocks). */
 class Accelerator
 {
   public:
@@ -215,134 +81,34 @@ class Accelerator
     /** Requests per second at saturation for service @p ctx. */
     double maxRequestRate(ContextId ctx = 0) const;
 
+    /**
+     * Install (or remove, with nullptr) a trace sink observing block
+     * events. Observation only: tracing never perturbs simulated
+     * behaviour. The sink must outlive the runs it observes.
+     */
+    void setTraceSink(TraceSink *sink);
+
+    /** Register every block's counters/gauges ("<block>.<stat>"). */
+    void registerStats(stats::StatRegistry &reg);
+
   private:
-    struct InfService;
-    struct InfBatch;
-    struct TrainState;
-
-    // -- front-end: request dispatcher --------------------------------
-    void onRequestArrival(std::size_t svc_idx);
-    void scheduleNextArrival(std::size_t svc_idx);
-    bool inBurstOnPhase() const;
-    void formFullBatches(InfService &svc);
-    void formPartialBatch(InfService &svc);
-    void armBatchTimeout(InfService &svc);
-    void onBatchTimeout(InfService *svc);
-    std::uint64_t pendingInferenceWork() const;
-
-    // -- instruction dispatcher / scheduler ----------------------------
-    void tryDispatch();
-    InfBatch *firstReadyBatch();
-    bool trainingReady() const;
-    bool spikeDetected() const;
-    bool inferenceQueueLow() const;
-    void issueInferenceChunk(InfBatch *batch);
-    void completeInferenceChunk(InfBatch *batch, Tick chunk);
-    void issueTrainingChunk();
-    void completeTrainingChunk(Tick chunk, double charged_bytes);
-    void advanceTrainingStep();
-
-    // -- training prefetcher -------------------------------------------
-    void prefetchPump();
-    ByteCount remainingPrefetchBytes() const;
-
-    // -- fault injection and recovery -----------------------------------
-    /**
-     * Host-interface transfer with fault-aware retry: on drop or
-     * corruption, retries with exponential backoff and jitter until
-     * success, the retry budget, or the per-request deadline. With no
-     * injector this is exactly host->transfer().
-     * @param ok when non-null, set false if the payload was lost for good
-     * @return the delivery tick of the last (successful or final) attempt
-     */
-    Tick hostTransfer(Tick start, ByteCount bytes, dram::Priority prio,
-                      bool *ok = nullptr);
-    void onMmuHang();
-    void onWatchdogFire();
-    void finishReset(Tick hang_start);
-    void clearTransientHang(Tick hang_start);
-    void accountDowntime(Tick from, Tick upto);
-    /** Roll training back to the last committed checkpoint and replay. */
-    void trainingRollback();
-    void maybeWriteCheckpoint();
-    /**
-     * Feed faults newly counted in fstats (by the link hooks or the
-     * hang machinery) to the storm detector, one event per fault.
-     */
-    void syncFaults();
-    /** Register one fault occurrence with the storm detector. */
-    void noteFault();
-    void stormCheck();
-
-    // -- accounting -----------------------------------------------------
-    void accountGap(Tick upto);
-    void chargeMmu(const isa::TileWork &tw, Tick cycles, double real_frac);
-    void maybeFinishWarmup();
-    void resetMeasurement();
-
     AcceleratorConfig cfg;
-    EventQueue events;
 
-    // buffers
+    // on-chip buffers (install-time space sharing)
     SramBuffer act_buffer;
     SramBuffer weight_buffer;
     SramBuffer instr_buffer;
     SramBuffer simd_rf;
 
-    // interfaces (rebuilt per run)
-    std::unique_ptr<dram::HbmModel> hbm;
-    std::unique_ptr<dram::HostLink> host;
+    /** The shared core every block is wired to (after cfg/buffers). */
+    SimContext ctx;
 
-    std::vector<std::unique_ptr<InfService>> services;
-    std::unique_ptr<TrainState> train;
-
-    // datapath state
-    bool mmu_busy = false;
-    Tick mmu_last_release = 0;
-    bool inf_waiting_at_release = false;
-    Tick simd_free = 0;
-    bool prefer_training = false; // round-robin alternation
-    ContextId last_served_ctx = 0; // cross-context round-robin
-    Tick next_sw_decision = 0;    // software-scheduler turnaround gate
-    bool sw_exclusive_training = false;
-
-    std::deque<InfBatch *> batch_queue;
-    std::vector<std::unique_ptr<InfBatch>> batch_pool;
-
-    // run state
-    RunSpec spec;
-    bool inference_load = false; //!< any service has a nonzero rate
-    bool stopping = false;
-    bool measuring = false;
-    Tick measure_start = 0;
-    std::uint64_t completed_total = 0;
-    std::uint64_t completed_measured = 0;
-
-    // measured-window statistics
-    stats::CycleBreakdown breakdown;
-    stats::LatencyTracker latency_cycles;
-    stats::LatencyTracker service_cycles;
-    double inf_useful_ops = 0.0;
-    double train_useful_ops = 0.0;
-    double mmu_busy_measured = 0.0;
-    double simd_busy_measured = 0.0;
-    std::uint64_t batches_formed = 0;
-    std::uint64_t batches_incomplete = 0;
-    double batch_fill_sum = 0.0;
-    std::uint64_t train_iterations_measured = 0;
-    ByteCount host_bytes_measured = 0;
-    ByteCount dram_lp_snapshot = 0;
-
-    // fault-injection state (null/inactive on fault-free runs)
-    std::unique_ptr<fault::FaultInjector> injector;
-    stats::FaultStats fstats;
-    bool mmu_hung = false;
-    Tick hang_started_at = 0;
-    bool storm_active = false;     //!< degradation: training shed
-    bool shed_inference = false;   //!< degradation: requests shed too
-    bool storm_check_armed = false;
-    std::uint64_t faults_seen = 0; //!< fstats faults already storm-fed
-    std::deque<Tick> recent_faults;
+    // the blocks (composition order; see the constructor's wiring)
+    std::unique_ptr<RequestDispatcher> requests;
+    std::unique_ptr<InstructionDispatcher> dispatcher;
+    std::unique_ptr<Datapath> datapath;
+    std::unique_ptr<TrainPrefetcher> prefetcher;
+    std::unique_ptr<FaultUnit> faults;
 };
 
 } // namespace sim

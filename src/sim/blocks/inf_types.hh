@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The shared service/batch/training state records the simulation blocks
+ * exchange, plus the typed BatchQueue port that carries formed batches
+ * from the request dispatcher to the instruction dispatcher.
+ *
+ * These used to be private structs inside the monolithic Accelerator;
+ * they live here so blocks and tests can name them directly.
+ */
+
+#ifndef EQUINOX_SIM_BLOCKS_INF_TYPES_HH
+#define EQUINOX_SIM_BLOCKS_INF_TYPES_HH
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "sim/accelerator_types.hh"
+#include "stats/histogram.hh"
+
+namespace equinox
+{
+namespace sim
+{
+
+/** One installed inference service (a hardware context, Figure 5). */
+struct InfService
+{
+    ContextId id = 0;
+    InferenceServiceDesc desc;
+    Tick timeout_cycles = 0;      //!< adaptive batch-formation threshold
+    double rate_per_cycle = 0.0;  //!< Poisson arrival rate
+    Rng rng{1};
+    std::deque<Tick> pending;     //!< arrival ticks awaiting batching
+    bool timeout_armed = false;
+    stats::LatencyTracker latency_cycles; //!< measured window
+};
+
+/** A formed batch moving through the datapath. */
+struct InfBatch
+{
+    InfService *svc = nullptr;
+    std::uint32_t real = 0;       //!< real requests (rest is padding)
+    std::vector<Tick> arrivals;
+    std::size_t step = 0;
+    Tick issued_in_step = 0;      //!< MMU cycles of the step already run
+    Tick ready_at = 0;            //!< next step's dependence-ready tick
+    Tick first_issue = kTickMax;
+    bool in_flight = false;
+    bool done = false;
+};
+
+/** The training service's execution and prefetch state. */
+struct TrainState
+{
+    TrainingServiceDesc desc;
+    ByteCount staging_capacity = 0;
+    std::size_t step = 0;
+    Tick issued_in_step = 0;
+    Tick ready_at = 0;
+    bool in_flight = false;
+    double staged_bytes = 0.0;
+    double inflight_bytes = 0.0;
+    std::size_t prefetch_step = 0;
+    ByteCount prefetch_off = 0;
+    std::uint64_t iterations = 0;
+    /** Iterations durably saved by the last checkpoint (recovery). */
+    std::uint64_t committed_iterations = 0;
+    /**
+     * Bumped on every rollback/reset; in-flight prefetch completions
+     * and MMU chunks from an older epoch are stale and ignored.
+     */
+    std::uint64_t epoch = 0;
+};
+
+/**
+ * FIFO port between the batch former (producer) and the instruction
+ * dispatcher / datapath (consumers). Iteration order is arrival order;
+ * retirement erases the batch wherever it sits, preserving the order
+ * of the rest -- the scan-based scheduling policies depend on it.
+ */
+class BatchQueue
+{
+  public:
+    void push(InfBatch *b) { q.push_back(b); }
+
+    /** Remove @p b; @return false when it was not queued. */
+    bool
+    retire(InfBatch *b)
+    {
+        auto it = std::find(q.begin(), q.end(), b);
+        if (it == q.end())
+            return false;
+        q.erase(it);
+        return true;
+    }
+
+    std::size_t size() const { return q.size(); }
+    bool empty() const { return q.empty(); }
+    void clear() { q.clear(); }
+
+    std::deque<InfBatch *>::const_iterator begin() const
+    {
+        return q.begin();
+    }
+    std::deque<InfBatch *>::const_iterator end() const { return q.end(); }
+
+  private:
+    std::deque<InfBatch *> q;
+};
+
+} // namespace sim
+} // namespace equinox
+
+#endif // EQUINOX_SIM_BLOCKS_INF_TYPES_HH

@@ -1,0 +1,214 @@
+#include "sim/blocks/instruction_dispatcher.hh"
+
+#include <algorithm>
+
+#include "sim/blocks/context.hh"
+#include "sim/blocks/datapath.hh"
+#include "sim/blocks/fault_unit.hh"
+#include "sim/blocks/request_dispatcher.hh"
+#include "stats/registry.hh"
+
+namespace equinox
+{
+namespace sim
+{
+
+InstructionDispatcher::InstructionDispatcher(SimContext &context)
+    : SimBlock(context, "instruction_dispatcher"),
+      policy_(makeSchedulingPolicy(context.cfg))
+{
+}
+
+InstructionDispatcher::~InstructionDispatcher() = default;
+
+void
+InstructionDispatcher::connect(Datapath *datapath_,
+                               RequestDispatcher *requests_,
+                               FaultUnit *faults_)
+{
+    datapath = datapath_;
+    requests = requests_;
+    faults = faults_;
+}
+
+void
+InstructionDispatcher::resetRun()
+{
+    prefer_training = false;
+    policy_->reset();
+    rounds = 0;
+    inf_issues = 0;
+    train_issues = 0;
+    // last_served_ctx intentionally persists (see header).
+}
+
+void
+InstructionDispatcher::registerStats(stats::StatRegistry &reg)
+{
+    reg.registerStat("instruction_dispatcher.rounds",
+                     [this] { return static_cast<double>(rounds); },
+                     "scheduling rounds entered (run total)");
+    reg.registerStat("instruction_dispatcher.inference_issues",
+                     [this] { return static_cast<double>(inf_issues); },
+                     "inference chunks issued (run total)");
+    reg.registerStat("instruction_dispatcher.training_issues",
+                     [this] { return static_cast<double>(train_issues); },
+                     "training chunks issued (run total)");
+}
+
+InfBatch *
+InstructionDispatcher::firstReadyBatch()
+{
+    // FIFO within a hardware context; round-robin across contexts so a
+    // long-running service (e.g. a 30 ms GRU batch) cannot head-of-line
+    // block a sub-ms one in its dependence gaps.
+    InfBatch *fallback = nullptr;
+    for (auto *b : ctx.batch_queue) {
+        if (b->done || b->in_flight)
+            continue;
+        if (b->ready_at > ctx.events.now())
+            continue;
+        if (!fallback)
+            fallback = b;
+        if (b->svc->id != last_served_ctx)
+            return b;
+    }
+    return fallback;
+}
+
+bool
+InstructionDispatcher::inferenceQueueLow() const
+{
+    // "Low queuing": at most one batch anywhere in the pipeline and no
+    // full batch of raw requests waiting to form.
+    std::size_t incomplete = ctx.batch_queue.size();
+    if (incomplete > 1)
+        return false;
+    for (const auto &svc : ctx.services) {
+        if (svc->pending.size() >= svc->desc.program.batch_rows)
+            return false;
+    }
+    return true;
+}
+
+bool
+InstructionDispatcher::spikeDetected() const
+{
+    // The instruction controller compares the inference queue size
+    // against an install-time threshold (section 3.2).
+    unsigned unstarted = 0;
+    for (const auto *b : ctx.batch_queue) {
+        if (!b->done && b->first_issue == kTickMax)
+            ++unstarted;
+    }
+    if (unstarted >= ctx.cfg.spike_threshold_batches)
+        return true;
+    for (const auto &svc : ctx.services) {
+        if (svc->pending.size() >= svc->desc.program.batch_rows)
+            return true;
+    }
+    return false;
+}
+
+bool
+InstructionDispatcher::trainingReady() const
+{
+    const auto &train = ctx.train;
+    if (!train || train->in_flight)
+        return false;
+    // Graceful degradation: during a fault storm training is shed first
+    // so the machine's remaining capacity serves inference.
+    if (faults->stormActive())
+        return false;
+    if (train->ready_at > ctx.events.now())
+        return false;
+    const auto &tw = train->desc.iteration.steps[train->step].mmu;
+    Tick remaining = tw.occupancy - train->issued_in_step;
+    if (remaining == 0)
+        return false;
+    if (tw.stream_bytes == 0)
+        return true;
+    double bpc = static_cast<double>(tw.stream_bytes) /
+                 static_cast<double>(tw.occupancy);
+    Tick granule = std::max<Tick>(1, tw.occupancy /
+                                         std::max(1u, tw.instructions));
+    granule = std::min(granule, remaining);
+    return train->staged_bytes >= static_cast<double>(granule) * bpc;
+}
+
+void
+InstructionDispatcher::tryDispatch()
+{
+    // A hung dispatcher issues nothing until the watchdog (or the
+    // transient stall itself) clears the hang and re-invokes us.
+    if (datapath->mmuBusy() || ctx.stopping || faults->mmuHung())
+        return;
+    ++rounds;
+    Tick now = ctx.events.now();
+
+    InfBatch *inf = firstReadyBatch();
+    bool train_ok = trainingReady();
+
+    // The policy sees readiness plus lazy (pure) queue predicates and
+    // vetoes service classes; the round-robin and the issue stay here.
+    SchedulerView view;
+    view.now = now;
+    view.inference_ready = inf != nullptr;
+    view.training_ready = train_ok;
+    view.spike = [this] { return spikeDetected(); };
+    view.queue_low = [this] { return inferenceQueueLow(); };
+    view.pending_work = [this] {
+        return requests->pendingInferenceWork();
+    };
+    SchedDecision d = policy_->decide(view);
+    if (!d.allow_inference)
+        inf = nullptr;
+    if (!d.allow_training)
+        train_ok = false;
+    if (d.revisit_at != kTickMax && d.revisit_at > now) {
+        Tick at = d.revisit_at;
+        ctx.events.schedule(at, [this] { tryDispatch(); });
+    }
+
+    if (inf && train_ok) {
+        if (prefer_training) {
+            prefer_training = false;
+            ++train_issues;
+            datapath->issueTrainingChunk();
+        } else {
+            prefer_training = true;
+            ++inf_issues;
+            datapath->issueInferenceChunk(inf);
+        }
+        return;
+    }
+    if (inf) {
+        prefer_training = true;
+        ++inf_issues;
+        datapath->issueInferenceChunk(inf);
+        return;
+    }
+    if (train_ok) {
+        prefer_training = false;
+        policy_->onTrainingIssue(now);
+        ++train_issues;
+        datapath->issueTrainingChunk();
+        return;
+    }
+
+    // Nothing ready: wake at the earliest dependence-ready tick. Staging
+    // arrivals and request arrivals re-invoke tryDispatch themselves.
+    Tick wake = kTickMax;
+    for (auto *b : ctx.batch_queue) {
+        if (!b->done && !b->in_flight)
+            wake = std::min(wake, b->ready_at);
+    }
+    if (ctx.train && !ctx.train->in_flight && ctx.train->ready_at > now)
+        wake = std::min(wake, ctx.train->ready_at);
+    if (wake != kTickMax && wake > now) {
+        ctx.events.schedule(wake, [this] { tryDispatch(); });
+    }
+}
+
+} // namespace sim
+} // namespace equinox

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * InstructionDispatcher: the execution-unit scheduler block (Figure 5,
+ * section 3.2).
+ *
+ * Each decision round it selects the next MMU occupant: scans the batch
+ * queue port for a dependence-ready inference batch (FIFO within a
+ * context, round-robin across contexts), checks training readiness
+ * (staged operands, dependence, storm shedding), consults the pluggable
+ * SchedulingPolicy for vetoes, and round-robins between the survivors.
+ * The actual cycle charging happens in the Datapath block it issues to.
+ */
+
+#ifndef EQUINOX_SIM_BLOCKS_INSTRUCTION_DISPATCHER_HH
+#define EQUINOX_SIM_BLOCKS_INSTRUCTION_DISPATCHER_HH
+
+#include <memory>
+
+#include "common/types.hh"
+#include "sim/blocks/inf_types.hh"
+#include "sim/blocks/scheduling_policy.hh"
+#include "sim/blocks/sim_block.hh"
+
+namespace equinox
+{
+namespace sim
+{
+
+class Datapath;
+class FaultUnit;
+class RequestDispatcher;
+
+/** Execution-unit scheduler between inference contexts and training. */
+class InstructionDispatcher : public SimBlock
+{
+  public:
+    explicit InstructionDispatcher(SimContext &context);
+    ~InstructionDispatcher() override;
+
+    /** Wire control ports (composition root, once). */
+    void connect(Datapath *datapath_, RequestDispatcher *requests_,
+                 FaultUnit *faults_);
+
+    void resetRun() override;
+    void registerStats(stats::StatRegistry &reg) override;
+
+    /**
+     * Run one scheduling round: pick the next MMU occupant and issue
+     * it, or arm a wakeup at the earliest dependence-ready tick.
+     * Idempotent and cheap when the MMU is busy/hung or nothing is
+     * ready; every block pokes this after making new work available.
+     */
+    void tryDispatch();
+
+    /** The datapath started serving @p id (cross-context round-robin). */
+    void noteInferenceServed(ContextId id) { last_served_ctx = id; }
+
+    /** A dependence-ready batch exists right now (pure query). */
+    bool firstReadyBatchWaiting() { return firstReadyBatch() != nullptr; }
+
+    /** The active policy (owned; replaced only between runs). */
+    SchedulingPolicy &policy() { return *policy_; }
+
+  private:
+    InfBatch *firstReadyBatch();
+    bool inferenceQueueLow() const;
+    bool spikeDetected() const;
+    bool trainingReady() const;
+
+    Datapath *datapath = nullptr;
+    RequestDispatcher *requests = nullptr;
+    FaultUnit *faults = nullptr;
+
+    std::unique_ptr<SchedulingPolicy> policy_;
+    bool prefer_training = false;  //!< round-robin alternation latch
+    /**
+     * Cross-context round-robin cursor. Deliberately NOT cleared by
+     * resetRun(): the monolithic simulator carried it across run()
+     * calls, and byte-identical replay requires keeping that.
+     */
+    ContextId last_served_ctx = 0;
+
+    // observability (run totals)
+    std::uint64_t rounds = 0;          //!< dispatch rounds entered
+    std::uint64_t inf_issues = 0;      //!< inference chunks issued
+    std::uint64_t train_issues = 0;    //!< training chunks issued
+};
+
+} // namespace sim
+} // namespace equinox
+
+#endif // EQUINOX_SIM_BLOCKS_INSTRUCTION_DISPATCHER_HH

@@ -1,0 +1,311 @@
+#include "sim/blocks/request_dispatcher.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "sim/blocks/context.hh"
+#include "sim/blocks/fault_unit.hh"
+#include "sim/blocks/instruction_dispatcher.hh"
+#include "stats/registry.hh"
+
+namespace equinox
+{
+namespace sim
+{
+
+RequestDispatcher::RequestDispatcher(SimContext &context)
+    : SimBlock(context, "request_dispatcher")
+{
+}
+
+RequestDispatcher::~RequestDispatcher() = default;
+
+void
+RequestDispatcher::connect(InstructionDispatcher *dispatcher_,
+                           FaultUnit *faults_)
+{
+    dispatcher = dispatcher_;
+    faults = faults_;
+}
+
+void
+RequestDispatcher::resetRun()
+{
+    ctx.batch_queue.clear();
+    batch_pool.clear();
+    batches_formed = 0;
+    batches_incomplete = 0;
+    batch_fill_sum = 0.0;
+    requests_admitted = 0;
+}
+
+void
+RequestDispatcher::beginMeasurement()
+{
+    batches_formed = 0;
+    batches_incomplete = 0;
+    batch_fill_sum = 0.0;
+    for (auto &svc : ctx.services)
+        svc->latency_cycles.reset();
+}
+
+void
+RequestDispatcher::registerStats(stats::StatRegistry &reg)
+{
+    reg.registerStat("request_dispatcher.requests_admitted",
+                     [this] {
+                         return static_cast<double>(requests_admitted);
+                     },
+                     "requests admitted to pending queues (run total)");
+    reg.registerStat("request_dispatcher.batches_formed",
+                     [this] {
+                         return static_cast<double>(batches_formed);
+                     },
+                     "batches formed (measured window)");
+    reg.registerStat("request_dispatcher.batches_incomplete",
+                     [this] {
+                         return static_cast<double>(batches_incomplete);
+                     },
+                     "padded partial batches (measured window)");
+    reg.registerStat("request_dispatcher.pending_requests",
+                     [this] {
+                         double n = 0.0;
+                         for (const auto &svc : ctx.services)
+                             n += static_cast<double>(
+                                 svc->pending.size());
+                         return n;
+                     },
+                     "raw requests awaiting batch formation (live)");
+    reg.registerStat("request_dispatcher.queued_batches",
+                     [this] {
+                         return static_cast<double>(
+                             ctx.batch_queue.size());
+                     },
+                     "formed batches in the queue port (live)");
+}
+
+void
+RequestDispatcher::beginRun()
+{
+    ctx.inference_load = false;
+    for (std::size_t i = 0; i < ctx.services.size(); ++i) {
+        auto &svc = *ctx.services[i];
+        svc.pending.clear();
+        svc.timeout_armed = false;
+        svc.rng = Rng(ctx.spec.seed * 7919 + svc.id + 1);
+        double rate = 0.0;
+        if (!ctx.spec.arrival_rates.empty()) {
+            if (i < ctx.spec.arrival_rates.size())
+                rate = ctx.spec.arrival_rates[i];
+        } else if (i == 0) {
+            rate = ctx.spec.arrival_rate_per_s;
+        }
+        svc.rate_per_cycle = rate / ctx.cfg.frequency_hz;
+        ctx.inference_load = ctx.inference_load || rate > 0.0;
+        scheduleNextArrival(i);
+    }
+
+    if (!ctx.spec.arrival_trace_s.empty()) {
+        EQX_ASSERT(!ctx.services.empty(),
+                   "arrival trace needs an inference service");
+        ctx.inference_load = true;
+        double prev = -1.0;
+        for (double t : ctx.spec.arrival_trace_s) {
+            EQX_ASSERT(t >= 0.0 && t >= prev,
+                       "arrival trace must be ascending");
+            prev = t;
+            ctx.events.schedule(
+                units::secondsToCycles(t, ctx.cfg.frequency_hz),
+                [this] { onRequestArrival(0); });
+        }
+    }
+}
+
+void
+RequestDispatcher::scheduleNextArrival(std::size_t svc_idx)
+{
+    auto &svc = *ctx.services[svc_idx];
+    if (!ctx.spec.arrival_trace_s.empty() && svc_idx == 0)
+        return; // trace playback schedules arrivals up front
+    if (svc.rate_per_cycle <= 0.0 || ctx.stopping)
+        return;
+    // Bursty mode samples candidates at the peak rate and thins them to
+    // the on-phase at arrival time (Lewis-Shedler thinning), giving an
+    // on/off-modulated Poisson process with the configured mean.
+    double rate = svc.rate_per_cycle;
+    if (ctx.spec.arrival_process == ArrivalProcess::Bursty)
+        rate *= ctx.spec.burst_factor;
+    double wait = svc.rng.exponential(rate);
+    auto delta = static_cast<Tick>(wait) + 1;
+    ctx.events.scheduleIn(delta, [this, svc_idx] {
+        onRequestArrival(svc_idx);
+    });
+}
+
+bool
+RequestDispatcher::inBurstOnPhase() const
+{
+    if (ctx.spec.arrival_process != ArrivalProcess::Bursty)
+        return true;
+    Tick period = units::secondsToCycles(ctx.spec.burst_period_s,
+                                         ctx.cfg.frequency_hz);
+    if (period == 0)
+        return true;
+    Tick on = static_cast<Tick>(static_cast<double>(period) /
+                                ctx.spec.burst_factor);
+    return (ctx.events.now() % period) < std::max<Tick>(on, 1);
+}
+
+void
+RequestDispatcher::onRequestArrival(std::size_t svc_idx)
+{
+    if (ctx.stopping)
+        return;
+    auto &svc = *ctx.services[svc_idx];
+    if ((ctx.spec.arrival_trace_s.empty() || svc_idx != 0) &&
+        !inBurstOnPhase()) {
+        // Thinned candidate: no request in the off phase.
+        scheduleNextArrival(svc_idx);
+        return;
+    }
+    if (faults->shedInference()) {
+        // Severe fault storm: the degradation policy sheds requests at
+        // admission rather than queuing into an impaired machine.
+        faults->countShedRequest();
+        emit(TraceEventType::RequestShed, svc.id);
+        scheduleNextArrival(svc_idx);
+        return;
+    }
+    svc.pending.push_back(ctx.events.now());
+    ++requests_admitted;
+    emit(TraceEventType::RequestArrival, svc.id, svc.pending.size());
+    formFullBatches(svc);
+    armBatchTimeout(svc);
+    scheduleNextArrival(svc_idx);
+    dispatcher->tryDispatch();
+}
+
+void
+RequestDispatcher::formFullBatches(InfService &svc)
+{
+    const std::uint32_t batch_rows = svc.desc.program.batch_rows;
+    while (svc.pending.size() >= batch_rows) {
+        auto batch = std::make_unique<InfBatch>();
+        batch->svc = &svc;
+        batch->real = batch_rows;
+        for (std::uint32_t i = 0; i < batch_rows; ++i) {
+            batch->arrivals.push_back(svc.pending.front());
+            svc.pending.pop_front();
+        }
+        // Batch inputs DMA in over the host interface before issue.
+        ByteCount in_bytes = static_cast<ByteCount>(batch->real) *
+                             svc.desc.input_bytes_per_request;
+        batch->ready_at = in_bytes
+                              ? faults->hostTransfer(ctx.events.now(),
+                                                     in_bytes,
+                                                     dram::Priority::High)
+                              : ctx.events.now();
+        if (ctx.measuring) {
+            ++batches_formed;
+            batch_fill_sum += 1.0;
+            ctx.host_bytes_measured += in_bytes;
+        }
+        emit(TraceEventType::BatchFormed, svc.id, batch->real,
+             batch_rows);
+        ctx.batch_queue.push(batch.get());
+        batch_pool.push_back(std::move(batch));
+    }
+}
+
+void
+RequestDispatcher::formPartialBatch(InfService &svc)
+{
+    EQX_ASSERT(!svc.pending.empty(), "partial batch from empty queue");
+    const std::uint32_t batch_rows = svc.desc.program.batch_rows;
+    auto batch = std::make_unique<InfBatch>();
+    batch->svc = &svc;
+    batch->real = static_cast<std::uint32_t>(
+        std::min<std::size_t>(svc.pending.size(), batch_rows));
+    for (std::uint32_t i = 0; i < batch->real; ++i) {
+        batch->arrivals.push_back(svc.pending.front());
+        svc.pending.pop_front();
+    }
+    ByteCount in_bytes = static_cast<ByteCount>(batch->real) *
+                         svc.desc.input_bytes_per_request;
+    batch->ready_at = in_bytes
+                          ? faults->hostTransfer(ctx.events.now(),
+                                                 in_bytes,
+                                                 dram::Priority::High)
+                          : ctx.events.now();
+    if (ctx.measuring) {
+        ++batches_formed;
+        ++batches_incomplete;
+        batch_fill_sum += static_cast<double>(batch->real) / batch_rows;
+        ctx.host_bytes_measured += in_bytes;
+    }
+    emit(TraceEventType::BatchFormed, svc.id, batch->real, batch_rows);
+    ctx.batch_queue.push(batch.get());
+    batch_pool.push_back(std::move(batch));
+}
+
+void
+RequestDispatcher::armBatchTimeout(InfService &svc)
+{
+    if (ctx.cfg.batch_policy != BatchPolicy::Adaptive)
+        return;
+    if (svc.timeout_armed || svc.pending.empty())
+        return;
+    svc.timeout_armed = true;
+    Tick fire_at = svc.pending.front() + svc.timeout_cycles;
+    fire_at = std::max(fire_at, ctx.events.now());
+    InfService *p = &svc;
+    ctx.events.schedule(fire_at, [this, p] { onBatchTimeout(p); });
+}
+
+/**
+ * The armed batch-formation timeout fired. The queue may have changed
+ * arbitrarily since arming: the request the timer was armed for can be
+ * long gone (batched into a full batch), and the queue can have drained
+ * and refilled with younger requests. Each case must leave exactly one
+ * live timer whenever requests are pending, keyed to the CURRENT oldest
+ * request's deadline -- a request left waiting without a timer would
+ * strand until the next arrival.
+ */
+void
+RequestDispatcher::onBatchTimeout(InfService *svc)
+{
+    // The armed flag must drop before any early return: every exit path
+    // below either re-arms explicitly or leaves the queue empty (and
+    // the next arrival re-arms).
+    svc->timeout_armed = false;
+    if (svc->pending.empty() || ctx.stopping)
+        return;
+    emit(TraceEventType::BatchTimeout, svc->id, svc->pending.size());
+    if (ctx.events.now() >= svc->pending.front() + svc->timeout_cycles) {
+        // The request controller pads the input arrays with dummy
+        // requests whose results are disposed (section 3.1).
+        formPartialBatch(*svc);
+    }
+    // Queue drained between arm and fire, then refilled: the oldest
+    // pending request is younger than the one the timer was armed for,
+    // so its deadline is still in the future -- re-arm for it.
+    armBatchTimeout(*svc);
+    dispatcher->tryDispatch();
+}
+
+std::uint64_t
+RequestDispatcher::pendingInferenceWork() const
+{
+    std::uint64_t n = 0;
+    for (const auto &svc : ctx.services)
+        n += svc->pending.size();
+    for (const auto *b : ctx.batch_queue) {
+        if (!b->done)
+            n += b->real;
+    }
+    return n;
+}
+
+} // namespace sim
+} // namespace equinox

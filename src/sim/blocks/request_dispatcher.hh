@@ -1,0 +1,88 @@
+/**
+ * @file
+ * RequestDispatcher: the front-end block -- per-service request arrival
+ * processes (Poisson, bursty, trace playback), the batch former with
+ * static/adaptive policies and dummy padding, and the adaptive
+ * batch-formation timeout machinery (section 3.1).
+ *
+ * Produces formed InfBatches into the shared BatchQueue port and pokes
+ * the instruction dispatcher; routes batch-input DMA through the fault
+ * unit's retrying host port.
+ */
+
+#ifndef EQUINOX_SIM_BLOCKS_REQUEST_DISPATCHER_HH
+#define EQUINOX_SIM_BLOCKS_REQUEST_DISPATCHER_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/blocks/inf_types.hh"
+#include "sim/blocks/sim_block.hh"
+
+namespace equinox
+{
+namespace sim
+{
+
+class FaultUnit;
+class InstructionDispatcher;
+
+/** Request dispatcher and batch former (hardware contexts, Figure 5). */
+class RequestDispatcher : public SimBlock
+{
+  public:
+    explicit RequestDispatcher(SimContext &context);
+    ~RequestDispatcher() override;
+
+    /** Wire control ports (composition root, once). */
+    void connect(InstructionDispatcher *dispatcher_, FaultUnit *faults_);
+
+    void resetRun() override;
+    void beginMeasurement() override;
+    void registerStats(stats::StatRegistry &reg) override;
+
+    /**
+     * Reset every installed service's run state (queues, RNG streams,
+     * arrival rates from the spec) and schedule the first arrivals --
+     * stochastic per service in install order, then the explicit trace.
+     * Sets ctx.inference_load. Must run before the event loop starts.
+     */
+    void beginRun();
+
+    /** Raw requests + unfinished batched requests in the pipeline. */
+    std::uint64_t pendingInferenceWork() const;
+
+    // -- measured-window batch-formation tallies ------------------------
+    std::uint64_t batchesFormed() const { return batches_formed; }
+    std::uint64_t batchesIncomplete() const { return batches_incomplete; }
+    double batchFillSum() const { return batch_fill_sum; }
+
+  private:
+    void onRequestArrival(std::size_t svc_idx);
+    void scheduleNextArrival(std::size_t svc_idx);
+    bool inBurstOnPhase() const;
+    void formFullBatches(InfService &svc);
+    void formPartialBatch(InfService &svc);
+    void armBatchTimeout(InfService &svc);
+    void onBatchTimeout(InfService *svc);
+
+    InstructionDispatcher *dispatcher = nullptr;
+    FaultUnit *faults = nullptr;
+
+    /** Storage backing the batches in flight this run. */
+    std::vector<std::unique_ptr<InfBatch>> batch_pool;
+
+    // measured window
+    std::uint64_t batches_formed = 0;
+    std::uint64_t batches_incomplete = 0;
+    double batch_fill_sum = 0.0;
+
+    // run totals (observability only)
+    std::uint64_t requests_admitted = 0;
+};
+
+} // namespace sim
+} // namespace equinox
+
+#endif // EQUINOX_SIM_BLOCKS_REQUEST_DISPATCHER_HH

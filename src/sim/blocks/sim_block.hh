@@ -1,0 +1,79 @@
+/**
+ * @file
+ * SimBlock: the interface every simulation block implements.
+ *
+ * A block is one hardware unit of the Figure 3 organisation (request
+ * dispatcher, instruction dispatcher, MMU/SIMD datapath, training
+ * prefetcher, fault/recovery unit). Blocks share the SimContext, talk
+ * to each other through the typed ports wired by the composition root,
+ * and participate in three framework seams:
+ *
+ *  - resetRun(): clear all per-run dynamic state; must not schedule
+ *    events or draw randomness (run() re-seeds and re-schedules in a
+ *    fixed order afterwards);
+ *  - beginMeasurement(): drop measured-window accumulators when the
+ *    warmup ends (again side-effect free w.r.t. simulated behaviour);
+ *  - registerStats(): expose per-block cycle/occupancy counters under
+ *    "<block>.<stat>" names in a stats::StatRegistry;
+ *
+ * plus the emit() helper that reports block events to the optional
+ * TraceSink (a no-op null check when tracing is off).
+ */
+
+#ifndef EQUINOX_SIM_BLOCKS_SIM_BLOCK_HH
+#define EQUINOX_SIM_BLOCKS_SIM_BLOCK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "sim/blocks/trace.hh"
+
+namespace equinox
+{
+namespace stats
+{
+class StatRegistry;
+}
+
+namespace sim
+{
+
+struct SimContext;
+
+/** Base class of every simulation block. */
+class SimBlock
+{
+  public:
+    SimBlock(SimContext &context, const char *block_name);
+    virtual ~SimBlock();
+
+    SimBlock(const SimBlock &) = delete;
+    SimBlock &operator=(const SimBlock &) = delete;
+
+    /** Stable block name, e.g. "request_dispatcher". */
+    const char *name() const { return name_; }
+
+    /** Clear all per-run dynamic state (start of Accelerator::run). */
+    virtual void resetRun() = 0;
+
+    /** Drop measured-window accumulators (warmup just ended). */
+    virtual void beginMeasurement() {}
+
+    /** Register per-block counters/gauges under "<name>.<stat>". */
+    virtual void registerStats(stats::StatRegistry &reg);
+
+  protected:
+    /** Report a block event to the trace sink, if one is installed. */
+    void emit(TraceEventType type, ContextId svc = 0,
+              std::uint64_t a = 0, std::uint64_t b = 0) const;
+
+    SimContext &ctx;
+
+  private:
+    const char *name_;
+};
+
+} // namespace sim
+} // namespace equinox
+
+#endif // EQUINOX_SIM_BLOCKS_SIM_BLOCK_HH

@@ -1,0 +1,71 @@
+#include "sim/blocks/trace.hh"
+
+namespace equinox
+{
+namespace sim
+{
+
+const char *
+traceEventTypeName(TraceEventType t)
+{
+    switch (t) {
+      case TraceEventType::RequestArrival:
+        return "request_arrival";
+      case TraceEventType::RequestShed:
+        return "request_shed";
+      case TraceEventType::BatchFormed:
+        return "batch_formed";
+      case TraceEventType::BatchTimeout:
+        return "batch_timeout";
+      case TraceEventType::InferenceChunkIssue:
+        return "inference_chunk_issue";
+      case TraceEventType::BatchRetired:
+        return "batch_retired";
+      case TraceEventType::TrainChunkIssue:
+        return "train_chunk_issue";
+      case TraceEventType::TrainIteration:
+        return "train_iteration";
+      case TraceEventType::HostTransfer:
+        return "host_transfer";
+      case TraceEventType::FaultHang:
+        return "fault_hang";
+      case TraceEventType::FaultRecovery:
+        return "fault_recovery";
+      case TraceEventType::NumTypes:
+        break;
+    }
+    return "unknown";
+}
+
+VectorTraceSink::VectorTraceSink(std::size_t cap) : cap_(cap)
+{
+}
+
+void
+VectorTraceSink::record(const TraceEvent &ev)
+{
+    ++total_;
+    ++counts_[static_cast<std::size_t>(ev.type)];
+    if (events_.size() < cap_)
+        events_.push_back(ev);
+    else
+        ++dropped_;
+}
+
+std::uint64_t
+VectorTraceSink::count(TraceEventType t) const
+{
+    return counts_[static_cast<std::size_t>(t)];
+}
+
+void
+VectorTraceSink::clear()
+{
+    events_.clear();
+    counts_.fill(0);
+    total_ = 0;
+    dropped_ = 0;
+}
+
+} // namespace sim
+} // namespace equinox

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The simulator's observability seam: per-block trace events.
+ *
+ * Every SimBlock can emit TraceEvents describing what it just did
+ * (request admitted, batch formed, chunk issued, iteration retired,
+ * fault recovered, ...). An optional TraceSink installed on the
+ * Accelerator receives them; with no sink installed the emit path is a
+ * single null check, and tracing never perturbs simulated behaviour --
+ * events are pure observations taken after the block's state change.
+ */
+
+#ifndef EQUINOX_SIM_BLOCKS_TRACE_HH
+#define EQUINOX_SIM_BLOCKS_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace equinox
+{
+namespace sim
+{
+
+/** What a block just did. */
+enum class TraceEventType : unsigned
+{
+    RequestArrival,      //!< request admitted to a service's pending queue
+    RequestShed,         //!< request dropped at admission (fault storm)
+    BatchFormed,         //!< full or partial batch left the batch former
+    BatchTimeout,        //!< adaptive batch-formation timer fired
+    InferenceChunkIssue, //!< inference MMU chunk entered the array
+    BatchRetired,        //!< batch completed and results shipped
+    TrainChunkIssue,     //!< training MMU chunk entered the array
+    TrainIteration,      //!< one full training iteration retired
+    HostTransfer,        //!< host-interface transfer (with retries) done
+    FaultHang,           //!< MMU/dispatcher hang began
+    FaultRecovery,       //!< hang cleared / reset finished / rollback
+    NumTypes,
+};
+
+/** Human-readable label for a trace event type. */
+const char *traceEventTypeName(TraceEventType t);
+
+/** One emitted block event. Payload meaning depends on the type. */
+struct TraceEvent
+{
+    Tick tick = 0;
+    TraceEventType type = TraceEventType::RequestArrival;
+    /** Emitting block's name (static storage, never dangles). */
+    const char *block = "";
+    /** Service context the event concerns, when applicable. */
+    ContextId ctx = 0;
+    /** Generic payloads (bytes, rows, cycles -- see emit sites). */
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+};
+
+/** Receiver of block events; implemented by tools and tests. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void record(const TraceEvent &ev) = 0;
+};
+
+/**
+ * Bounded in-memory sink: keeps the first @p cap events verbatim plus
+ * per-type counts of everything (drops beyond the cap are counted, not
+ * silently lost).
+ */
+class VectorTraceSink : public TraceSink
+{
+  public:
+    explicit VectorTraceSink(std::size_t cap = 1u << 20);
+
+    void record(const TraceEvent &ev) override;
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    std::uint64_t count(TraceEventType t) const;
+    std::uint64_t total() const { return total_; }
+    std::uint64_t dropped() const { return dropped_; }
+    void clear();
+
+  private:
+    static constexpr std::size_t kN =
+        static_cast<std::size_t>(TraceEventType::NumTypes);
+    std::size_t cap_;
+    std::vector<TraceEvent> events_;
+    std::array<std::uint64_t, kN> counts_{};
+    std::uint64_t total_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace sim
+} // namespace equinox
+
+#endif // EQUINOX_SIM_BLOCKS_TRACE_HH

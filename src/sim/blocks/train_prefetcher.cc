@@ -1,0 +1,126 @@
+#include "sim/blocks/train_prefetcher.hh"
+
+#include <algorithm>
+
+#include "sim/blocks/context.hh"
+#include "sim/blocks/fault_unit.hh"
+#include "sim/blocks/instruction_dispatcher.hh"
+#include "stats/registry.hh"
+
+namespace equinox
+{
+namespace sim
+{
+
+TrainPrefetcher::TrainPrefetcher(SimContext &context)
+    : SimBlock(context, "train_prefetcher")
+{
+}
+
+TrainPrefetcher::~TrainPrefetcher() = default;
+
+void
+TrainPrefetcher::connect(InstructionDispatcher *dispatcher_,
+                         FaultUnit *faults_)
+{
+    dispatcher = dispatcher_;
+    faults = faults_;
+}
+
+void
+TrainPrefetcher::resetRun()
+{
+    prefetches_issued = 0;
+    prefetch_bytes = 0;
+}
+
+void
+TrainPrefetcher::registerStats(stats::StatRegistry &reg)
+{
+    reg.registerStat("train_prefetcher.prefetches_issued",
+                     [this] {
+                         return static_cast<double>(prefetches_issued);
+                     },
+                     "staging prefetch transfers issued (run total)");
+    reg.registerStat("train_prefetcher.prefetch_bytes",
+                     [this] {
+                         return static_cast<double>(prefetch_bytes);
+                     },
+                     "bytes prefetched into staging (run total)");
+    reg.registerStat("train_prefetcher.staged_bytes",
+                     [this] {
+                         return ctx.train ? ctx.train->staged_bytes : 0.0;
+                     },
+                     "operand bytes staged and unconsumed (live)");
+}
+
+void
+TrainPrefetcher::pump()
+{
+    auto &train = ctx.train;
+    if (!train || ctx.stopping)
+        return;
+    const auto &steps = train->desc.iteration.steps;
+    while (true) {
+        ByteCount step_bytes = steps[train->prefetch_step].mmu.stream_bytes;
+        if (train->prefetch_off >= step_bytes) {
+            train->prefetch_step = (train->prefetch_step + 1) %
+                                   steps.size();
+            train->prefetch_off = 0;
+            // Guard against a (synthetic) program with no streamed bytes.
+            bool any = false;
+            for (const auto &s : steps) {
+                if (s.mmu.stream_bytes > 0) {
+                    any = true;
+                    break;
+                }
+            }
+            if (!any)
+                return;
+            continue;
+        }
+        // Degrade gracefully when the staging share is smaller than the
+        // preferred burst: fetch in half-capacity chunks instead.
+        ByteCount max_chunk = std::min<ByteCount>(
+            kPrefetchChunk,
+            std::max<ByteCount>(train->staging_capacity / 2, 512));
+        double occupied = train->staged_bytes + train->inflight_bytes;
+        if (occupied + static_cast<double>(max_chunk) >
+            static_cast<double>(train->staging_capacity)) {
+            return;
+        }
+        ByteCount chunk = std::min<ByteCount>(max_chunk,
+                                              step_bytes -
+                                                  train->prefetch_off);
+        train->prefetch_off += chunk;
+        train->inflight_bytes += static_cast<double>(chunk);
+        ++prefetches_issued;
+        prefetch_bytes += chunk;
+        dram::TransferFault f;
+        Tick done = ctx.hbm->transfer(ctx.events.now(), chunk,
+                                      dram::Priority::Low,
+                                      faults->active() ? &f : nullptr);
+        faults->syncFaults();
+        if (f.uncorrectable) {
+            // ECC flagged the staged operands as poisoned: when the
+            // access would have landed, roll training back to the last
+            // checkpoint instead of consuming garbage.
+            ctx.events.schedule(done, [this] {
+                faults->trainingRollback();
+            });
+            return;
+        }
+        std::uint64_t epoch = train->epoch;
+        ctx.events.schedule(done, [this, chunk, epoch] {
+            if (epoch != ctx.train->epoch)
+                return; // superseded by a rollback/reset
+            ctx.train->inflight_bytes -= static_cast<double>(chunk);
+            ctx.train->staged_bytes += static_cast<double>(chunk);
+            pump();
+            dispatcher->tryDispatch();
+        });
+    }
+}
+
+} // namespace sim
+} // namespace equinox

@@ -2,10 +2,21 @@
  * @file
  * The discrete-event kernel driving the cycle-accurate simulation.
  *
- * Components schedule callbacks at future ticks; the queue dispatches them
- * in (tick, insertion-order) order. Components are written to tolerate
- * stale wakeups (they re-check state on wake), so no cancellation API is
- * needed.
+ * Components schedule callbacks at future ticks; the queue dispatches
+ * them in (tick, insertion-order) order. Components are written to
+ * tolerate stale wakeups (they re-check state on wake), so no
+ * cancellation API is needed.
+ *
+ * Same-cycle ordering contract (load-bearing for reproducibility):
+ * events scheduled for the same tick dispatch in exactly the order
+ * their schedule()/scheduleIn() calls were made, regardless of which
+ * callback made them -- a strict FIFO per tick, implemented by tagging
+ * every entry with a global monotonically increasing sequence number.
+ * In particular, an event a running callback schedules for the CURRENT
+ * tick runs after every same-tick event that was already queued. The
+ * simulator's byte-identical replay guarantee (and the golden digests
+ * in test_refactor_identity.cc) depends on this: blocks deliberately
+ * encode priority as call order, never by racing on a tick.
  */
 
 #ifndef EQUINOX_SIM_EVENT_QUEUE_HH
@@ -55,6 +66,12 @@ class EventQueue
     struct Entry
     {
         Tick when;
+        /**
+         * Global insertion counter breaking same-tick ties: the heap's
+         * comparator alone would dispatch equal ticks in an arbitrary
+         * (heap-shape-dependent) order, which would make runs depend on
+         * scheduling history rather than program order.
+         */
         std::uint64_t seq;
         Callback cb;
     };
@@ -65,7 +82,7 @@ class EventQueue
         {
             if (a.when != b.when)
                 return a.when > b.when;
-            return a.seq > b.seq;
+            return a.seq > b.seq; // same tick: FIFO by insertion
         }
     };
 

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the block/port simulation architecture: per-block stat
+ * registration, the TraceSink observability seam (including its
+ * must-not-perturb guarantee), and the Figure 8 cycle breakdown being
+ * produced by the Datapath block itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/units.hh"
+#include "sim/accelerator.hh"
+#include "sim/blocks/trace.hh"
+#include "stats/registry.hh"
+#include "workload/compiler.hh"
+#include "workload/dnn_model.hh"
+
+namespace equinox
+{
+namespace sim
+{
+namespace
+{
+
+AcceleratorConfig
+smallConfig()
+{
+    AcceleratorConfig cfg;
+    cfg.name = "blocks-test";
+    cfg.n = 8;
+    cfg.m = 2;
+    cfg.w = 2;
+    cfg.frequency_hz = units::MHz(100);
+    cfg.simd_lanes = 256;
+    return cfg;
+}
+
+workload::DnnModel
+tinyRnn()
+{
+    workload::DnnModel model;
+    model.name = "tiny";
+    model.kind = workload::DnnModel::Kind::Rnn;
+    model.rnn.hidden = 64;
+    model.rnn.steps = 4;
+    model.rnn.gate_groups = {2};
+    model.rnn.simd_passes = 4.0;
+    return model;
+}
+
+RunSpec
+smallSpec()
+{
+    RunSpec spec;
+    spec.warmup_requests = 30;
+    spec.measure_requests = 300;
+    spec.seed = 17;
+    return spec;
+}
+
+/** Build the shared mixed inference+training accelerator. */
+std::unique_ptr<Accelerator>
+makeAccel(AcceleratorConfig cfg)
+{
+    workload::Compiler compiler(cfg);
+    auto accel = std::make_unique<Accelerator>(cfg);
+    accel->installInference(compiler.compileInference(tinyRnn()));
+    accel->installTraining(compiler.compileTraining(tinyRnn(), 16));
+    return accel;
+}
+
+TEST(BlockStats, EveryBlockRegistersNamespacedCounters)
+{
+    auto accel = makeAccel(smallConfig());
+    stats::StatRegistry reg;
+    accel->registerStats(reg);
+
+    // One representative stat per block, under "<block>.<stat>".
+    EXPECT_TRUE(reg.contains("request_dispatcher.requests_admitted"));
+    EXPECT_TRUE(reg.contains("instruction_dispatcher.rounds"));
+    EXPECT_TRUE(reg.contains("datapath.mmu_busy_cycles"));
+    EXPECT_TRUE(reg.contains("train_prefetcher.prefetch_bytes"));
+    EXPECT_TRUE(reg.contains("fault_unit.faults_total"));
+}
+
+TEST(BlockStats, Figure8BreakdownComesFromTheDatapathBlock)
+{
+    auto accel = makeAccel(smallConfig());
+    stats::StatRegistry reg;
+    accel->registerStats(reg);
+
+    auto spec = smallSpec();
+    spec.arrival_rate_per_s = 0.4 * accel->maxRequestRate();
+    auto res = accel->run(spec);
+
+    // The SimResult's Figure 8 breakdown is exactly the Datapath
+    // block's registered gauges -- the top level only copies it out.
+    EXPECT_DOUBLE_EQ(reg.value("datapath.cycles_working"),
+                     res.mmu_breakdown.get(stats::CycleClass::Working));
+    EXPECT_DOUBLE_EQ(reg.value("datapath.cycles_dummy"),
+                     res.mmu_breakdown.get(stats::CycleClass::Dummy));
+    EXPECT_DOUBLE_EQ(reg.value("datapath.cycles_idle"),
+                     res.mmu_breakdown.get(stats::CycleClass::Idle));
+    EXPECT_DOUBLE_EQ(reg.value("datapath.cycles_other"),
+                     res.mmu_breakdown.get(stats::CycleClass::Other));
+    EXPECT_GT(reg.value("datapath.cycles_working"), 0.0);
+    EXPECT_DOUBLE_EQ(reg.value("datapath.mmu_busy_cycles"),
+                     res.mmu_busy_cycles);
+
+    // Front-end tallies flow the same way.
+    EXPECT_DOUBLE_EQ(reg.value("request_dispatcher.batches_formed"),
+                     static_cast<double>(res.batches_formed));
+    EXPECT_GT(reg.value("instruction_dispatcher.rounds"), 0.0);
+    EXPECT_GT(reg.value("train_prefetcher.prefetch_bytes"), 0.0);
+}
+
+TEST(TraceSeam, BlocksEmitMultipleEventTypesThroughTheSink)
+{
+    auto accel = makeAccel(smallConfig());
+    VectorTraceSink sink;
+    accel->setTraceSink(&sink);
+
+    auto spec = smallSpec();
+    spec.arrival_rate_per_s = 0.4 * accel->maxRequestRate();
+    accel->run(spec);
+
+    // The acceptance bar is >= 3 distinct block event types; a mixed
+    // run exercises far more. Count the distinct types seen.
+    std::set<TraceEventType> seen;
+    for (const auto &ev : sink.events())
+        seen.insert(ev.type);
+    EXPECT_GE(seen.size(), 3u);
+    EXPECT_GT(sink.count(TraceEventType::RequestArrival), 0u);
+    EXPECT_GT(sink.count(TraceEventType::BatchFormed), 0u);
+    EXPECT_GT(sink.count(TraceEventType::InferenceChunkIssue), 0u);
+    EXPECT_GT(sink.count(TraceEventType::BatchRetired), 0u);
+    EXPECT_GT(sink.count(TraceEventType::TrainChunkIssue), 0u);
+    EXPECT_GT(sink.count(TraceEventType::TrainIteration), 0u);
+    EXPECT_GT(sink.count(TraceEventType::HostTransfer), 0u);
+
+    // Events are recorded at dispatch time, so ticks never go backward
+    // and every event names its emitting block.
+    Tick last = 0;
+    for (const auto &ev : sink.events()) {
+        EXPECT_GE(ev.tick, last);
+        last = ev.tick;
+        EXPECT_STRNE(ev.block, "");
+    }
+}
+
+TEST(TraceSeam, FaultEventsFlowThroughTheSink)
+{
+    auto accel = makeAccel(smallConfig());
+    VectorTraceSink sink;
+    accel->setTraceSink(&sink);
+
+    auto spec = smallSpec();
+    spec.arrival_rate_per_s = 0.4 * accel->maxRequestRate();
+    spec.faults.seed = 23;
+    spec.faults.host_drop_prob = 0.05;
+    spec.faults.mmu_hang_rate_per_s = 200.0;
+    auto res = accel->run(spec);
+
+    ASSERT_GT(res.faults.mmu_hangs, 0u);
+    EXPECT_EQ(sink.count(TraceEventType::FaultHang), res.faults.mmu_hangs);
+    EXPECT_GT(sink.count(TraceEventType::FaultRecovery), 0u);
+}
+
+TEST(TraceSeam, TracingDoesNotPerturbResults)
+{
+    // Same config, same seed: a traced run must report byte-identical
+    // results to an untraced one -- the seam is observation only.
+    auto spec = smallSpec();
+
+    auto plain = makeAccel(smallConfig());
+    spec.arrival_rate_per_s = 0.4 * plain->maxRequestRate();
+    auto base = plain->run(spec);
+
+    auto traced = makeAccel(smallConfig());
+    VectorTraceSink sink;
+    traced->setTraceSink(&sink);
+    auto obs = traced->run(spec);
+
+    EXPECT_GT(sink.total(), 0u);
+    EXPECT_EQ(base.completed_requests, obs.completed_requests);
+    EXPECT_EQ(base.mean_latency_s, obs.mean_latency_s);
+    EXPECT_EQ(base.p99_latency_s, obs.p99_latency_s);
+    EXPECT_EQ(base.training_iterations, obs.training_iterations);
+    EXPECT_EQ(base.host_bytes, obs.host_bytes);
+    EXPECT_EQ(base.mmu_busy_cycles, obs.mmu_busy_cycles);
+    EXPECT_EQ(base.mmu_breakdown.total(), obs.mmu_breakdown.total());
+}
+
+TEST(TraceSeam, VectorSinkBoundsMemoryAndCountsDrops)
+{
+    auto accel = makeAccel(smallConfig());
+    VectorTraceSink sink(/*cap=*/64);
+    accel->setTraceSink(&sink);
+
+    auto spec = smallSpec();
+    spec.arrival_rate_per_s = 0.4 * accel->maxRequestRate();
+    accel->run(spec);
+
+    EXPECT_LE(sink.events().size(), 64u);
+    EXPECT_GT(sink.dropped(), 0u);
+    EXPECT_EQ(sink.total(), sink.events().size() + sink.dropped());
+
+    sink.clear();
+    EXPECT_EQ(sink.total(), 0u);
+    EXPECT_EQ(sink.count(TraceEventType::RequestArrival), 0u);
+}
+
+TEST(TraceSeam, EventTypeNamesAreStable)
+{
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::RequestArrival),
+                 "request_arrival");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::BatchRetired),
+                 "batch_retired");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::FaultRecovery),
+                 "fault_recovery");
+}
+
+} // namespace
+} // namespace sim
+} // namespace equinox

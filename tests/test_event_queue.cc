@@ -40,6 +40,58 @@ TEST(EventQueue, SameTickIsFifo)
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(EventQueue, SameTickFifoAcrossScheduleVariants)
+{
+    // The FIFO tie-break keys on call order, not on which entry point
+    // (schedule vs scheduleIn) or which tick-distance was used.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1, [&] {}); // advance now() to 1 first
+    q.runOne();
+    q.schedule(9, [&] { order.push_back(0); });
+    q.scheduleIn(8, [&] { order.push_back(1); }); // 1 + 8 == 9
+    q.schedule(9, [&] { order.push_back(2); });
+    while (q.runOne()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, CurrentTickInsertionRunsAfterQueuedSameTick)
+{
+    // An event a callback schedules for the CURRENT tick must run after
+    // every same-tick event that was already queued: sequence numbers
+    // keep growing across dispatches, so later insertions sort later.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] {
+        order.push_back(0);
+        q.schedule(5, [&] { order.push_back(3); });
+        q.scheduleIn(0, [&] { order.push_back(4); });
+    });
+    q.schedule(5, [&] { order.push_back(1); });
+    q.schedule(5, [&] { order.push_back(2); });
+    while (q.runOne()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(q.now(), 5u);
+}
+
+TEST(EventQueue, FifoSurvivesInterleavedFutureTicks)
+{
+    // Interleaving insertions for different ticks must not disturb the
+    // per-tick FIFO: ordering is (tick, global insertion order).
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(20, [&] { order.push_back(20); });
+    q.schedule(10, [&] { order.push_back(10); });
+    q.schedule(20, [&] { order.push_back(21); });
+    q.schedule(10, [&] { order.push_back(11); });
+    q.schedule(20, [&] { order.push_back(22); });
+    while (q.runOne()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 21, 22}));
+}
+
 TEST(EventQueue, CallbacksCanSchedule)
 {
     EventQueue q;
