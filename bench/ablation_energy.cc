@@ -13,32 +13,54 @@
 #include "core/equinox.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace equinox;
     setQuietLogging(true);
-    bench::banner("Ablation: energy per op",
-                  "Run-energy model across the configuration family "
-                  "(LSTM at 90% load)");
+    bench::Harness harness(argc, argv, "ablation_energy",
+                           "Ablation: energy per op",
+                           "Run-energy model across the configuration "
+                           "family (LSTM at 90% load)");
+
+    // Resolve every preset config up front (fills the DSE cache once,
+    // using the full job count) so the parallel sweeps below only run
+    // simulations.
+    const auto presets = core::allPresets();
+    std::vector<sim::AcceleratorConfig> cfgs;
+    for (auto preset : presets)
+        cfgs.push_back(core::presetConfig(preset,
+                                          arith::Encoding::Hbfp8,
+                                          harness.jobs()));
 
     stats::Table table({"config", "n", "avg power (W)", "pJ/op",
                         "data-movement %", "uJ/request"});
 
-    for (auto preset : core::allPresets()) {
-        auto cfg = core::presetConfig(preset);
+    struct Cell
+    {
+        core::LoadPointResult r;
+        synth::EnergyReport energy;
+    };
+    auto rows = parallelMap(harness.jobs(), cfgs,
+                            [&](const sim::AcceleratorConfig &cfg) {
         core::ExperimentOptions opts;
         opts.warmup_requests = 300;
         opts.measure_requests = 2500;
         opts.min_measure_s = 0.02;
-        auto r = core::runAtLoad(cfg, 0.9, opts);
-        auto energy = synth::estimateEnergy(cfg, r.sim);
-        double req_rate = r.inference_tops * 1e12 /
+        Cell c;
+        c.r = core::runAtLoad(cfg, 0.9, opts);
+        c.energy = synth::estimateEnergy(cfg, c.r.sim);
+        return c;
+    });
+    for (std::size_t i = 0; i < presets.size(); ++i) {
+        const auto &c = rows[i];
+        double req_rate = c.r.inference_tops * 1e12 /
                           workload::DnnModel::lstm2048().opsPerRequest();
-        table.addRow({core::presetName(preset), std::to_string(cfg.n),
-                      bench::num(energy.avg_power_w, 1),
-                      bench::num(energy.pj_per_op, 2),
-                      bench::num(energy.data_movement_frac * 100, 1),
-                      bench::num(energy.avg_power_w / req_rate * 1e6,
+        table.addRow({core::presetName(presets[i]),
+                      std::to_string(cfgs[i].n),
+                      bench::num(c.energy.avg_power_w, 1),
+                      bench::num(c.energy.pj_per_op, 2),
+                      bench::num(c.energy.data_movement_frac * 100, 1),
+                      bench::num(c.energy.avg_power_w / req_rate * 1e6,
                                  1)});
     }
     table.print(std::cout);
@@ -53,24 +75,30 @@ main()
     bench::section("with piggybacked training (60% inference load)");
     stats::Table t2({"config", "inf+train TOp/s", "avg power (W)",
                      "pJ/op"});
-    for (auto preset : core::allPresets()) {
-        auto cfg = core::presetConfig(preset);
+    auto trows = parallelMap(harness.jobs(), cfgs,
+                             [&](const sim::AcceleratorConfig &cfg) {
         core::ExperimentOptions opts;
         opts.train_model = workload::DnnModel::lstm2048();
         opts.warmup_requests = 250;
         opts.measure_requests = 2000;
         opts.min_measure_s = 0.03;
-        auto r = core::runAtLoad(cfg, 0.6, opts);
-        auto energy = synth::estimateEnergy(cfg, r.sim);
-        t2.addRow({core::presetName(preset),
-                   bench::num(r.inference_tops + r.training_tops, 1),
-                   bench::num(energy.avg_power_w, 1),
-                   bench::num(energy.pj_per_op, 2)});
+        Cell c;
+        c.r = core::runAtLoad(cfg, 0.6, opts);
+        c.energy = synth::estimateEnergy(cfg, c.r.sim);
+        return c;
+    });
+    for (std::size_t i = 0; i < presets.size(); ++i) {
+        const auto &c = trows[i];
+        t2.addRow({core::presetName(presets[i]),
+                   bench::num(c.r.inference_tops + c.r.training_tops, 1),
+                   bench::num(c.energy.avg_power_w, 1),
+                   bench::num(c.energy.pj_per_op, 2)});
     }
     t2.print(std::cout);
     std::printf("Training rides on energy the accelerator was already "
                 "provisioned for: the\nmarginal pJ/op falls because the "
                 "fixed DRAM/leakage power amortises over\nmore useful "
                 "work.\n");
+    harness.finish();
     return 0;
 }

@@ -16,12 +16,14 @@
 #include "nn/datasets.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace equinox;
     setQuietLogging(true);
-    bench::banner("Ablation: HBFP mantissa width",
-                  "Convergence vs block-mantissa bits (Figure 2 task)");
+    bench::Harness harness(argc, argv, "ablation_hbfp_mantissa",
+                           "Ablation: HBFP mantissa width",
+                           "Convergence vs block-mantissa bits "
+                           "(Figure 2 task)");
 
     nn::ClusterDataset data(8, 24, 2048, 1024, 0.35, 1234);
     nn::TrainConfig cfg;
@@ -41,12 +43,20 @@ main()
                   bench::num(ref.back().valid_error * 100, 1), "0.0",
                   bench::num(ref[7].valid_error * 100, 1)});
 
-    for (unsigned bits : {4u, 6u, 8u, 10u}) {
+    // Each retraining is independent: its own GEMM engine and network,
+    // reading the shared dataset const-only.
+    const std::vector<unsigned> widths = {4u, 6u, 8u, 10u};
+    auto histories = parallelMap(harness.jobs(), widths,
+                                 [&](unsigned bits) {
         arith::BfpFormat fmt{bits, 12, 25};
         arith::HbfpGemm engine(fmt, 256);
-        auto h = nn::trainClassifier(data, engine, cfg);
-        table.addRow({"hbfp" + std::to_string(bits),
-                      std::to_string(bits),
+        return nn::trainClassifier(data, engine, cfg);
+    });
+
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+        const auto &h = histories[i];
+        table.addRow({"hbfp" + std::to_string(widths[i]),
+                      std::to_string(widths[i]),
                       bench::num(h.back().valid_error * 100, 1),
                       bench::num((h.back().valid_error -
                                   ref.back().valid_error) * 100, 1),
@@ -60,5 +70,6 @@ main()
         "NeurIPS'18 HBFP work); narrower blocks start\nto lag even on "
         "this small task, and wider ones buy nothing while costing ALU\n"
         "density -- the reason Equinox standardises on hbfp8.\n");
+    harness.finish();
     return 0;
 }

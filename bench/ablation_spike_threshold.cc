@@ -22,21 +22,22 @@ namespace
 using namespace equinox;
 
 void
-sweep(sim::ArrivalProcess process, const char *title, double target_ms)
+sweep(const sim::AcceleratorConfig &ref, sim::ArrivalProcess process,
+      const char *title, double target_ms, std::size_t jobs)
 {
     bench::section(title);
     auto lstm = workload::DnnModel::lstm2048();
     stats::Table table({"threshold (batches)", "train TOp/s @60%",
                         "p99 @60% (ms)", "train TOp/s @85%",
                         "p99 @85% (ms)", "SLO @85%"});
-    for (unsigned threshold : {1u, 2u, 4u, 8u, 16u}) {
-        auto cfg = core::presetConfig(core::Preset::Us500);
+    const std::vector<unsigned> thresholds = {1u, 2u, 4u, 8u, 16u};
+    struct Row
+    {
+        sim::SimResult mid, high;
+    };
+    auto rows = parallelMap(jobs, thresholds, [&](unsigned threshold) {
+        auto cfg = ref;
         cfg.spike_threshold_batches = threshold;
-        core::ExperimentOptions opts;
-        opts.train_model = lstm;
-        opts.warmup_requests = 250;
-        opts.measure_requests = 2000;
-        opts.min_measure_s = 0.05;
 
         auto run_at = [&](double load) {
             workload::Compiler compiler(cfg);
@@ -46,14 +47,18 @@ sweep(sim::ArrivalProcess process, const char *title, double target_ms)
             sim::RunSpec spec;
             spec.arrival_rate_per_s = load * accel.maxRequestRate();
             spec.arrival_process = process;
-            spec.warmup_requests = opts.warmup_requests;
-            spec.measure_requests = opts.measure_requests;
-            spec.min_measure_s = opts.min_measure_s;
+            spec.warmup_requests = 250;
+            spec.measure_requests = 2000;
+            spec.min_measure_s = 0.05;
             return accel.run(spec);
         };
-        auto mid = run_at(0.6);
-        auto high = run_at(0.85);
-        table.addRow({std::to_string(threshold),
+        return Row{run_at(0.6), run_at(0.85)};
+    });
+
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        const auto &mid = rows[i].mid;
+        const auto &high = rows[i].high;
+        table.addRow({std::to_string(thresholds[i]),
                       bench::num(mid.training_throughput_ops / 1e12, 1),
                       bench::num(mid.p99_latency_s * 1e3, 2),
                       bench::num(high.training_throughput_ops / 1e12, 1),
@@ -67,21 +72,26 @@ sweep(sim::ArrivalProcess process, const char *title, double target_ms)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace equinox;
     setQuietLogging(true);
-    bench::banner("Ablation: load-spike threshold",
-                  "Priority-scheduler freeze threshold under Poisson "
-                  "and bursty arrivals");
-    auto ref = core::presetConfig(core::Preset::Us500);
+    bench::Harness harness(argc, argv, "ablation_spike_threshold",
+                           "Ablation: load-spike threshold",
+                           "Priority-scheduler freeze threshold under "
+                           "Poisson and bursty arrivals");
+    auto ref = core::presetConfig(core::Preset::Us500,
+                                  arith::Encoding::Hbfp8,
+                                  harness.jobs());
     double target_ms = core::latencyTargetSeconds(
                            ref, workload::DnnModel::lstm2048()) * 1e3;
     std::printf("latency target: %.1f ms\n", target_ms);
 
-    sweep(sim::ArrivalProcess::Poisson, "Poisson arrivals", target_ms);
-    sweep(sim::ArrivalProcess::Bursty,
-          "bursty arrivals (4x peak, 2 ms period)", target_ms);
+    sweep(ref, sim::ArrivalProcess::Poisson, "Poisson arrivals",
+          target_ms, harness.jobs());
+    sweep(ref, sim::ArrivalProcess::Bursty,
+          "bursty arrivals (4x peak, 2 ms period)", target_ms,
+          harness.jobs());
 
     std::printf(
         "\nReading: the result is a robustness finding -- the threshold "
@@ -92,5 +102,6 @@ main()
         "threshold under both arrival processes; bursty arrivals cost "
         "training ~35%%\nthroughput at equal mean load regardless of the "
         "setting.\n");
+    harness.finish();
     return 0;
 }

@@ -17,57 +17,73 @@
 #include "core/equinox.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace equinox;
     setQuietLogging(true);
-    bench::banner("Ablation: training mapping",
-                  "Gradient-accumulation window x accumulator precision "
-                  "(Equinox_500us, LSTM-128)");
+    bench::Harness harness(argc, argv, "ablation_training_mapping",
+                           "Ablation: training mapping",
+                           "Gradient-accumulation window x accumulator "
+                           "precision (Equinox_500us, LSTM-128)");
 
-    auto cfg = core::presetConfig(core::Preset::Us500);
-    workload::Compiler compiler(cfg);
+    auto cfg = core::presetConfig(core::Preset::Us500,
+                                  arith::Encoding::Hbfp8,
+                                  harness.jobs());
     auto lstm = workload::DnnModel::lstm2048();
 
     stats::Table table({"window", "acc bytes", "DRAM GB/iter",
                         "ops/byte", "MMU Mcycles/iter",
                         "train TOp/s @0%", "train TOp/s @60%"});
 
-    for (std::size_t window : {1u, 2u, 4u, 8u}) {
-        for (double acc_bytes : {2.0, 4.0}) {
-            workload::TrainingCompileOptions topts;
-            topts.grad_window = window;
-            topts.grad_acc_bytes = acc_bytes;
+    struct Cell
+    {
+        std::size_t window;
+        double acc_bytes;
+    };
+    std::vector<Cell> grid;
+    for (std::size_t window : {1u, 2u, 4u, 8u})
+        for (double acc_bytes : {2.0, 4.0})
+            grid.push_back({window, acc_bytes});
 
-            auto train = compiler.compileTraining(lstm, 128, topts);
-            double bytes = 0.0;
-            for (const auto &s : train.iteration.steps)
-                bytes += static_cast<double>(s.mmu.stream_bytes +
+    struct Row
+    {
+        double bytes, ops, mmu_mcycles, idle_tops, mid_tops;
+    };
+    auto rows = parallelMap(harness.jobs(), grid, [&](const Cell &c) {
+        workload::TrainingCompileOptions topts;
+        topts.grad_window = c.window;
+        topts.grad_acc_bytes = c.acc_bytes;
+
+        workload::Compiler compiler(cfg);
+        auto train = compiler.compileTraining(lstm, 128, topts);
+        Row row{};
+        for (const auto &s : train.iteration.steps)
+            row.bytes += static_cast<double>(s.mmu.stream_bytes +
                                              s.store_bytes);
-            double ops =
-                static_cast<double>(train.iteration.totalRealOps());
+        row.ops = static_cast<double>(train.iteration.totalRealOps());
+        row.mmu_mcycles =
+            static_cast<double>(train.iteration.mmuBusyCycles()) / 1e6;
 
-            core::ExperimentOptions opts;
-            opts.train_model = lstm;
-            opts.train_opts = topts;
-            opts.warmup_requests = 200;
-            opts.measure_requests = 1600;
-            opts.measure_iterations = 10;
-            opts.min_measure_s = 0.03;
-            auto idle = core::runAtLoad(cfg, 0.0, opts);
-            auto mid = core::runAtLoad(cfg, 0.6, opts);
+        core::ExperimentOptions opts;
+        opts.train_model = lstm;
+        opts.train_opts = topts;
+        opts.warmup_requests = 200;
+        opts.measure_requests = 1600;
+        opts.measure_iterations = 10;
+        opts.min_measure_s = 0.03;
+        row.idle_tops = core::runAtLoad(cfg, 0.0, opts).training_tops;
+        row.mid_tops = core::runAtLoad(cfg, 0.6, opts).training_tops;
+        return row;
+    });
 
-            table.addRow({std::to_string(window),
-                          bench::num(acc_bytes, 0),
-                          bench::num(bytes / 1e9, 2),
-                          bench::num(ops / bytes, 0),
-                          bench::num(static_cast<double>(
-                                         train.iteration
-                                             .mmuBusyCycles()) / 1e6,
-                                     2),
-                          bench::num(idle.training_tops, 1),
-                          bench::num(mid.training_tops, 1)});
-        }
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        table.addRow({std::to_string(grid[i].window),
+                      bench::num(grid[i].acc_bytes, 0),
+                      bench::num(rows[i].bytes / 1e9, 2),
+                      bench::num(rows[i].ops / rows[i].bytes, 0),
+                      bench::num(rows[i].mmu_mcycles, 2),
+                      bench::num(rows[i].idle_tops, 1),
+                      bench::num(rows[i].mid_tops, 1)});
     }
     table.print(std::cout);
 
@@ -76,5 +92,6 @@ main()
                 "inflates the ceiling past what the paper measured. "
                 "The\nshipped default (window 2, fp32) reproduces the "
                 "Figure 9 ceiling.\n");
+    harness.finish();
     return 0;
 }

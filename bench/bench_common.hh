@@ -1,18 +1,24 @@
 /**
  * @file
  * Shared helpers for the experiment-reproduction binaries: consistent
- * headers, load grids and formatting.
+ * headers, load grids, formatting, `--jobs` parsing, and the perf
+ * harness that records each artefact's wall-clock trajectory.
  */
 
 #ifndef EQUINOX_BENCH_BENCH_COMMON_HH
 #define EQUINOX_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
+#include "sim/event_queue.hh"
 #include "stats/table.hh"
 
 namespace equinox
@@ -49,6 +55,115 @@ num(double v, int digits = 2)
 {
     return stats::Table::num(v, digits);
 }
+
+/**
+ * Parse the shared bench command line: `--jobs N` (also `--jobs=N`)
+ * selects the sweep fan-out; the default comes from defaultJobs()
+ * (the EQX_JOBS environment variable, else hardware concurrency).
+ * `--jobs 1` forces the exact serial code path for debugging.
+ */
+inline std::size_t
+parseJobs(int argc, char **argv)
+{
+    std::size_t jobs = defaultJobs();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string value;
+        if (arg == "--jobs" && i + 1 < argc) {
+            value = argv[++i];
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            value = arg.substr(7);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--jobs N]\n"
+                        "  --jobs N  worker threads for the sweeps "
+                        "(default: EQX_JOBS or hardware concurrency; "
+                        "1 = serial)\n", argv[0]);
+            std::exit(0);
+        } else {
+            continue;
+        }
+        char *end = nullptr;
+        long v = std::strtol(value.c_str(), &end, 10);
+        if (!value.empty() && end && *end == '\0' && v > 0)
+            jobs = static_cast<std::size_t>(v);
+        else
+            EQX_FATAL("--jobs wants a positive integer, got '", value,
+                      "'");
+    }
+    return jobs;
+}
+
+/**
+ * Perf harness every bench binary runs under: prints the artefact
+ * banner, parses `--jobs`, and on finish() writes
+ * `BENCH_<artifact>.json` (wall-clock seconds, simulation events
+ * dispatched, events/second, jobs used) next to the working directory
+ * so the perf trajectory of each artefact is recorded run over run.
+ */
+class Harness
+{
+  public:
+    Harness(int argc, char **argv, std::string artifact,
+            const std::string &title, const std::string &description)
+        : artifact_(std::move(artifact)), jobs_(parseJobs(argc, argv)),
+          events_start_(sim::globalDispatchedEvents()),
+          start_(std::chrono::steady_clock::now())
+    {
+        banner(title, description);
+    }
+
+    ~Harness()
+    {
+        if (!finished_)
+            finish();
+    }
+
+    Harness(const Harness &) = delete;
+    Harness &operator=(const Harness &) = delete;
+
+    /** Worker threads the binary's sweeps should fan out across. */
+    std::size_t jobs() const { return jobs_; }
+
+    /** Record wall clock + event totals and emit BENCH_<artifact>.json. */
+    void
+    finish()
+    {
+        finished_ = true;
+        auto elapsed = std::chrono::steady_clock::now() - start_;
+        double wall_s =
+            std::chrono::duration<double>(elapsed).count();
+        std::uint64_t events =
+            sim::globalDispatchedEvents() - events_start_;
+        double eps = wall_s > 0.0
+                         ? static_cast<double>(events) / wall_s
+                         : 0.0;
+        std::printf("\n[bench] %s: wall %.3f s, %llu events "
+                    "(%.3g events/s), jobs %zu\n", artifact_.c_str(),
+                    wall_s, static_cast<unsigned long long>(events),
+                    eps, jobs_);
+
+        std::string path = "BENCH_" + artifact_ + ".json";
+        std::ofstream out(path);
+        if (!out) {
+            EQX_WARN("cannot write ", path);
+            return;
+        }
+        out << "{\n"
+            << "  \"artifact\": \"" << artifact_ << "\",\n"
+            << "  \"wall_seconds\": " << wall_s << ",\n"
+            << "  \"events_dispatched\": " << events << ",\n"
+            << "  \"events_per_second\": " << eps << ",\n"
+            << "  \"jobs\": " << jobs_ << "\n"
+            << "}\n";
+    }
+
+  private:
+    std::string artifact_;
+    std::size_t jobs_;
+    std::uint64_t events_start_;
+    std::chrono::steady_clock::time_point start_;
+    bool finished_ = false;
+};
 
 } // namespace bench
 } // namespace equinox

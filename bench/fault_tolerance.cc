@@ -47,14 +47,17 @@ recoveries(const stats::FaultStats &fs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuietLogging(true);
-    bench::banner("Fault tolerance",
-                  "availability, tail latency and training progress "
-                  "under injected faults");
+    bench::Harness harness(argc, argv, "fault_tolerance",
+                           "Fault tolerance",
+                           "availability, tail latency and training "
+                           "progress under injected faults");
+    const std::size_t jobs = harness.jobs();
 
-    auto cfg = core::presetConfig(core::Preset::Us500);
+    auto cfg = core::presetConfig(core::Preset::Us500,
+                                  arith::Encoding::Hbfp8, jobs);
 
     // ------------------------------------------------------------------
     bench::section("1. fault severity (full recovery stack: ECC + "
@@ -77,15 +80,21 @@ main()
         stats::Table table({"severity", "avail", "p99 (ms)",
                             "train T (TOp/s)", "faults", "recoveries",
                             "ECC corr", "shed"});
-        for (const auto &lv : levels) {
+        const std::vector<Severity> level_vec(std::begin(levels),
+                                              std::end(levels));
+        auto results = parallelMap(jobs, level_vec,
+                                   [&](const Severity &lv) {
             auto opts = baseOptions();
             opts.fault_plan.dram_bit_error_rate = lv.bit_rate;
             opts.fault_plan.host_drop_prob = lv.drop_prob;
             opts.fault_plan.host_corrupt_prob = lv.drop_prob / 2.0;
             opts.fault_plan.mmu_hang_rate_per_s = lv.hang_rate;
-            auto r = core::runAtLoad(cfg, 0.5, opts);
+            return core::runAtLoad(cfg, 0.5, opts);
+        });
+        for (std::size_t i = 0; i < level_vec.size(); ++i) {
+            const auto &r = results[i];
             const auto &fs = r.sim.faults;
-            table.addRow({lv.label,
+            table.addRow({level_vec[i].label,
                           bench::num(r.sim.availability, 4),
                           bench::num(r.p99_ms, 2),
                           bench::num(r.training_tops, 2),
@@ -117,7 +126,10 @@ main()
 
         stats::Table table({"policy", "avail", "iterations", "committed",
                             "rollbacks", "lost it", "resets"});
-        for (const auto &p : policies) {
+        const std::vector<Policy> policy_vec(std::begin(policies),
+                                             std::end(policies));
+        auto results = parallelMap(jobs, policy_vec,
+                                   [&](const Policy &p) {
             auto opts = baseOptions();
             opts.measure_iterations = 60;
             opts.fault_plan.watchdog.enabled = p.watchdog;
@@ -129,9 +141,12 @@ main()
                 opts.fault_plan.scheduled.push_back(
                     {at, fault::FaultKind::DramUncorrectable});
             }
-            auto r = core::runAtLoad(cfg, 0.0, opts);
+            return core::runAtLoad(cfg, 0.0, opts);
+        });
+        for (std::size_t i = 0; i < policy_vec.size(); ++i) {
+            const auto &r = results[i];
             const auto &fs = r.sim.faults;
-            table.addRow({p.label,
+            table.addRow({policy_vec[i].label,
                           bench::num(r.sim.availability, 4),
                           std::to_string(r.sim.training_iterations),
                           std::to_string(
@@ -151,12 +166,16 @@ main()
     {
         stats::Table table({"drop prob", "p99 (ms)", "drops", "retries",
                             "give-ups", "completed"});
-        for (double drop : {0.0, 1e-3, 1e-2, 5e-2, 2e-1}) {
+        const std::vector<double> drops = {0.0, 1e-3, 1e-2, 5e-2, 2e-1};
+        auto results = parallelMap(jobs, drops, [&](double drop) {
             auto opts = baseOptions();
             opts.fault_plan.host_drop_prob = drop;
-            auto r = core::runAtLoad(cfg, 0.5, opts);
+            return core::runAtLoad(cfg, 0.5, opts);
+        });
+        for (std::size_t i = 0; i < drops.size(); ++i) {
+            const auto &r = results[i];
             const auto &fs = r.sim.faults;
-            table.addRow({bench::num(drop, 3),
+            table.addRow({bench::num(drops[i], 3),
                           bench::num(r.p99_ms, 2),
                           std::to_string(fs.host_drops),
                           std::to_string(fs.host_retries),
@@ -168,5 +187,6 @@ main()
                     "give-ups stay near zero until loss is extreme\n");
     }
 
+    harness.finish();
     return 0;
 }

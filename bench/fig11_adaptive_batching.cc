@@ -19,7 +19,8 @@ namespace
 using namespace equinox;
 
 void
-partA(const sim::AcceleratorConfig &ref, double target_ms)
+partA(const sim::AcceleratorConfig &ref, double target_ms,
+      std::size_t jobs)
 {
     bench::section("(a) static vs adaptive batching, p99 latency vs "
                    "load (inference only)");
@@ -27,15 +28,18 @@ partA(const sim::AcceleratorConfig &ref, double target_ms)
     core::ExperimentOptions opts;
     opts.warmup_requests = 250;
     opts.measure_requests = 2200;
-    for (double load : bench::loadGrid()) {
-        auto s_cfg = ref;
-        s_cfg.batch_policy = sim::BatchPolicy::Static;
-        auto a_cfg = ref;
-        a_cfg.batch_policy = sim::BatchPolicy::Adaptive;
-        auto s = core::runAtLoad(s_cfg, load, opts);
-        auto a = core::runAtLoad(a_cfg, load, opts);
-        table.addRow({bench::num(load, 2), bench::num(s.p99_ms, 2),
-                      bench::num(a.p99_ms, 2)});
+    opts.jobs = jobs;
+    auto s_cfg = ref;
+    s_cfg.batch_policy = sim::BatchPolicy::Static;
+    auto a_cfg = ref;
+    a_cfg.batch_policy = sim::BatchPolicy::Adaptive;
+    auto loads = bench::loadGrid();
+    auto s_results = core::runLoadSweep(s_cfg, loads, opts);
+    auto a_results = core::runLoadSweep(a_cfg, loads, opts);
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        table.addRow({bench::num(loads[i], 2),
+                      bench::num(s_results[i].p99_ms, 2),
+                      bench::num(a_results[i].p99_ms, 2)});
     }
     table.print(std::cout);
     std::printf("latency target: %.1f ms -- static batching violates it "
@@ -44,7 +48,8 @@ partA(const sim::AcceleratorConfig &ref, double target_ms)
 }
 
 void
-partBC(const sim::AcceleratorConfig &ref, double target_ms)
+partBC(const sim::AcceleratorConfig &ref, double target_ms,
+       std::size_t jobs)
 {
     const double mults[] = {2.0, 4.0, 6.0, 8.0, 10.0};
 
@@ -69,13 +74,28 @@ partBC(const sim::AcceleratorConfig &ref, double target_ms)
 
     double incomplete_frac_10x_sum = 0.0;
     int samples_10x = 0;
-    for (double load : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const std::vector<double> loads = {0.1, 0.3, 0.5, 0.7, 0.9};
+    // Fan the (load, threshold) grid out as one flat index space.
+    struct Cell
+    {
+        double load;
+        double mult;
+    };
+    std::vector<Cell> grid;
+    for (double load : loads)
+        for (double mult : mults)
+            grid.push_back({load, mult});
+    auto results = parallelMap(jobs, grid, [&](const Cell &c) {
+        auto cfg = ref;
+        cfg.batch_timeout_mult = c.mult;
+        return core::runAtLoad(cfg, c.load, opts);
+    });
+    std::size_t idx = 0;
+    for (double load : loads) {
         std::vector<std::string> row_b{bench::num(load, 2), ""};
         std::vector<std::string> row_c{bench::num(load, 2)};
         for (double mult : mults) {
-            auto cfg = ref;
-            cfg.batch_timeout_mult = mult;
-            auto r = core::runAtLoad(cfg, load, opts);
+            const auto &r = results[idx++];
             if (row_b[1].empty())
                 row_b[1] = bench::num(r.inference_tops, 1);
             row_b.push_back(bench::num(r.p99_ms, 2));
@@ -106,16 +126,21 @@ partBC(const sim::AcceleratorConfig &ref, double target_ms)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace equinox;
     setQuietLogging(true);
-    bench::banner("Figure 11",
-                  "Adaptive batching: latency and training impact");
-    auto ref = core::presetConfig(core::Preset::Us500);
+    bench::Harness harness(argc, argv, "fig11_adaptive_batching",
+                           "Figure 11",
+                           "Adaptive batching: latency and training "
+                           "impact");
+    auto ref = core::presetConfig(core::Preset::Us500,
+                                  arith::Encoding::Hbfp8,
+                                  harness.jobs());
     double target_ms = core::latencyTargetSeconds(
                            ref, workload::DnnModel::lstm2048()) * 1e3;
-    partA(ref, target_ms);
-    partBC(ref, target_ms);
+    partA(ref, target_ms, harness.jobs());
+    partBC(ref, target_ms, harness.jobs());
+    harness.finish();
     return 0;
 }

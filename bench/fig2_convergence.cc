@@ -71,13 +71,16 @@ runTask(const nn::Dataset &data, const nn::TrainConfig &cfg,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace equinox;
     setQuietLogging(true);
-    bench::banner("Figure 2",
-                  "Convergence of hbfp8 vs fp32 (and bfloat16) under "
-                  "identical SGD");
+    // The convergence study is serial by nature (three encodings train
+    // the same SGD trajectory back to back); the harness still records
+    // the artefact's wall-clock trajectory.
+    bench::Harness harness(argc, argv, "fig2_convergence", "Figure 2",
+                           "Convergence of hbfp8 vs fp32 (and bfloat16) "
+                           "under identical SGD");
 
     {
         // (a) image-like classification: validation error per epoch.
@@ -148,5 +151,6 @@ main()
     std::printf("\nShape check: the hbfp8 trajectory tracks fp32 closely "
                 "in all three tasks, as\nthe paper reports for ResNet50 "
                 "and BERT.\n");
+    harness.finish();
     return 0;
 }

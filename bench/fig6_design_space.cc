@@ -21,11 +21,11 @@ namespace
 using namespace equinox;
 
 void
-printEncoding(arith::Encoding enc, const char *title)
+printEncoding(arith::Encoding enc, const char *title, std::size_t jobs)
 {
     bench::section(title);
     // Copy so the frontier marking does not disturb the shared cache.
-    model::DseResult sweep = core::cachedSweep(enc);
+    model::DseResult sweep = core::cachedSweep(enc, jobs);
     auto frontier = model::paretoFrontier(sweep);
 
     stats::Table table({"n", "m", "w", "Freq (MHz)", "T (TOp/s)",
@@ -69,16 +69,19 @@ printEncoding(arith::Encoding enc, const char *title)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace equinox;
     setQuietLogging(true);
-    bench::banner("Figure 6",
-                  "Latency vs throughput for the modeled design space");
-    printEncoding(arith::Encoding::Hbfp8, "(a) hbfp8");
-    printEncoding(arith::Encoding::Bfloat16, "(b) bfloat16");
+    bench::Harness harness(argc, argv, "fig6_design_space", "Figure 6",
+                           "Latency vs throughput for the modeled "
+                           "design space");
+    printEncoding(arith::Encoding::Hbfp8, "(a) hbfp8", harness.jobs());
+    printEncoding(arith::Encoding::Bfloat16, "(b) bfloat16",
+                  harness.jobs());
     std::printf("\nShape check: hbfp8 shows a sub-linear frontier with a "
                 "knee near 350+ TOp/s;\nbfloat16 reaches its knee almost "
                 "immediately (little batching headroom).\n");
+    harness.finish();
     return 0;
 }

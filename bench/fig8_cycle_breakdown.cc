@@ -11,42 +11,59 @@
 #include "core/equinox.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace equinox;
     setQuietLogging(true);
-    bench::banner("Figure 8",
-                  "Cycle usage breakdown of Equinox_500us at various "
-                  "loads");
+    bench::Harness harness(argc, argv, "fig8_cycle_breakdown",
+                           "Figure 8",
+                           "Cycle usage breakdown of Equinox_500us at "
+                           "various loads");
 
-    auto cfg = core::presetConfig(core::Preset::Us500);
+    auto cfg = core::presetConfig(core::Preset::Us500,
+                                  arith::Encoding::Hbfp8,
+                                  harness.jobs());
     stats::Table table({"load", "services", "Working %", "Dummy %",
                         "Idle %", "Other %", "train TOp/s"});
 
-    for (double load : {0.05, 0.5, 0.95}) {
-        for (bool with_training : {false, true}) {
-            core::ExperimentOptions opts;
-            opts.warmup_requests = 300;
-            opts.measure_requests = 2500;
-            opts.min_measure_s = 0.05;
-            if (with_training)
-                opts.train_model = workload::DnnModel::lstm2048();
-            auto r = core::runAtLoad(cfg, load, opts);
-            const auto &bd = r.sim.mmu_breakdown;
-            using stats::CycleClass;
-            table.addRow({bench::num(load * 100, 0) + "%",
-                          with_training ? "Inf+Train" : "Inf",
-                          bench::num(bd.fraction(CycleClass::Working) *
-                                     100, 1),
-                          bench::num(bd.fraction(CycleClass::Dummy) *
-                                     100, 1),
-                          bench::num(bd.fraction(CycleClass::Idle) * 100,
-                                     1),
-                          bench::num(bd.fraction(CycleClass::Other) *
-                                     100, 1),
-                          bench::num(r.training_tops, 1)});
-        }
-        table.addSeparator();
+    struct Cell
+    {
+        double load;
+        bool with_training;
+    };
+    std::vector<Cell> cells;
+    for (double load : {0.05, 0.5, 0.95})
+        for (bool with_training : {false, true})
+            cells.push_back({load, with_training});
+
+    auto results = parallelMap(harness.jobs(), cells,
+                               [&](const Cell &c) {
+        core::ExperimentOptions opts;
+        opts.warmup_requests = 300;
+        opts.measure_requests = 2500;
+        opts.min_measure_s = 0.05;
+        if (c.with_training)
+            opts.train_model = workload::DnnModel::lstm2048();
+        return core::runAtLoad(cfg, c.load, opts);
+    });
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &r = results[i];
+        const auto &bd = r.sim.mmu_breakdown;
+        using stats::CycleClass;
+        table.addRow({bench::num(cells[i].load * 100, 0) + "%",
+                      cells[i].with_training ? "Inf+Train" : "Inf",
+                      bench::num(bd.fraction(CycleClass::Working) *
+                                 100, 1),
+                      bench::num(bd.fraction(CycleClass::Dummy) *
+                                 100, 1),
+                      bench::num(bd.fraction(CycleClass::Idle) * 100,
+                                 1),
+                      bench::num(bd.fraction(CycleClass::Other) *
+                                 100, 1),
+                      bench::num(r.training_tops, 1)});
+        if (i % 2 == 1)
+            table.addSeparator();
     }
     table.print(std::cout);
 
@@ -57,5 +74,6 @@ main()
         "scheduled. 'Other' covers partial-tile waste,\nport contention "
         "and dependence stalls (our training mapping wastes more\narray "
         "slots than the paper's, see EXPERIMENTS.md).\n");
+    harness.finish();
     return 0;
 }

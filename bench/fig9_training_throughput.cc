@@ -11,11 +11,13 @@
 #include "core/equinox.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace equinox;
     setQuietLogging(true);
-    bench::banner("Figure 9", "Training throughput vs inference load");
+    bench::Harness harness(argc, argv, "fig9_training_throughput",
+                           "Figure 9",
+                           "Training throughput vs inference load");
 
     core::ExperimentOptions opts;
     opts.train_model = workload::DnnModel::lstm2048();
@@ -23,6 +25,7 @@ main()
     opts.measure_requests = 2000;
     opts.min_measure_s = 0.04;
     opts.measure_iterations = 12;
+    opts.jobs = harness.jobs();
 
     std::vector<double> loads = bench::loadGrid();
     std::vector<std::string> headers{"config"};
@@ -33,11 +36,12 @@ main()
     double max_train = 0.0;
     std::vector<std::vector<double>> rows;
     for (auto preset : core::allPresets()) {
-        auto cfg = core::presetConfig(preset);
+        auto cfg = core::presetConfig(preset, arith::Encoding::Hbfp8,
+                                      harness.jobs());
         std::vector<std::string> cells{core::presetName(preset)};
         std::vector<double> vals;
-        for (double load : loads) {
-            auto r = core::runAtLoad(cfg, load, opts);
+        // One compile per config; the load points fan out inside.
+        for (const auto &r : core::runLoadSweep(cfg, loads, opts)) {
             cells.push_back(bench::num(r.training_tops, 1));
             vals.push_back(r.training_tops);
             max_train = std::max(max_train, r.training_tops);
@@ -56,5 +60,6 @@ main()
         std::printf("  Equinox_%-5s : %3.0f%%\n", names[i],
                     100.0 * rows[i][5] / max_train);
     }
+    harness.finish();
     return 0;
 }

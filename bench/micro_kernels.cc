@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
+
 #include "arith/bfp.hh"
 #include "arith/gemm.hh"
 #include "common/random.hh"
@@ -101,6 +103,27 @@ BM_EventQueue(benchmark::State &state)
 }
 
 void
+BM_EventQueueReserved(benchmark::State &state)
+{
+    // Same workload as BM_EventQueue but with the heap pre-sized, the
+    // way Accelerator::run primes its queue; the delta is the cost of
+    // the incremental vector growth the reserve() call removes.
+    auto batch = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue q;
+        q.reserve(batch);
+        Rng rng(3);
+        for (std::size_t i = 0; i < batch; ++i)
+            q.schedule(rng.uniformInt(0, 1u << 20), [] {});
+        while (q.runOne()) {
+        }
+        benchmark::DoNotOptimize(q.dispatched());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations())
+                            * static_cast<std::int64_t>(batch));
+}
+
+void
 BM_HbmTransfer(benchmark::State &state)
 {
     dram::HbmModel hbm(610e6);
@@ -170,9 +193,29 @@ BENCHMARK_CAPTURE(BM_GemmEngine, hbfp8, arith::Encoding::Hbfp8)
 BENCHMARK(BM_BfpQuantize)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(BM_BfpDot)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(BM_EventQueue)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_EventQueueReserved)->Arg(1024)->Arg(65536);
 BENCHMARK(BM_HbmTransfer);
 BENCHMARK(BM_LatencyPercentile)->Arg(10000);
 BENCHMARK(BM_CompileLstm);
 BENCHMARK(BM_CompileResnetTraining);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // google-benchmark owns the command line here (its flag parser
+    // rejects foreign flags), so the harness is constructed without
+    // argv: microbenchmarks have no sweeps to fan out, the harness only
+    // records the wall clock and emits BENCH_micro_kernels.json.
+    int no_args = 1;
+    equinox::bench::Harness harness(no_args, argv, "micro_kernels",
+                                    "Microbenchmarks",
+                                    "Hot-kernel timings (gemm engines, "
+                                    "BFP, event queue, compiler)");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    harness.finish();
+    return 0;
+}

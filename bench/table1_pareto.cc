@@ -37,14 +37,15 @@ const PaperRow kRows[] = {
 };
 
 void
-printSide(arith::Encoding enc, const char *title, int paper_idx)
+printSide(arith::Encoding enc, const char *title, int paper_idx,
+          std::size_t jobs)
 {
     bench::section(title);
     stats::Table table({"Latency constraint", "n", "m", "w",
                         "Freq (MHz)", "Service (us)", "T (TOp/s)",
                         "paper: n", "Freq", "Service", "T"});
     for (const auto &row : kRows) {
-        auto d = core::presetDesign(row.preset, enc);
+        auto d = core::presetDesign(row.preset, enc, jobs);
         const double *paper = paper_idx == 0 ? row.hbfp8 : row.bf16;
         table.addRow({row.constraint, std::to_string(d.n),
                       std::to_string(d.m), std::to_string(d.w),
@@ -60,14 +61,15 @@ printSide(arith::Encoding enc, const char *title, int paper_idx)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace equinox;
     setQuietLogging(true);
-    bench::banner("Table 1",
-                  "Pareto-optimal designs under latency constraints");
-    printSide(arith::Encoding::Hbfp8, "hbfp8", 0);
-    printSide(arith::Encoding::Bfloat16, "bfloat16", 1);
+    bench::Harness harness(argc, argv, "table1_pareto", "Table 1",
+                           "Pareto-optimal designs under latency "
+                           "constraints");
+    printSide(arith::Encoding::Hbfp8, "hbfp8", 0, harness.jobs());
+    printSide(arith::Encoding::Bfloat16, "bfloat16", 1, harness.jobs());
 
     auto mn = core::presetDesign(core::Preset::Min,
                                  arith::Encoding::Hbfp8);
@@ -80,5 +82,6 @@ main()
     std::printf("  50us design: %.2fx    unconstrained: %.2fx\n",
                 c50.throughput_ops / mn.throughput_ops,
                 none.throughput_ops / mn.throughput_ops);
+    harness.finish();
     return 0;
 }

@@ -12,15 +12,18 @@
 #include "core/equinox.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace equinox;
     setQuietLogging(true);
-    bench::banner("Table 2",
-                  "Training and inference performance per DNN model "
-                  "(Equinox_500us, 60% load)");
+    bench::Harness harness(argc, argv, "table2_workload_sensitivity",
+                           "Table 2",
+                           "Training and inference performance per DNN "
+                           "model (Equinox_500us, 60% load)");
 
-    auto cfg = core::presetConfig(core::Preset::Us500);
+    auto cfg = core::presetConfig(core::Preset::Us500,
+                                  arith::Encoding::Hbfp8,
+                                  harness.jobs());
     struct PaperRow
     {
         double train, inf, latency_ms;
@@ -32,10 +35,17 @@ main()
                         "Inf latency (ms)", "paper: Train", "Inf",
                         "Latency"});
 
-    int idx = 0;
-    for (auto model : {workload::DnnModel::lstm2048(),
-                       workload::DnnModel::gru2816(),
-                       workload::DnnModel::resnet50()}) {
+    const std::vector<workload::DnnModel> models = {
+        workload::DnnModel::lstm2048(), workload::DnnModel::gru2816(),
+        workload::DnnModel::resnet50()};
+    struct Row
+    {
+        core::LoadPointResult r;
+        double sat_tops;
+        double service_ms;
+    };
+    auto rows = parallelMap(harness.jobs(), models,
+                            [&](const workload::DnnModel &model) {
         core::ExperimentOptions opts;
         opts.model = model;
         opts.train_model = model;
@@ -46,18 +56,22 @@ main()
         opts.min_measure_s = long_service ? 0.0 : 0.05;
         opts.max_sim_s = 60.0;
 
-        workload::Compiler compiler(cfg);
-        auto inf = compiler.compileInference(model);
-        double sat = core::saturationOpRate(cfg, model) / 1e12;
-        auto r = core::runAtLoad(cfg, 0.6, opts);
+        auto compiled = core::compileWorkload(cfg, opts);
+        Row row;
+        row.sat_tops = core::saturationOpRate(cfg, model) / 1e12;
+        row.service_ms = compiled.inference.service_time_s * 1e3;
+        row.r = core::runAtLoad(cfg, 0.6, opts, compiled);
+        return row;
+    });
 
-        table.addRow({model.name, bench::num(r.training_tops, 1),
-                      bench::num(sat, 0),
-                      bench::num(inf.service_time_s * 1e3, 2),
-                      bench::num(paper[idx].train, 1),
-                      bench::num(paper[idx].inf, 0),
-                      bench::num(paper[idx].latency_ms, 2)});
-        ++idx;
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        table.addRow({models[i].name,
+                      bench::num(rows[i].r.training_tops, 1),
+                      bench::num(rows[i].sat_tops, 0),
+                      bench::num(rows[i].service_ms, 2),
+                      bench::num(paper[i].train, 1),
+                      bench::num(paper[i].inf, 0),
+                      bench::num(paper[i].latency_ms, 2)});
     }
     table.print(std::cout);
 
@@ -66,5 +80,6 @@ main()
         "throughput despite a\n~100x service-time gap; ResNet50 runs at "
         "a small fraction of peak because its\nlowered convolutions "
         "underfill the large MMU (the paper's TPU-class effect).\n");
+    harness.finish();
     return 0;
 }

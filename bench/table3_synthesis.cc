@@ -11,14 +11,16 @@
 #include "core/equinox.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace equinox;
     setQuietLogging(true);
-    bench::banner("Table 3",
-                  "Area and power breakdown for Equinox_500us");
+    bench::Harness harness(argc, argv, "table3_synthesis", "Table 3",
+                           "Area and power breakdown for Equinox_500us");
 
-    auto cfg = core::presetConfig(core::Preset::Us500);
+    auto cfg = core::presetConfig(core::Preset::Us500,
+                                  arith::Encoding::Hbfp8,
+                                  harness.jobs());
     auto rep = synth::synthesize(cfg);
 
     struct PaperRow
@@ -62,7 +64,8 @@ main()
 
     bench::section("bfloat16 datapath comparison (same constraint)");
     auto bcfg = core::presetConfig(core::Preset::Us500,
-                                   arith::Encoding::Bfloat16);
+                                   arith::Encoding::Bfloat16,
+                                   harness.jobs());
     auto brep = synth::synthesize(bcfg);
     auto hd = core::presetDesign(core::Preset::Us500,
                                  arith::Encoding::Hbfp8);
@@ -74,5 +77,6 @@ main()
     std::printf("  bfloat16: %6.1f TOp/s in %6.1f W (MMU %5.1f W)\n",
                 bd.throughput_ops / 1e12, brep.total_power,
                 brep.component("MMU").power_w);
+    harness.finish();
     return 0;
 }

@@ -6,6 +6,8 @@
 # Usage:
 #   scripts/check.sh             # default preset (RelWithDebInfo) + tests
 #   scripts/check.sh --asan      # ALSO build + test the asan-ubsan preset
+#   scripts/check.sh --tsan      # ALSO build the tsan preset and run the
+#                                # "parallel"-labelled sweep-engine tests
 #   scripts/check.sh --format    # only run the clang-format check
 #
 # Exits nonzero on the first failure.
@@ -39,10 +41,11 @@ run_format_check() {
 
 run_preset() {
     local preset="$1"
+    local label="${2:-tier1}"
     echo "check.sh: configure+build+test preset '$preset'"
     cmake --preset "$preset"
     cmake --build --preset "$preset" -j "$(nproc)"
-    ctest --preset "$preset" -L tier1 -j "$(nproc)"
+    ctest --preset "$preset" -L "$label" -j "$(nproc)"
 }
 
 case "${1:-}" in
@@ -54,12 +57,17 @@ case "${1:-}" in
     run_preset default
     run_preset asan-ubsan
     ;;
+  --tsan)
+    run_format_check
+    run_preset default
+    run_preset tsan parallel
+    ;;
   "")
     run_format_check
     run_preset default
     ;;
   *)
-    echo "usage: scripts/check.sh [--asan|--format]" >&2
+    echo "usage: scripts/check.sh [--asan|--tsan|--format]" >&2
     exit 2
     ;;
 esac

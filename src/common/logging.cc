@@ -1,26 +1,39 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace equinox
 {
 
 namespace
 {
-bool g_quiet = false;
+
+// Parallel sweeps may warn from worker threads; the flag is atomic and
+// a mutex serialises the stream writes so lines never interleave.
+std::atomic<bool> g_quiet{false};
+
+std::mutex &
+logMutex()
+{
+    static std::mutex mtx;
+    return mtx;
+}
+
 } // namespace
 
 bool
 quietLogging()
 {
-    return g_quiet;
+    return g_quiet.load(std::memory_order_relaxed);
 }
 
 void
 setQuietLogging(bool quiet)
 {
-    g_quiet = quiet;
+    g_quiet.store(quiet, std::memory_order_relaxed);
 }
 
 namespace detail
@@ -29,31 +42,41 @@ namespace detail
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << " @ " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::cerr << "panic: " << msg << " @ " << file << ":" << line
+                  << std::endl;
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+                  << std::endl;
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (!g_quiet)
-        std::cerr << "warn: " << msg << std::endl;
+    if (quietLogging())
+        return;
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::cerr << "warn: " << msg << std::endl;
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!g_quiet)
-        std::cerr << "info: " << msg << std::endl;
+    if (quietLogging())
+        return;
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::cerr << "info: " << msg << std::endl;
 }
 
 } // namespace detail

@@ -1,0 +1,153 @@
+#include "common/parallel.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+
+namespace
+{
+
+thread_local bool t_in_parallel_region = false;
+
+/** RAII marker so nested parallelFor calls degrade to serial. */
+struct RegionGuard
+{
+    RegionGuard() { t_in_parallel_region = true; }
+    ~RegionGuard() { t_in_parallel_region = false; }
+};
+
+} // namespace
+
+std::size_t
+defaultJobs()
+{
+    if (const char *env = std::getenv("EQX_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<std::size_t>(v);
+        EQX_WARN("ignoring EQX_JOBS='", env,
+                 "' (want a positive integer)");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+bool
+inParallelRegion()
+{
+    return t_in_parallel_region;
+}
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    if (workers == 0)
+        workers = defaultJobs();
+    threads.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        all_done.wait(lock, [this] { return in_flight == 0; });
+        stop = true;
+    }
+    task_ready.notify_all();
+    for (auto &t : threads)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        EQX_ASSERT(!stop, "submit() on a stopping ThreadPool");
+        queue.push_back(std::move(task));
+        ++in_flight;
+    }
+    task_ready.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    all_done.wait(lock, [this] { return in_flight == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            task_ready.wait(lock,
+                            [this] { return stop || !queue.empty(); });
+            if (queue.empty())
+                return; // stop requested and nothing left to drain
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        {
+            RegionGuard in_region;
+            task(); // noexcept by contract; escape calls terminate()
+        }
+        bool idle;
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            idle = --in_flight == 0;
+        }
+        if (idle)
+            all_done.notify_all();
+    }
+}
+
+void
+parallelFor(std::size_t jobs, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (jobs == 0)
+        jobs = defaultJobs();
+    if (jobs == 1 || n == 1 || inParallelRegion()) {
+        // The exact serial code path: no threads, no exception
+        // indirection. `--jobs 1` debugging and nested calls land here.
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::vector<std::exception_ptr> errors(n);
+    {
+        ThreadPool pool(std::min(jobs, n));
+        for (std::size_t i = 0; i < n; ++i) {
+            pool.submit([&fn, &errors, i] {
+                try {
+                    fn(i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        }
+        pool.wait();
+    }
+    // Rethrow the lowest-index failure: deterministic regardless of
+    // which worker faulted first in wall-clock time.
+    for (auto &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+} // namespace equinox

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Deterministic parallel execution of independent experiments.
+ *
+ * Every sweep in this repo (load points, DSE grid cells, fault seeds)
+ * runs self-contained simulations: each point builds its own
+ * Accelerator and Rng streams and touches nothing shared. ThreadPool /
+ * parallelFor fan such sweeps out across worker threads while keeping
+ * the results byte-identical to a serial run:
+ *
+ *  - results are written by input index, never in completion order;
+ *  - the first (lowest-index) exception is rethrown on the caller,
+ *    regardless of which worker hit it first in wall-clock time;
+ *  - `jobs == 1` takes the exact serial code path (a plain loop, no
+ *    threads, no try/catch indirection) so debugging stays simple;
+ *  - nested parallelFor calls degrade to serial inside a worker, so a
+ *    parallel sweep may safely call library code that itself fans out.
+ *
+ * Anything with process-global mutable state (stdout tables, stat
+ * registries, trace sinks) must stay outside the parallel region; see
+ * DESIGN.md "Parallel experiment execution" for the contract.
+ */
+
+#ifndef EQUINOX_COMMON_PARALLEL_HH
+#define EQUINOX_COMMON_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace equinox
+{
+
+/**
+ * Default worker count for parallel sweeps: the EQX_JOBS environment
+ * variable when set to a positive integer, otherwise
+ * std::thread::hardware_concurrency() (at least 1).
+ */
+std::size_t defaultJobs();
+
+/** True while the calling thread is executing a ThreadPool task. */
+bool inParallelRegion();
+
+/**
+ * A plain work-queue thread pool: N worker threads drain a FIFO of
+ * submitted tasks. Tasks must not block on other tasks (the pool has no
+ * dependency tracking); wait() blocks the caller until every submitted
+ * task has finished.
+ */
+class ThreadPool
+{
+  public:
+    /** @param workers worker-thread count; 0 = defaultJobs(). */
+    explicit ThreadPool(std::size_t workers = 0);
+
+    /** Drains outstanding tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t workerCount() const { return threads.size(); }
+
+    /**
+     * Enqueue @p task. Tasks must catch their own exceptions (the
+     * worker aborts the process on escape — parallelFor wraps its body
+     * accordingly and is the API almost all callers want).
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until all submitted tasks have completed. */
+    void wait();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads;
+    std::deque<std::function<void()>> queue;
+    std::mutex mtx;
+    std::condition_variable task_ready;
+    std::condition_variable all_done;
+    std::size_t in_flight = 0; //!< queued + currently executing
+    bool stop = false;
+};
+
+/**
+ * Run fn(0) .. fn(n-1) across @p jobs workers (0 = defaultJobs()).
+ *
+ * With jobs == 1, n <= 1, or when already inside a parallel region,
+ * this is exactly `for (i = 0; i < n; ++i) fn(i)` on the calling
+ * thread. Otherwise min(jobs, n) workers execute the indices; if one
+ * or more calls throw, the exception of the lowest index is rethrown
+ * after every worker has finished (deterministic, unlike
+ * first-in-wall-clock).
+ */
+void parallelFor(std::size_t jobs, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+/**
+ * Map @p fn over @p inputs with parallelFor; results are collected in
+ * input order. @p fn must be invocable const on each element.
+ */
+template <typename In, typename Fn>
+auto
+parallelMap(std::size_t jobs, const std::vector<In> &inputs, Fn fn)
+    -> std::vector<decltype(fn(inputs[0]))>
+{
+    std::vector<decltype(fn(inputs[0]))> out(inputs.size());
+    parallelFor(jobs, inputs.size(),
+                [&](std::size_t i) { out[i] = fn(inputs[i]); });
+    return out;
+}
+
+} // namespace equinox
+
+#endif // EQUINOX_COMMON_PARALLEL_HH

@@ -49,7 +49,33 @@ struct ExperimentOptions
      * byte-identical to a build without the fault layer.
      */
     fault::FaultPlan fault_plan;
+
+    /**
+     * Worker threads runLoadSweep fans the load points across. Every
+     * point is a self-contained simulation (own Accelerator, own
+     * seeded Rng streams), so the parallel sweep is byte-identical to
+     * the serial one. 1 (the default) takes the exact serial code
+     * path; 0 means defaultJobs() (EQX_JOBS or hardware concurrency).
+     */
+    std::size_t jobs = 1;
 };
+
+/**
+ * The workloads of one (config, options) pair, compiled once and
+ * reused across load points: runAtLoad installs copies of these
+ * descriptors instead of re-running the compiler per point. Compile
+ * output is a pure function of (config, model, train options), so
+ * reuse is byte-identical to recompiling.
+ */
+struct CompiledWorkload
+{
+    sim::InferenceServiceDesc inference;
+    std::optional<sim::TrainingServiceDesc> training;
+};
+
+/** Compile the workloads of (cfg, opts) for reuse across load points. */
+CompiledWorkload compileWorkload(const sim::AcceleratorConfig &cfg,
+                                 const ExperimentOptions &opts);
 
 /** One measured load point. */
 struct LoadPointResult
@@ -71,12 +97,27 @@ struct LoadPointResult
 LoadPointResult runAtLoad(const sim::AcceleratorConfig &cfg, double load,
                           const ExperimentOptions &opts = {});
 
-/** Run a whole load sweep. */
+/**
+ * Like runAtLoad above but reusing @p compiled (from compileWorkload on
+ * the same cfg/opts) instead of compiling per point.
+ */
+LoadPointResult runAtLoad(const sim::AcceleratorConfig &cfg, double load,
+                          const ExperimentOptions &opts,
+                          const CompiledWorkload &compiled);
+
+/**
+ * Run a whole load sweep: workloads are compiled once, then the points
+ * fan out across opts.jobs workers with results in input order.
+ */
 std::vector<LoadPointResult> runLoadSweep(
     const sim::AcceleratorConfig &cfg, const std::vector<double> &loads,
     const ExperimentOptions &opts = {});
 
-/** Analytic saturation inference throughput (ops/s) of cfg on model. */
+/**
+ * Analytic saturation inference throughput (ops/s) of cfg on model.
+ * Memoised per (cfg, model) in a process-wide keyed cache, so repeated
+ * queries (per-load conversions, bench tables) compile once.
+ */
 double saturationOpRate(const sim::AcceleratorConfig &cfg,
                         const workload::DnnModel &model);
 

@@ -29,25 +29,27 @@ allPresets()
 }
 
 const model::DseResult &
-cachedSweep(arith::Encoding enc)
+cachedSweep(arith::Encoding enc, std::size_t jobs)
 {
     static std::map<arith::Encoding, model::DseResult> cache;
     static std::mutex mtx;
     std::lock_guard<std::mutex> lock(mtx);
     auto it = cache.find(enc);
     if (it == cache.end()) {
+        model::DseConfig dse_cfg;
+        dse_cfg.jobs = jobs;
         it = cache.emplace(enc,
                            model::exploreDesignSpace(
-                               model::defaultTechParams(), enc))
+                               model::defaultTechParams(), enc, dse_cfg))
                  .first;
     }
     return it->second;
 }
 
 model::DesignPoint
-presetDesign(Preset preset, arith::Encoding enc)
+presetDesign(Preset preset, arith::Encoding enc, std::size_t jobs)
 {
-    const auto &sweep = cachedSweep(enc);
+    const auto &sweep = cachedSweep(enc, jobs);
     std::optional<model::DesignPoint> point;
     switch (preset) {
       case Preset::Min:
@@ -69,9 +71,9 @@ presetDesign(Preset preset, arith::Encoding enc)
 }
 
 sim::AcceleratorConfig
-presetConfig(Preset preset, arith::Encoding enc)
+presetConfig(Preset preset, arith::Encoding enc, std::size_t jobs)
 {
-    auto design = presetDesign(preset, enc);
+    auto design = presetDesign(preset, enc, jobs);
     auto cfg = model::toAcceleratorConfig(design, presetName(preset));
     return cfg;
 }

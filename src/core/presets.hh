@@ -36,17 +36,22 @@ std::vector<Preset> allPresets();
 
 /**
  * The DSE-selected design point for @p preset and @p enc. The sweep runs
- * once per encoding and is cached for the process lifetime.
+ * once per encoding and is cached for the process lifetime. @p jobs
+ * fans the (first, cache-filling) sweep out across worker threads; the
+ * sweep result is byte-identical for every jobs value (see DseConfig).
  */
-model::DesignPoint presetDesign(Preset preset, arith::Encoding enc);
+model::DesignPoint presetDesign(Preset preset, arith::Encoding enc,
+                                std::size_t jobs = 1);
 
 /** A ready-to-simulate configuration for @p preset / @p enc. */
 sim::AcceleratorConfig presetConfig(Preset preset,
                                     arith::Encoding enc =
-                                        arith::Encoding::Hbfp8);
+                                        arith::Encoding::Hbfp8,
+                                    std::size_t jobs = 1);
 
 /** The cached full sweep for an encoding (for Figure 6). */
-const model::DseResult &cachedSweep(arith::Encoding enc);
+const model::DseResult &cachedSweep(arith::Encoding enc,
+                                    std::size_t jobs = 1);
 
 } // namespace core
 } // namespace equinox

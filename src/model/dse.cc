@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/units.hh"
 #include "workload/compiler.hh"
 #include "workload/dnn_model.hh"
@@ -59,55 +60,80 @@ toAcceleratorConfig(const DesignPoint &p, const std::string &name)
     return cfg;
 }
 
+namespace
+{
+
+/**
+ * Evaluate one (n, f) grid cell: for each candidate w, take the
+ * largest feasible m; keep the throughput-maximal (then power-minimal)
+ * design. Returns nullopt when nothing fits the envelopes.
+ */
+std::optional<DesignPoint>
+bestDesignAt(const AnalyticalModel &eq, arith::Encoding enc, unsigned n,
+             double f, unsigned max_w)
+{
+    DesignPoint best;
+    double best_t = -1.0;
+    double best_p = std::numeric_limits<double>::infinity();
+    for (unsigned w = 1; w <= max_w; ++w) {
+        unsigned m = eq.maxM(n, w, f);
+        if (m == 0) {
+            // Power/area already exceeded by the wn SRAM term or
+            // the per-m cost; larger w only makes it worse.
+            if (w > 1)
+                break;
+            continue;
+        }
+        double t = eq.throughput(n, m, w, f);
+        double p = eq.power(n, m, w, f);
+        if (t > best_t * (1.0 + 1e-9) ||
+            (std::abs(t - best_t) <= best_t * 1e-9 && p < best_p)) {
+            best_t = t;
+            best_p = p;
+            best.n = n;
+            best.m = m;
+            best.w = w;
+            best.frequency_hz = f;
+            best.encoding = enc;
+            best.throughput_ops = t;
+            best.power_w = p;
+            best.area_mm2 = eq.area(n, m, w);
+        }
+    }
+    if (best_t <= 0.0)
+        return std::nullopt;
+    best.service_time_s = lstmServiceTime(best);
+    return best;
+}
+
+} // namespace
+
 DseResult
 exploreDesignSpace(const TechParams &tech, arith::Encoding enc,
                    const DseConfig &cfg)
 {
-    AnalyticalModel eq(tech, enc);
+    const AnalyticalModel eq(tech, enc);
     std::vector<unsigned> ns =
         cfg.n_values.empty() ? defaultNs() : cfg.n_values;
     std::vector<double> fs =
         cfg.frequencies.empty() ? defaultFrequencies() : cfg.frequencies;
 
+    // Fan the grid cells out; every cell is independent (the analytic
+    // model is consulted read-only, the LSTM probe compiles its own
+    // Compiler) and cells land in a slot vector by grid index, so the
+    // point order — and therefore every downstream frontier/preset
+    // selection — is byte-identical to the serial double loop.
+    std::vector<std::optional<DesignPoint>> cells(ns.size() * fs.size());
+    parallelFor(cfg.jobs, cells.size(), [&](std::size_t idx) {
+        unsigned n = ns[idx / fs.size()];
+        double f = fs[idx % fs.size()];
+        cells[idx] = bestDesignAt(eq, enc, n, f, cfg.max_w);
+    });
+
     DseResult result;
-    for (unsigned n : ns) {
-        for (double f : fs) {
-            // For each candidate w, take the largest feasible m; keep the
-            // throughput-maximal (then power-minimal) design.
-            DesignPoint best;
-            double best_t = -1.0;
-            double best_p = std::numeric_limits<double>::infinity();
-            for (unsigned w = 1; w <= cfg.max_w; ++w) {
-                unsigned m = eq.maxM(n, w, f);
-                if (m == 0) {
-                    // Power/area already exceeded by the wn SRAM term or
-                    // the per-m cost; larger w only makes it worse.
-                    if (w > 1)
-                        break;
-                    continue;
-                }
-                double t = eq.throughput(n, m, w, f);
-                double p = eq.power(n, m, w, f);
-                if (t > best_t * (1.0 + 1e-9) ||
-                    (std::abs(t - best_t) <= best_t * 1e-9 &&
-                     p < best_p)) {
-                    best_t = t;
-                    best_p = p;
-                    best.n = n;
-                    best.m = m;
-                    best.w = w;
-                    best.frequency_hz = f;
-                    best.encoding = enc;
-                    best.throughput_ops = t;
-                    best.power_w = p;
-                    best.area_mm2 = eq.area(n, m, w);
-                }
-            }
-            if (best_t > 0.0) {
-                best.service_time_s = lstmServiceTime(best);
-                result.points.push_back(best);
-            }
-        }
+    for (const auto &cell : cells) {
+        if (cell)
+            result.points.push_back(*cell);
     }
     return result;
 }

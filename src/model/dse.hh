@@ -29,6 +29,14 @@ struct DseConfig
      *  2000, 2400} MHz. */
     std::vector<double> frequencies;
     unsigned max_w = 4096;
+    /**
+     * Worker threads the (n, frequency) grid cells fan out across.
+     * Each cell evaluates the analytic model and compiles the LSTM
+     * probe independently; results are collected in grid order, so any
+     * jobs value yields byte-identical output. 1 = serial code path,
+     * 0 = defaultJobs().
+     */
+    std::size_t jobs = 1;
 };
 
 /** Sweep output. */

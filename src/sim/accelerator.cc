@@ -136,6 +136,9 @@ Accelerator::run(const RunSpec &run_spec)
     // beginRun() builds the injector and link hooks the other blocks'
     // transfers consult.
     ctx.events = EventQueue{};
+    // Pre-size the event heap to its typical high-water mark so the
+    // run's steady state never reallocates mid-dispatch.
+    ctx.events.reserve(1024);
     ctx.hbm = std::make_unique<dram::HbmModel>(cfg.frequency_hz, cfg.dram);
     ctx.host = std::make_unique<dram::HostLink>(cfg.frequency_hz,
                                                 cfg.host);
@@ -179,6 +182,7 @@ Accelerator::run(const RunSpec &run_spec)
     while (!ctx.stopping && !ctx.events.empty() &&
            ctx.events.now() <= max_ticks)
         ctx.events.runOne();
+    addGlobalDispatchedEvents(ctx.events.dispatched());
 
     faults->finalizeDowntime();
     if (!datapath->mmuBusy())

@@ -1,5 +1,8 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <atomic>
+
 #include "common/logging.hh"
 
 namespace equinox
@@ -7,12 +10,30 @@ namespace equinox
 namespace sim
 {
 
+namespace
+{
+std::atomic<std::uint64_t> g_dispatched_total{0};
+} // namespace
+
+std::uint64_t
+globalDispatchedEvents()
+{
+    return g_dispatched_total.load(std::memory_order_relaxed);
+}
+
+void
+addGlobalDispatchedEvents(std::uint64_t n)
+{
+    g_dispatched_total.fetch_add(n, std::memory_order_relaxed);
+}
+
 void
 EventQueue::schedule(Tick when, Callback cb)
 {
     EQX_ASSERT(when >= now_, "scheduling into the past: ", when, " < ",
                now_);
-    heap.push(Entry{when, next_seq++, std::move(cb)});
+    heap.push_back(Entry{when, next_seq++, std::move(cb)});
+    std::push_heap(heap.begin(), heap.end(), Later{});
 }
 
 bool
@@ -20,9 +41,12 @@ EventQueue::runOne()
 {
     if (heap.empty())
         return false;
-    // The callback may schedule more events; move it out first.
-    Entry e = std::move(const_cast<Entry &>(heap.top()));
-    heap.pop();
+    std::pop_heap(heap.begin(), heap.end(), Later{});
+    // Move the entry out before invoking: the callback may schedule
+    // more events (reallocating the heap) and the moved-out closure
+    // avoids a copy of its captured state per dispatch.
+    Entry e = std::move(heap.back());
+    heap.pop_back();
     now_ = e.when;
     ++dispatched_;
     e.cb();
@@ -32,7 +56,7 @@ EventQueue::runOne()
 void
 EventQueue::runUntil(Tick limit)
 {
-    while (!heap.empty() && heap.top().when <= limit) {
+    while (!heap.empty() && heap.front().when <= limit) {
         if (!runOne())
             break;
     }

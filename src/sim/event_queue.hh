@@ -24,7 +24,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.hh"
@@ -42,6 +41,13 @@ class EventQueue
 
     /** Current simulated tick. */
     Tick now() const { return now_; }
+
+    /**
+     * Pre-allocate heap storage for @p events pending entries so steady
+     * growth does not reallocate mid-run (the accelerator reserves its
+     * expected high-water mark up front).
+     */
+    void reserve(std::size_t events) { heap.reserve(events); }
 
     /** Schedule @p cb at absolute tick @p when (>= now). */
     void schedule(Tick when, Callback cb);
@@ -86,11 +92,29 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    /**
+     * Explicit binary heap (std::push_heap/std::pop_heap over a vector)
+     * rather than std::priority_queue: the vector exposes reserve() and
+     * lets runOne() move entries out instead of copy-under-const_cast.
+     * (when, seq) is a strict total order, so the dispatch sequence is
+     * the comparator's alone — independent of internal heap shape — and
+     * the golden identity digests are unaffected by this representation.
+     */
+    std::vector<Entry> heap;
     Tick now_ = 0;
     std::uint64_t next_seq = 0;
     std::uint64_t dispatched_ = 0;
 };
+
+/**
+ * Process-wide total of events dispatched by completed simulation runs
+ * (accumulated once per Accelerator::run; thread-safe). The bench perf
+ * harness reports it as a wall-clock-independent work measure.
+ */
+std::uint64_t globalDispatchedEvents();
+
+/** Add @p n to the process-wide dispatched-event total. */
+void addGlobalDispatchedEvents(std::uint64_t n);
 
 } // namespace sim
 } // namespace equinox

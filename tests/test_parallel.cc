@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the deterministic parallel sweep engine
+ * (common/parallel): result ordering, exception propagation, the
+ * serial fast path, nested-region degradation and the ThreadPool
+ * itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hh"
+
+namespace equinox
+{
+namespace
+{
+
+TEST(DefaultJobs, AtLeastOne) { EXPECT_GE(defaultJobs(), 1u); }
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workerCount(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { ++count; });
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingTasks)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] { ++count; });
+        // No wait(): the destructor must finish the queue.
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ZeroMeansDefaultJobs)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workerCount(), defaultJobs());
+}
+
+TEST(ParallelFor, ResultsLandAtTheirIndex)
+{
+    for (std::size_t jobs : {1u, 2u, 4u, 16u}) {
+        std::vector<std::size_t> out(257, 0);
+        parallelFor(jobs, out.size(),
+                    [&](std::size_t i) { out[i] = i * i; });
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], i * i) << "jobs=" << jobs << " i=" << i;
+    }
+}
+
+TEST(ParallelFor, EveryIndexRunsExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(8, hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop)
+{
+    bool ran = false;
+    parallelFor(4, 0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, MoreJobsThanWork)
+{
+    std::vector<int> out(3, 0);
+    parallelFor(64, out.size(), [&](std::size_t i) { out[i] = 1; });
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 3);
+}
+
+TEST(ParallelFor, SerialPathStaysOnCallingThread)
+{
+    const auto caller = std::this_thread::get_id();
+    parallelFor(1, 8, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        EXPECT_FALSE(inParallelRegion());
+    });
+}
+
+TEST(ParallelFor, SingleItemStaysOnCallingThread)
+{
+    const auto caller = std::this_thread::get_id();
+    parallelFor(8, 1, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(ParallelFor, LowestIndexExceptionWins)
+{
+    // Indices 3 and 7 both throw; the rethrown exception must be index
+    // 3's regardless of wall-clock completion order. Repeat to give a
+    // racy implementation chances to fail.
+    for (int round = 0; round < 20; ++round) {
+        try {
+            parallelFor(4, 10, [&](std::size_t i) {
+                if (i == 3 || i == 7)
+                    throw std::runtime_error("boom " + std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        }
+        catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "boom 3");
+        }
+    }
+}
+
+TEST(ParallelFor, ExceptionDoesNotAbortOtherIndices)
+{
+    std::vector<std::atomic<int>> hits(64);
+    EXPECT_THROW(parallelFor(4, hits.size(),
+                             [&](std::size_t i) {
+                                 ++hits[i];
+                                 if (i == 0)
+                                     throw std::runtime_error("x");
+                             }),
+                 std::runtime_error);
+    // Every index still executed: an exception marks the sweep failed
+    // but does not cancel queued work.
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, SerialPathPropagatesExceptions)
+{
+    EXPECT_THROW(parallelFor(1, 4,
+                             [](std::size_t i) {
+                                 if (i == 2)
+                                     throw std::logic_error("serial");
+                             }),
+                 std::logic_error);
+}
+
+TEST(ParallelFor, NestedCallDegradesToSerial)
+{
+    std::atomic<int> inner_total{0};
+    parallelFor(4, 8, [&](std::size_t) {
+        EXPECT_TRUE(inParallelRegion());
+        const auto worker = std::this_thread::get_id();
+        parallelFor(4, 5, [&](std::size_t) {
+            // The nested loop must run inline on the same worker.
+            EXPECT_EQ(std::this_thread::get_id(), worker);
+            ++inner_total;
+        });
+    });
+    EXPECT_EQ(inner_total.load(), 8 * 5);
+    EXPECT_FALSE(inParallelRegion());
+}
+
+TEST(ParallelMap, CollectsInInputOrder)
+{
+    std::vector<int> inputs(100);
+    std::iota(inputs.begin(), inputs.end(), 0);
+    auto out =
+        parallelMap(8, inputs, [](int v) { return std::to_string(v); });
+    ASSERT_EQ(out.size(), inputs.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], std::to_string(i));
+}
+
+} // namespace
+} // namespace equinox
