@@ -8,6 +8,7 @@
 #ifndef EQUINOX_BENCH_BENCH_COMMON_HH
 #define EQUINOX_BENCH_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -18,7 +19,12 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "core/experiment.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/latency_probe.hh"
+#include "obs/metrics_snapshot.hh"
 #include "sim/event_queue.hh"
+#include "stats/histogram.hh"
 #include "stats/table.hh"
 
 namespace equinox
@@ -56,56 +62,102 @@ num(double v, int digits = 2)
     return stats::Table::num(v, digits);
 }
 
+/** The shared bench command line (see parseBenchArgs). */
+struct BenchArgs
+{
+    std::size_t jobs = 1;
+    std::string trace_path;   //!< `--trace FILE`: Perfetto JSON out
+    std::string metrics_path; //!< `--metrics FILE`: snapshot JSON out
+};
+
 /**
  * Parse the shared bench command line: `--jobs N` (also `--jobs=N`)
- * selects the sweep fan-out; the default comes from defaultJobs()
- * (the EQX_JOBS environment variable, else hardware concurrency).
- * `--jobs 1` forces the exact serial code path for debugging.
+ * selects the sweep fan-out (default: the EQX_JOBS environment
+ * variable, else hardware concurrency; 1 forces the exact serial code
+ * path); `--trace FILE` exports a Chrome/Perfetto trace of one
+ * representative run; `--metrics FILE` exports the machine-readable
+ * metrics snapshot. Unrecognised arguments are ignored so benches can
+ * add their own flags.
  */
-inline std::size_t
-parseJobs(int argc, char **argv)
+inline BenchArgs
+parseBenchArgs(int argc, char **argv)
 {
-    std::size_t jobs = defaultJobs();
+    BenchArgs args;
+    args.jobs = defaultJobs();
+    auto flagValue = [&](int &i, const std::string &arg,
+                         const std::string &flag,
+                         std::string &out) -> bool {
+        if (arg == flag && i + 1 < argc) {
+            out = argv[++i];
+            return true;
+        }
+        if (arg.rfind(flag + "=", 0) == 0) {
+            out = arg.substr(flag.size() + 1);
+            return true;
+        }
+        return false;
+    };
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         std::string value;
-        if (arg == "--jobs" && i + 1 < argc) {
-            value = argv[++i];
-        } else if (arg.rfind("--jobs=", 0) == 0) {
-            value = arg.substr(7);
+        if (flagValue(i, arg, "--jobs", value)) {
+            char *end = nullptr;
+            long v = std::strtol(value.c_str(), &end, 10);
+            if (!value.empty() && end && *end == '\0' && v > 0)
+                args.jobs = static_cast<std::size_t>(v);
+            else
+                EQX_FATAL("--jobs wants a positive integer, got '",
+                          value, "'");
+        } else if (flagValue(i, arg, "--trace", args.trace_path) ||
+                   flagValue(i, arg, "--metrics", args.metrics_path)) {
+            if ((arg.rfind("--trace", 0) == 0 && args.trace_path.empty()) ||
+                (arg.rfind("--metrics", 0) == 0 &&
+                 args.metrics_path.empty()))
+                EQX_FATAL(arg, " wants an output path");
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: %s [--jobs N]\n"
-                        "  --jobs N  worker threads for the sweeps "
-                        "(default: EQX_JOBS or hardware concurrency; "
-                        "1 = serial)\n", argv[0]);
+            std::printf(
+                "usage: %s [--jobs N] [--trace FILE] [--metrics FILE]\n"
+                "  --jobs N       worker threads for the sweeps "
+                "(default: EQX_JOBS or hardware concurrency; 1 = "
+                "serial)\n"
+                "  --trace FILE   write a Chrome/Perfetto trace of one "
+                "representative run\n"
+                "  --metrics FILE write the metrics snapshot JSON\n",
+                argv[0]);
             std::exit(0);
-        } else {
-            continue;
         }
-        char *end = nullptr;
-        long v = std::strtol(value.c_str(), &end, 10);
-        if (!value.empty() && end && *end == '\0' && v > 0)
-            jobs = static_cast<std::size_t>(v);
-        else
-            EQX_FATAL("--jobs wants a positive integer, got '", value,
-                      "'");
     }
-    return jobs;
+    return args;
+}
+
+/** Back-compat shim: just the `--jobs` part of parseBenchArgs. */
+inline std::size_t
+parseJobs(int argc, char **argv)
+{
+    return parseBenchArgs(argc, argv).jobs;
 }
 
 /**
  * Perf harness every bench binary runs under: prints the artefact
- * banner, parses `--jobs`, and on finish() writes
- * `BENCH_<artifact>.json` (wall-clock seconds, simulation events
- * dispatched, events/second, jobs used) next to the working directory
- * so the perf trajectory of each artefact is recorded run over run.
+ * banner, parses `--jobs` / `--trace` / `--metrics`, and on finish()
+ * writes `BENCH_<artifact>.json` -- wall-clock seconds, simulation
+ * events dispatched, events/second, jobs used, and (when the bench
+ * recorded its load points) the simulated latency percentiles and the
+ * peak delivered ops rate, so the perf *and* quality trajectory of
+ * each artefact is recorded run over run. The BENCH record schema is
+ * documented in EXPERIMENTS.md.
+ *
+ * `--metrics FILE` additionally writes the full obs::MetricsSnapshot
+ * (recorded sweeps land under "sweeps.<label>"); `--trace FILE` is
+ * consumed by traceRepresentativeRun() below.
  */
 class Harness
 {
   public:
     Harness(int argc, char **argv, std::string artifact,
             const std::string &title, const std::string &description)
-        : artifact_(std::move(artifact)), jobs_(parseJobs(argc, argv)),
+        : artifact_(std::move(artifact)),
+          args_(parseBenchArgs(argc, argv)),
           events_start_(sim::globalDispatchedEvents()),
           start_(std::chrono::steady_clock::now())
     {
@@ -122,7 +174,40 @@ class Harness
     Harness &operator=(const Harness &) = delete;
 
     /** Worker threads the binary's sweeps should fan out across. */
-    std::size_t jobs() const { return jobs_; }
+    std::size_t jobs() const { return args_.jobs; }
+
+    /** `--trace` / `--metrics` output paths; empty = not requested. */
+    const std::string &tracePath() const { return args_.trace_path; }
+    const std::string &metricsPath() const { return args_.metrics_path; }
+
+    /** The snapshot finish() exports when `--metrics` was given. */
+    obs::MetricsSnapshot &metrics() { return metrics_; }
+
+    /**
+     * Record one measured load point into the artefact's perf record:
+     * the per-point simulated latency percentiles feed the aggregate
+     * p50/p99/max fields of BENCH_<artifact>.json.
+     */
+    void
+    recordPoint(const core::LoadPointResult &r)
+    {
+        if (r.sim.completed_requests == 0)
+            return;
+        point_p50_ms_.record(r.sim.p50_latency_s * 1e3);
+        point_p99_ms_.record(r.p99_ms);
+        point_max_ms_.record(r.sim.max_latency_s * 1e3);
+        peak_tops_ = std::max(peak_tops_, r.inference_tops);
+    }
+
+    /** recordPoint over a sweep + export it under "sweeps.<label>". */
+    void
+    recordSweep(const std::string &label,
+                const std::vector<core::LoadPointResult> &results)
+    {
+        for (const auto &r : results)
+            recordPoint(r);
+        core::addLoadSweep(metrics_, label, results);
+    }
 
     /** Record wall clock + event totals and emit BENCH_<artifact>.json. */
     void
@@ -140,30 +225,86 @@ class Harness
         std::printf("\n[bench] %s: wall %.3f s, %llu events "
                     "(%.3g events/s), jobs %zu\n", artifact_.c_str(),
                     wall_s, static_cast<unsigned long long>(events),
-                    eps, jobs_);
+                    eps, args_.jobs);
+
+        // Aggregates over the recorded points: the median of the
+        // per-point p50s, the worst per-point p99/max (tail metrics
+        // aggregate pessimistically), and the peak delivered rate.
+        obs::Json record = obs::Json::object();
+        record["artifact"] = artifact_;
+        record["schema_version"] = obs::MetricsSnapshot::kSchemaVersion;
+        record["wall_seconds"] = wall_s;
+        record["events_dispatched"] = events;
+        record["events_per_second"] = eps;
+        record["jobs"] = static_cast<std::uint64_t>(args_.jobs);
+        record["points_recorded"] =
+            static_cast<std::uint64_t>(point_p99_ms_.count());
+        record["latency_p50_ms"] = point_p50_ms_.percentile(0.5);
+        record["latency_p99_ms"] = point_p99_ms_.max();
+        record["latency_max_ms"] = point_max_ms_.max();
+        record["ops_rate_tops"] = peak_tops_;
 
         std::string path = "BENCH_" + artifact_ + ".json";
         std::ofstream out(path);
-        if (!out) {
+        if (!out)
             EQX_WARN("cannot write ", path);
-            return;
+        else
+            out << record.dump(2);
+
+        if (!args_.metrics_path.empty()) {
+            metrics_.section("bench") = record;
+            if (metrics_.writeTo(args_.metrics_path))
+                std::printf("[bench] metrics snapshot: %s\n",
+                            args_.metrics_path.c_str());
         }
-        out << "{\n"
-            << "  \"artifact\": \"" << artifact_ << "\",\n"
-            << "  \"wall_seconds\": " << wall_s << ",\n"
-            << "  \"events_dispatched\": " << events << ",\n"
-            << "  \"events_per_second\": " << eps << ",\n"
-            << "  \"jobs\": " << jobs_ << "\n"
-            << "}\n";
     }
 
   private:
     std::string artifact_;
-    std::size_t jobs_;
+    BenchArgs args_;
     std::uint64_t events_start_;
     std::chrono::steady_clock::time_point start_;
     bool finished_ = false;
+
+    obs::MetricsSnapshot metrics_;
+    stats::LatencyTracker point_p50_ms_;
+    stats::LatencyTracker point_p99_ms_;
+    stats::LatencyTracker point_max_ms_;
+    double peak_tops_ = 0.0;
 };
+
+/**
+ * When `--trace FILE` was given, re-run one representative load point
+ * with a ChromeTraceSink + LatencyProbe installed and write the
+ * Perfetto-loadable trace; the probe's exact percentile report lands
+ * under "latency.trace_run" in the harness metrics. A no-op without
+ * `--trace`. Tracing is observation-only, so the traced re-run
+ * reports byte-identical results to the untraced sweep point.
+ */
+inline void
+traceRepresentativeRun(Harness &harness,
+                       const sim::AcceleratorConfig &cfg, double load,
+                       const core::ExperimentOptions &opts)
+{
+    if (harness.tracePath().empty())
+        return;
+    obs::ChromeTraceSink trace(cfg.frequency_hz);
+    obs::LatencyProbe probe;
+    obs::MultiSink sinks;
+    sinks.add(&trace);
+    sinks.add(&probe);
+    auto traced = opts;
+    traced.trace_sink = &sinks;
+    traced.jobs = 1;
+    core::runAtLoad(cfg, load, traced);
+    if (trace.writeTo(harness.tracePath()))
+        std::printf("\n[bench] trace (%llu events, %s @ load %.2f): "
+                    "%s -- open at https://ui.perfetto.dev\n",
+                    static_cast<unsigned long long>(trace.total()),
+                    cfg.name.c_str(), load,
+                    harness.tracePath().c_str());
+    probe.addTo(harness.metrics(), "trace_run", cfg.frequency_hz);
+}
 
 } // namespace bench
 } // namespace equinox

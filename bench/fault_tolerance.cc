@@ -104,6 +104,7 @@ main(int argc, char **argv)
                           std::to_string(fs.shed_requests)});
         }
         table.print(std::cout);
+        harness.recordSweep("severity", results);
     }
 
     // ------------------------------------------------------------------

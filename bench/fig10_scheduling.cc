@@ -75,6 +75,7 @@ main(int argc, char **argv)
                           ok ? "yes" : "NO"});
         }
         table.print(std::cout);
+        harness.recordSweep(c.label, results);
         std::printf("max inference throughput under the %.1f ms target: "
                     "%.1f TOp/s\n", target_ms, best_ok);
     }

@@ -19,8 +19,8 @@ namespace
 using namespace equinox;
 
 void
-partA(const sim::AcceleratorConfig &ref, double target_ms,
-      std::size_t jobs)
+partA(bench::Harness &harness, const sim::AcceleratorConfig &ref,
+      double target_ms, std::size_t jobs)
 {
     bench::section("(a) static vs adaptive batching, p99 latency vs "
                    "load (inference only)");
@@ -36,6 +36,8 @@ partA(const sim::AcceleratorConfig &ref, double target_ms,
     auto loads = bench::loadGrid();
     auto s_results = core::runLoadSweep(s_cfg, loads, opts);
     auto a_results = core::runLoadSweep(a_cfg, loads, opts);
+    harness.recordSweep("static", s_results);
+    harness.recordSweep("adaptive", a_results);
     for (std::size_t i = 0; i < loads.size(); ++i) {
         table.addRow({bench::num(loads[i], 2),
                       bench::num(s_results[i].p99_ms, 2),
@@ -139,7 +141,7 @@ main(int argc, char **argv)
                                   harness.jobs());
     double target_ms = core::latencyTargetSeconds(
                            ref, workload::DnnModel::lstm2048()) * 1e3;
-    partA(ref, target_ms, harness.jobs());
+    partA(harness, ref, target_ms, harness.jobs());
     partBC(ref, target_ms, harness.jobs());
     harness.finish();
     return 0;

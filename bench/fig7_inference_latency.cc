@@ -16,8 +16,8 @@ namespace
 using namespace equinox;
 
 void
-sweepEncoding(arith::Encoding enc, const char *title,
-              const std::vector<core::Preset> &presets,
+sweepEncoding(bench::Harness &harness, arith::Encoding enc,
+              const char *title, const std::vector<core::Preset> &presets,
               double latency_target_ms, std::size_t jobs)
 {
     bench::section(title);
@@ -53,6 +53,9 @@ sweepEncoding(arith::Encoding enc, const char *title,
                           bench::num(r.sim.avg_batch_fill, 2)});
         }
         table.print(std::cout);
+        harness.recordSweep(std::string(arith::encodingName(enc)) + "." +
+                                core::presetName(preset),
+                            results);
     }
     std::printf("latency target (10x Equinox_500us mean service time): "
                 "%.2f ms\n", latency_target_ms);
@@ -77,14 +80,21 @@ main(int argc, char **argv)
         core::latencyTargetSeconds(ref, workload::DnnModel::lstm2048()) *
         1e3;
 
-    sweepEncoding(arith::Encoding::Hbfp8, "(a) hbfp8",
+    sweepEncoding(harness, arith::Encoding::Hbfp8, "(a) hbfp8",
                   {core::Preset::Min, core::Preset::Us50,
                    core::Preset::Us500, core::Preset::None},
                   target_ms, harness.jobs());
-    sweepEncoding(arith::Encoding::Bfloat16, "(b) bfloat16",
+    sweepEncoding(harness, arith::Encoding::Bfloat16, "(b) bfloat16",
                   {core::Preset::Min, core::Preset::Us500,
                    core::Preset::None},
                   target_ms, harness.jobs());
+
+    // `--trace`: one representative traced run of the reference config
+    // at moderate load, exported as a Chrome/Perfetto trace.
+    core::ExperimentOptions trace_opts;
+    trace_opts.warmup_requests = 300;
+    trace_opts.measure_requests = 2500;
+    bench::traceRepresentativeRun(harness, ref, 0.7, trace_opts);
 
     std::printf("\nShape check: relaxed-latency designs reach ~6x the "
                 "min-latency design's\nthroughput; hbfp8 reaches ~5x "

@@ -64,6 +64,10 @@ main(int argc, char **argv)
                       bench::num(r.training_tops, 1)});
         if (i % 2 == 1)
             table.addSeparator();
+        harness.recordPoint(r);
+        core::addLoadPoint(harness.metrics(),
+                           cells[i].with_training ? "inf_train" : "inf",
+                           r);
     }
     table.print(std::cout);
 

@@ -41,11 +41,13 @@ main(int argc, char **argv)
         std::vector<std::string> cells{core::presetName(preset)};
         std::vector<double> vals;
         // One compile per config; the load points fan out inside.
-        for (const auto &r : core::runLoadSweep(cfg, loads, opts)) {
+        auto results = core::runLoadSweep(cfg, loads, opts);
+        for (const auto &r : results) {
             cells.push_back(bench::num(r.training_tops, 1));
             vals.push_back(r.training_tops);
             max_train = std::max(max_train, r.training_tops);
         }
+        harness.recordSweep(core::presetName(preset), results);
         rows.push_back(vals);
         table.addRow(cells);
     }

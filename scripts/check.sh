@@ -8,6 +8,9 @@
 #   scripts/check.sh --asan      # ALSO build + test the asan-ubsan preset
 #   scripts/check.sh --tsan      # ALSO build the tsan preset and run the
 #                                # "parallel"-labelled sweep-engine tests
+#   scripts/check.sh --coverage  # build+test the coverage preset, then
+#                                # print per-directory line coverage and
+#                                # fail if src/obs/ is below 90%
 #   scripts/check.sh --format    # only run the clang-format check
 #
 # Exits nonzero on the first failure.
@@ -62,12 +65,18 @@ case "${1:-}" in
     run_preset default
     run_preset tsan parallel
     ;;
+  --coverage)
+    run_format_check
+    run_preset coverage
+    echo "check.sh: per-directory line coverage (gate: src/obs >= 90%)"
+    python3 scripts/coverage_report.py build-coverage
+    ;;
   "")
     run_format_check
     run_preset default
     ;;
   *)
-    echo "usage: scripts/check.sh [--asan|--tsan|--format]" >&2
+    echo "usage: scripts/check.sh [--asan|--tsan|--coverage|--format]" >&2
     exit 2
     ;;
 esac

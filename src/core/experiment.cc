@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "obs/metrics_snapshot.hh"
 
 namespace equinox
 {
@@ -200,6 +201,8 @@ runAtLoad(const sim::AcceleratorConfig &cfg, double load,
     accel.installInference(compiled.inference);
     if (compiled.training)
         accel.installTraining(*compiled.training);
+    if (opts.trace_sink)
+        accel.setTraceSink(opts.trace_sink);
 
     sim::RunSpec spec;
     spec.arrival_rate_per_s = load * accel.maxRequestRate();
@@ -242,10 +245,78 @@ runLoadSweep(const sim::AcceleratorConfig &cfg,
     // installs a copy of the same descriptors.
     CompiledWorkload compiled = compileWorkload(cfg, opts);
     std::vector<LoadPointResult> out(loads.size());
-    parallelFor(opts.jobs, loads.size(), [&](std::size_t i) {
+    // A trace sink is shared mutable state: force the (byte-identical)
+    // serial path so its event stream stays in simulation order.
+    std::size_t jobs = opts.trace_sink ? 1 : opts.jobs;
+    parallelFor(jobs, loads.size(), [&](std::size_t i) {
         out[i] = runAtLoad(cfg, loads[i], opts, compiled);
     });
     return out;
+}
+
+void
+addLoadPoint(obs::MetricsSnapshot &snap, const std::string &label,
+             const LoadPointResult &r)
+{
+    obs::Json point = obs::Json::object();
+    point["load"] = r.load;
+    point["inference_tops"] = r.inference_tops;
+    point["training_tops"] = r.training_tops;
+    point["p99_ms"] = r.p99_ms;
+    point["mean_ms"] = r.mean_ms;
+    point["max_inference_tops"] = r.max_inference_tops;
+    point["service_time_ms"] = r.service_time_ms;
+
+    const sim::SimResult &s = r.sim;
+    point["sim_seconds"] = s.sim_seconds;
+    point["completed_requests"] = s.completed_requests;
+    point["offered_rate_per_s"] = s.offered_rate_per_s;
+    point["p50_latency_s"] = s.p50_latency_s;
+    point["max_latency_s"] = s.max_latency_s;
+    point["mean_service_s"] = s.mean_service_s;
+    point["batches_formed"] = s.batches_formed;
+    point["batches_incomplete"] = s.batches_incomplete;
+    point["avg_batch_fill"] = s.avg_batch_fill;
+    point["dram_utilization"] = s.dram_utilization;
+    point["host_bytes"] = s.host_bytes;
+    point["training_iterations"] = s.training_iterations;
+    point["availability"] = s.availability;
+
+    obs::Json &breakdown = point["mmu_breakdown"];
+    breakdown["working"] =
+        s.mmu_breakdown.get(stats::CycleClass::Working);
+    breakdown["dummy"] = s.mmu_breakdown.get(stats::CycleClass::Dummy);
+    breakdown["idle"] = s.mmu_breakdown.get(stats::CycleClass::Idle);
+    breakdown["other"] = s.mmu_breakdown.get(stats::CycleClass::Other);
+
+    for (const auto &svc : s.per_service) {
+        obs::Json entry = obs::Json::object();
+        entry["model"] = svc.model_name;
+        entry["completed"] = svc.completed;
+        entry["mean_latency_s"] = svc.mean_latency_s;
+        entry["p99_latency_s"] = svc.p99_latency_s;
+        point["services"]["svc" + std::to_string(svc.ctx)] =
+            std::move(entry);
+    }
+
+    if (s.faults.totalFaults() > 0 || s.faults.recoveryEvents() > 0) {
+        obs::Json &faults = point["faults"];
+        faults["total"] = s.faults.totalFaults();
+        faults["recovery_events"] = s.faults.recoveryEvents();
+        faults["shed_requests"] = s.faults.shed_requests;
+        faults["downtime_cycles"] =
+            static_cast<std::uint64_t>(s.faults.downtime_cycles);
+    }
+
+    snap.section("sweeps")[label].append(std::move(point));
+}
+
+void
+addLoadSweep(obs::MetricsSnapshot &snap, const std::string &label,
+             const std::vector<LoadPointResult> &results)
+{
+    for (const auto &r : results)
+        addLoadPoint(snap, label, r);
 }
 
 bool

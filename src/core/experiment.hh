@@ -11,6 +11,7 @@
 #define EQUINOX_CORE_EXPERIMENT_HH
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "fault/fault_plan.hh"
@@ -21,6 +22,11 @@
 
 namespace equinox
 {
+namespace obs
+{
+class MetricsSnapshot;
+}
+
 namespace core
 {
 
@@ -58,6 +64,16 @@ struct ExperimentOptions
      * path; 0 means defaultJobs() (EQX_JOBS or hardware concurrency).
      */
     std::size_t jobs = 1;
+
+    /**
+     * Optional trace sink installed on every Accelerator a run builds
+     * (e.g. obs::ChromeTraceSink behind a bench's `--trace`). Not
+     * owned; must outlive the runs. Observation only -- installing a
+     * sink never changes simulated behaviour -- but the sink object
+     * itself is stateful, so runLoadSweep degrades to serial (which is
+     * byte-identical anyway) whenever one is installed.
+     */
+    sim::TraceSink *trace_sink = nullptr;
 };
 
 /**
@@ -134,6 +150,21 @@ double latencyTargetSeconds(const sim::AcceleratorConfig &reference,
  */
 bool writeCsv(const std::string &path,
               const std::vector<LoadPointResult> &results);
+
+/**
+ * Append one measured load point under "sweeps.<label>" in @p snap:
+ * the derived metrics, the latency percentiles, the Figure-8 cycle
+ * breakdown, and (when faults fired) the fault counters. Field order
+ * and formatting are deterministic, so byte-identical results produce
+ * byte-identical snapshots regardless of the jobs count that computed
+ * them.
+ */
+void addLoadPoint(obs::MetricsSnapshot &snap, const std::string &label,
+                  const LoadPointResult &r);
+
+/** addLoadPoint over a whole sweep, in input order. */
+void addLoadSweep(obs::MetricsSnapshot &snap, const std::string &label,
+                  const std::vector<LoadPointResult> &results);
 
 } // namespace core
 } // namespace equinox

@@ -1,0 +1,179 @@
+#include "obs/chrome_trace.hh"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace obs
+{
+
+namespace
+{
+
+constexpr int kPid = 0;
+
+/**
+ * Track (tid) per block name, assigned in first-seen order so the
+ * document layout is a pure function of the event stream.
+ */
+std::map<std::string, int>
+assignTracks(const std::vector<sim::TraceEvent> &events)
+{
+    std::map<std::string, int> tids;
+    int next = 1;
+    for (const auto &ev : events) {
+        auto [it, inserted] = tids.emplace(ev.block, 0);
+        if (inserted)
+            it->second = next++;
+    }
+    return tids;
+}
+
+Json
+metadataEvent(const char *name, int tid, const std::string &label)
+{
+    Json m = Json::object();
+    m["ph"] = "M";
+    m["pid"] = kPid;
+    m["tid"] = tid;
+    m["name"] = name;
+    m["args"]["name"] = label;
+    return m;
+}
+
+Json
+instantEvent(const sim::TraceEvent &ev, int tid, double us_per_tick)
+{
+    Json e = Json::object();
+    e["name"] = sim::traceEventTypeName(ev.type);
+    e["ph"] = "i";
+    e["s"] = "t"; // thread-scoped instant
+    e["pid"] = kPid;
+    e["tid"] = tid;
+    e["ts"] = static_cast<double>(ev.tick) * us_per_tick;
+    e["args"]["tick"] = static_cast<std::uint64_t>(ev.tick);
+    e["args"]["svc"] = static_cast<std::uint64_t>(ev.ctx);
+    e["args"]["a"] = ev.a;
+    e["args"]["b"] = ev.b;
+    return e;
+}
+
+/**
+ * Queue-depth counter track: RequestArrival events carry the pending
+ * queue depth in payload `a`, which Perfetto renders as a step graph.
+ */
+Json
+counterEvent(const sim::TraceEvent &ev, double us_per_tick)
+{
+    Json e = Json::object();
+    e["name"] =
+        "pending_requests.svc" + std::to_string(ev.ctx);
+    e["ph"] = "C";
+    e["pid"] = kPid;
+    e["ts"] = static_cast<double>(ev.tick) * us_per_tick;
+    e["args"]["depth"] = ev.a;
+    return e;
+}
+
+} // namespace
+
+ChromeTraceSink::ChromeTraceSink(double frequency_hz, std::size_t cap)
+    : us_per_tick_(1e6 / frequency_hz), cap_(cap)
+{
+    EQX_ASSERT(frequency_hz > 0.0, "trace sink needs a positive clock");
+}
+
+void
+ChromeTraceSink::record(const sim::TraceEvent &ev)
+{
+    ++total_;
+    if (events_.size() < cap_)
+        events_.push_back(ev);
+    else
+        ++dropped_;
+}
+
+Json
+ChromeTraceSink::toJson() const
+{
+    Json doc = Json::object();
+    doc["displayTimeUnit"] = "ms";
+    doc["otherData"]["tool"] = "equinox";
+    doc["otherData"]["clock"] = "simulated";
+    doc["otherData"]["events_total"] = total_;
+    doc["otherData"]["events_dropped"] = dropped_;
+
+    auto tids = assignTracks(events_);
+    Json &rows = doc["traceEvents"];
+    rows = Json::array();
+    rows.append(metadataEvent("process_name", 0, "equinox-sim"));
+    for (const auto &[block, tid] : tids)
+        rows.append(metadataEvent("thread_name", tid, block));
+    // Events are buffered in dispatch order, so per-track timestamps
+    // are monotone by construction (simulated time never runs
+    // backwards); the conformance suite checks this invariant.
+    for (const auto &ev : events_) {
+        rows.append(instantEvent(ev, tids.at(ev.block), us_per_tick_));
+        if (ev.type == sim::TraceEventType::RequestArrival)
+            rows.append(counterEvent(ev, us_per_tick_));
+    }
+    return doc;
+}
+
+void
+ChromeTraceSink::write(std::ostream &os) const
+{
+    // Hand-rolled framing with one compact event per line: a million
+    // buffered events serialize without building a giant indented tree,
+    // and the result is still a single valid JSON document.
+    Json doc = toJson();
+    os << "{\n\"displayTimeUnit\": "
+       << doc.at("displayTimeUnit").dump(-1)
+       << ",\n\"otherData\": " << doc.at("otherData").dump(-1)
+       << ",\n\"traceEvents\": [\n";
+    const auto &rows = doc.at("traceEvents").items();
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        os << rows[i].dump(-1) << (i + 1 < rows.size() ? ",\n" : "\n");
+    os << "]}\n";
+}
+
+bool
+ChromeTraceSink::writeTo(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        EQX_WARN("cannot write trace file ", path);
+        return false;
+    }
+    write(out);
+    return static_cast<bool>(out);
+}
+
+void
+ChromeTraceSink::clear()
+{
+    events_.clear();
+    total_ = 0;
+    dropped_ = 0;
+}
+
+void
+MultiSink::add(sim::TraceSink *sink)
+{
+    EQX_ASSERT(sink, "null sink attached to MultiSink");
+    sinks_.push_back(sink);
+}
+
+void
+MultiSink::record(const sim::TraceEvent &ev)
+{
+    for (auto *s : sinks_)
+        s->record(ev);
+}
+
+} // namespace obs
+} // namespace equinox

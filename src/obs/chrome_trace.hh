@@ -1,0 +1,84 @@
+/**
+ * @file
+ * ChromeTraceSink: streams block TraceEvents as Chrome/Perfetto
+ * `trace_event` JSON (load the file at https://ui.perfetto.dev or
+ * chrome://tracing).
+ *
+ * Every SimBlock gets its own track (thread) in first-seen order;
+ * timestamps are *simulated* time converted to microseconds at the
+ * design frequency, so the trace shows accelerator cycles, not host
+ * wall clock. Events buffer in memory (bounded, drops counted) and
+ * flush with writeTo()/write(); the sink is observation-only and never
+ * perturbs simulated behaviour (see tests/test_obs.cc, which re-checks
+ * the golden refactor-identity digests with a sink installed).
+ */
+
+#ifndef EQUINOX_OBS_CHROME_TRACE_HH
+#define EQUINOX_OBS_CHROME_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "sim/blocks/trace.hh"
+
+namespace equinox
+{
+namespace obs
+{
+
+/** Buffers block events and exports Chrome trace_event JSON. */
+class ChromeTraceSink : public sim::TraceSink
+{
+  public:
+    /**
+     * @param frequency_hz design clock, converts ticks to microseconds
+     * @param cap buffered-event bound; drops beyond it are counted
+     */
+    explicit ChromeTraceSink(double frequency_hz,
+                             std::size_t cap = 1u << 22);
+
+    void record(const sim::TraceEvent &ev) override;
+
+    /** Buffered events + everything dropped past the cap. */
+    std::uint64_t total() const { return total_; }
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Build the whole document (metadata + events, buffered order). */
+    Json toJson() const;
+
+    /** Serialize to a stream (compact rows, one event per line). */
+    void write(std::ostream &os) const;
+
+    /** Flush to @p path; false (with a warning) when unwritable. */
+    bool writeTo(const std::string &path) const;
+
+    void clear();
+
+  private:
+    double us_per_tick_;
+    std::size_t cap_;
+    std::vector<sim::TraceEvent> events_;
+    std::uint64_t total_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+/** Fans one event stream out to several sinks (e.g. trace + probe). */
+class MultiSink : public sim::TraceSink
+{
+  public:
+    /** Attach @p sink (not owned; must outlive the runs observed). */
+    void add(sim::TraceSink *sink);
+
+    void record(const sim::TraceEvent &ev) override;
+
+  private:
+    std::vector<sim::TraceSink *> sinks_;
+};
+
+} // namespace obs
+} // namespace equinox
+
+#endif // EQUINOX_OBS_CHROME_TRACE_HH

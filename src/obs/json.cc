@@ -1,0 +1,584 @@
+#include "obs/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace obs
+{
+
+Json::Json(std::uint64_t v)
+{
+    // Counters larger than int64 cannot occur in bounded experiment
+    // windows; keep the integral kind and fall back to double only at
+    // the boundary so serialized counters never pick up a fraction.
+    if (v <= static_cast<std::uint64_t>(
+                 std::numeric_limits<std::int64_t>::max())) {
+        kind_ = Kind::Int;
+        int_ = static_cast<std::int64_t>(v);
+    } else {
+        kind_ = Kind::Double;
+        double_ = static_cast<double>(v);
+    }
+}
+
+bool
+Json::asBool() const
+{
+    EQX_ASSERT(kind_ == Kind::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    if (kind_ == Kind::Double)
+        return static_cast<std::int64_t>(double_);
+    EQX_ASSERT(kind_ == Kind::Int, "JSON value is not a number");
+    return int_;
+}
+
+double
+Json::asDouble() const
+{
+    if (kind_ == Kind::Int)
+        return static_cast<double>(int_);
+    EQX_ASSERT(kind_ == Kind::Double, "JSON value is not a number");
+    return double_;
+}
+
+const std::string &
+Json::asString() const
+{
+    EQX_ASSERT(kind_ == Kind::String, "JSON value is not a string");
+    return string_;
+}
+
+std::size_t
+Json::size() const
+{
+    if (kind_ == Kind::Array)
+        return array_.size();
+    if (kind_ == Kind::Object)
+        return object_.size();
+    return 0;
+}
+
+Json &
+Json::append(Json v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    EQX_ASSERT(kind_ == Kind::Array, "append on a non-array JSON value");
+    array_.push_back(std::move(v));
+    return array_.back();
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    EQX_ASSERT(kind_ == Kind::Array, "indexing a non-array JSON value");
+    EQX_ASSERT(i < array_.size(), "JSON array index out of range: ", i);
+    return array_[i];
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    EQX_ASSERT(kind_ == Kind::Object,
+               "member access on a non-object JSON value");
+    return object_[key];
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Json *v = find(key);
+    EQX_ASSERT(v, "JSON object has no member '", key, "'");
+    return *v;
+}
+
+const Json::Array &
+Json::items() const
+{
+    EQX_ASSERT(kind_ == Kind::Array, "items() on a non-array JSON value");
+    return array_;
+}
+
+const Json::Object &
+Json::members() const
+{
+    EQX_ASSERT(kind_ == Kind::Object,
+               "members() on a non-object JSON value");
+    return object_;
+}
+
+namespace
+{
+
+void
+writeEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+writeDouble(std::string &out, double v)
+{
+    // NaN/inf are not representable in JSON; the exporters never
+    // produce them (the stats layer rejects NaN samples), but a
+    // defensive serialization must still emit *valid* JSON.
+    if (!std::isfinite(v)) {
+        out += std::isnan(v) ? "null" : (v > 0 ? "1e999" : "-1e999");
+        return;
+    }
+    // Shortest round-trip form: deterministic and parses back to the
+    // exact same bits, which the byte-identity tests rely on.
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof buf, v);
+    out.append(buf, res.ptr);
+    // Keep doubles visually distinct from ints ("1" -> "1.0") so the
+    // parser reconstructs the same Kind and re-dumps byte-identically.
+    bool has_mark = false;
+    for (const char *p = buf; p != res.ptr; ++p)
+        has_mark = has_mark || *p == '.' || *p == 'e' || *p == 'E' ||
+                   *p == 'n' || *p == 'i';
+    if (!has_mark)
+        out += ".0";
+}
+
+void
+newlineIndent(std::string &out, int indent, int depth)
+{
+    if (indent < 0)
+        return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) *
+                   static_cast<std::size_t>(depth),
+               ' ');
+}
+
+} // namespace
+
+void
+Json::write(std::string &out, int indent, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Int: {
+        char buf[24];
+        auto res = std::to_chars(buf, buf + sizeof buf, int_);
+        out.append(buf, res.ptr);
+        break;
+      }
+      case Kind::Double:
+        writeDouble(out, double_);
+        break;
+      case Kind::String:
+        writeEscaped(out, string_);
+        break;
+      case Kind::Array: {
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        bool first = true;
+        for (const auto &v : array_) {
+            if (!first)
+                out += ',';
+            first = false;
+            newlineIndent(out, indent, depth + 1);
+            v.write(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        bool first = true;
+        for (const auto &[key, v] : object_) {
+            if (!first)
+                out += ',';
+            first = false;
+            newlineIndent(out, indent, depth + 1);
+            writeEscaped(out, key);
+            out += indent < 0 ? ":" : ": ";
+            v.write(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    write(out, indent, 0);
+    if (indent >= 0)
+        out += '\n';
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a bounded in-memory document. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    std::optional<Json>
+    run()
+    {
+        skipWs();
+        Json v;
+        if (!value(v))
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing garbage after document");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string &why)
+    {
+        if (error_ && error_->empty())
+            *error_ = why + " at byte " + std::to_string(pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                text_[pos_] == '\t' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, Json v, Json &out)
+    {
+        std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0) {
+            fail("invalid literal");
+            return false;
+        }
+        pos_ += n;
+        out = std::move(v);
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"') {
+            fail("expected string");
+            return false;
+        }
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_];
+            if (c == '\\') {
+                if (pos_ + 1 >= text_.size()) {
+                    fail("truncated escape");
+                    return false;
+                }
+                char e = text_[pos_ + 1];
+                pos_ += 2;
+                switch (e) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size()) {
+                        fail("truncated \\u escape");
+                        return false;
+                    }
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text_[pos_ + i];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else {
+                            fail("bad \\u escape digit");
+                            return false;
+                        }
+                    }
+                    pos_ += 4;
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else {
+                        // Exporters only escape control characters;
+                        // reconstruct basic-plane code points as UTF-8.
+                        if (code < 0x800) {
+                            out += static_cast<char>(0xc0 | (code >> 6));
+                        } else {
+                            out += static_cast<char>(0xe0 | (code >> 12));
+                            out += static_cast<char>(
+                                0x80 | ((code >> 6) & 0x3f));
+                        }
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    fail("unknown escape");
+                    return false;
+                }
+            } else {
+                out += c;
+                ++pos_;
+            }
+        }
+        if (pos_ >= text_.size()) {
+            fail("unterminated string");
+            return false;
+        }
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number(Json &out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        bool integral = true;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        std::string tok = text_.substr(start, pos_ - start);
+        if (tok.empty() || tok == "-") {
+            fail("expected number");
+            return false;
+        }
+        if (integral) {
+            std::int64_t v = 0;
+            auto res =
+                std::from_chars(tok.data(), tok.data() + tok.size(), v);
+            if (res.ec != std::errc() ||
+                res.ptr != tok.data() + tok.size()) {
+                fail("bad integer");
+                return false;
+            }
+            out = Json(v);
+        } else {
+            char *end = nullptr;
+            double v = std::strtod(tok.c_str(), &end);
+            if (!end || *end != '\0') {
+                fail("bad number");
+                return false;
+            }
+            out = Json(v);
+        }
+        return true;
+    }
+
+    bool
+    value(Json &out)
+    {
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of document");
+            return false;
+        }
+        char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out = Json::object();
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!string(key))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != ':') {
+                    fail("expected ':'");
+                    return false;
+                }
+                ++pos_;
+                skipWs();
+                Json member;
+                if (!value(member))
+                    return false;
+                out[key] = std::move(member);
+                skipWs();
+                if (pos_ < text_.size() && text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (pos_ < text_.size() && text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                fail("expected ',' or '}'");
+                return false;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out = Json::array();
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                Json element;
+                if (!value(element))
+                    return false;
+                out.append(std::move(element));
+                skipWs();
+                if (pos_ < text_.size() && text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (pos_ < text_.size() && text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                fail("expected ',' or ']'");
+                return false;
+            }
+        }
+        if (c == '"') {
+            std::string s;
+            if (!string(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+        }
+        if (c == 't')
+            return literal("true", Json(true), out);
+        if (c == 'f')
+            return literal("false", Json(false), out);
+        if (c == 'n')
+            return literal("null", Json(), out);
+        return number(out);
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<Json>
+Json::parse(const std::string &text, std::string *error)
+{
+    if (error)
+        error->clear();
+    return Parser(text, error).run();
+}
+
+} // namespace obs
+} // namespace equinox

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Minimal JSON value model for the observability layer.
+ *
+ * The export layer needs three things no heavier dependency is worth:
+ * a value tree it can assemble programmatically, a *deterministic*
+ * serializer (objects sorted by key, shortest round-trip numbers) so
+ * identical experiment results produce byte-identical documents, and a
+ * strict parser so tests can round-trip every exported artefact. This
+ * is deliberately not a general-purpose JSON library: documents are
+ * bounded (metrics snapshots, trace files we wrote ourselves) and the
+ * parser rejects anything the serializer cannot produce.
+ */
+
+#ifndef EQUINOX_OBS_JSON_HH
+#define EQUINOX_OBS_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace equinox
+{
+namespace obs
+{
+
+/** One JSON value: null, bool, integer, double, string, array, object. */
+class Json
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    using Array = std::vector<Json>;
+    using Object = std::map<std::string, Json>;
+
+    Json() = default;
+    Json(bool v) : kind_(Kind::Bool), bool_(v) {}
+    Json(int v) : kind_(Kind::Int), int_(v) {}
+    Json(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+    Json(std::uint64_t v);
+    Json(double v) : kind_(Kind::Double), double_(v) {}
+    Json(const char *v) : kind_(Kind::String), string_(v) {}
+    Json(std::string v) : kind_(Kind::String), string_(std::move(v)) {}
+
+    static Json array() { return Json(Kind::Array); }
+    static Json object() { return Json(Kind::Object); }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Value accessors; fatal on kind mismatch (isNumber() coerces). */
+    bool asBool() const;
+    std::int64_t asInt() const;
+    double asDouble() const;
+    const std::string &asString() const;
+
+    /** Array/object element count; 0 for scalars. */
+    std::size_t size() const;
+
+    /** Append to an array (converts a Null value into an array). */
+    Json &append(Json v);
+    /** Indexed array element; fatal out of range. */
+    const Json &at(std::size_t i) const;
+
+    /**
+     * Object member access (converts a Null value into an object and
+     * inserts the key when absent, like std::map).
+     */
+    Json &operator[](const std::string &key);
+    /** Member lookup without insertion; nullptr when absent. */
+    const Json *find(const std::string &key) const;
+    /** Member lookup; fatal when absent. */
+    const Json &at(const std::string &key) const;
+
+    const Array &items() const;
+    const Object &members() const;
+
+    /**
+     * Deterministic serialization: object keys sorted (std::map
+     * order), numbers in shortest round-trip form, 2-space indent when
+     * @p indent >= 0 (-1 = compact single line).
+     */
+    std::string dump(int indent = 2) const;
+
+    /**
+     * Strict parse; nullopt on malformed input with a human-readable
+     * reason in @p error (byte offset included) when provided.
+     */
+    static std::optional<Json> parse(const std::string &text,
+                                     std::string *error = nullptr);
+
+  private:
+    explicit Json(Kind k) : kind_(k) {}
+
+    void write(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+} // namespace obs
+} // namespace equinox
+
+#endif // EQUINOX_OBS_JSON_HH

@@ -1,0 +1,67 @@
+#include "obs/latency_probe.hh"
+
+#include "common/logging.hh"
+#include "obs/metrics_snapshot.hh"
+
+namespace equinox
+{
+namespace obs
+{
+
+void
+LatencyProbe::record(const sim::TraceEvent &ev)
+{
+    if (ev.type != sim::TraceEventType::RequestRetired)
+        return;
+    double span = static_cast<double>(ev.a);
+    all_.record(span);
+    if (ev.ctx >= per_service_.size())
+        per_service_.resize(ev.ctx + 1);
+    per_service_[ev.ctx].record(span);
+}
+
+const stats::LatencyTracker *
+LatencyProbe::serviceCycles(ContextId ctx) const
+{
+    if (ctx >= per_service_.size() || per_service_[ctx].count() == 0)
+        return nullptr;
+    return &per_service_[ctx];
+}
+
+LatencyProbe::Report
+LatencyProbe::report(double frequency_hz) const
+{
+    EQX_ASSERT(frequency_hz > 0.0, "probe report needs a clock");
+    double inv_f = 1.0 / frequency_hz;
+    Report r;
+    r.count = all_.count();
+    r.mean_s = all_.mean() * inv_f;
+    r.p50_s = all_.percentile(0.50) * inv_f;
+    r.p90_s = all_.percentile(0.90) * inv_f;
+    r.p99_s = all_.percentile(0.99) * inv_f;
+    r.max_s = all_.max() * inv_f;
+    return r;
+}
+
+void
+LatencyProbe::addTo(MetricsSnapshot &snap, const std::string &name,
+                    double frequency_hz) const
+{
+    snap.addLatency(name, all_, 1.0 / frequency_hz);
+    for (std::size_t i = 0; i < per_service_.size(); ++i) {
+        if (per_service_[i].count() == 0)
+            continue;
+        snap.addLatency(name + ".svc" + std::to_string(i),
+                        per_service_[i], 1.0 / frequency_hz);
+    }
+}
+
+void
+LatencyProbe::clear()
+{
+    all_.reset();
+    per_service_.clear();
+}
+
+} // namespace obs
+} // namespace equinox

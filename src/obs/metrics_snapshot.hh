@@ -1,0 +1,109 @@
+/**
+ * @file
+ * MetricsSnapshot: a machine-readable export of everything the stats
+ * layer measures, as one stable, versioned JSON document.
+ *
+ * The document layout (schema version 1):
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "scalars":         { "<name>": <number>, ... },
+ *     "latency":         { "<name>": {count, mean, p50, p90, p99, max} },
+ *     "log_histograms":  { "<name>": {buckets: [{mid, count}...],
+ *                                     underflows, overflows} },
+ *     "cycle_breakdown": { "<name>": {working, dummy, idle, other,
+ *                                     total} },
+ *     "fault_stats":     { "<name>": {<every FaultStats counter>,
+ *                                     recovery: {...percentiles...}} },
+ *     ...free-form sections added via section()...
+ *   }
+ *
+ * Serialization is deterministic -- objects sorted by key, shortest
+ * round-trip numbers -- so byte-identical experiment results produce
+ * byte-identical documents (the jobs=1 vs jobs=N conformance check in
+ * tests/test_obs.cc depends on this). parse() round-trips any document
+ * toJson() produced and validates the schema version.
+ */
+
+#ifndef EQUINOX_OBS_METRICS_SNAPSHOT_HH
+#define EQUINOX_OBS_METRICS_SNAPSHOT_HH
+
+#include <optional>
+#include <string>
+
+#include "obs/json.hh"
+
+namespace equinox
+{
+namespace stats
+{
+class CycleBreakdown;
+class LatencyTracker;
+class LogHistogram;
+class StatRegistry;
+struct FaultStats;
+}
+
+namespace obs
+{
+
+/** Versioned JSON snapshot of counters, percentiles, and breakdowns. */
+class MetricsSnapshot
+{
+  public:
+    static constexpr std::int64_t kSchemaVersion = 1;
+
+    MetricsSnapshot();
+
+    /** Scalar under "scalars" (dotted names encouraged: "mmu.busy"). */
+    void set(const std::string &name, double value);
+    void set(const std::string &name, std::uint64_t value);
+
+    /** Every entry of @p reg under "scalars" as "<prefix><name>". */
+    void addRegistry(const stats::StatRegistry &reg,
+                     const std::string &prefix = "");
+
+    /** Exact percentile summary of @p t under "latency.<name>". */
+    void addLatency(const std::string &name,
+                    const stats::LatencyTracker &t,
+                    double scale = 1.0);
+
+    /** Bucket dump of @p h under "log_histograms.<name>". */
+    void addLogHistogram(const std::string &name,
+                         const stats::LogHistogram &h);
+
+    /** Figure-8 cycle classes under "cycle_breakdown.<name>". */
+    void addCycleBreakdown(const std::string &name,
+                           const stats::CycleBreakdown &b);
+
+    /** Every fault/recovery counter under "fault_stats.<name>". */
+    void addFaultStats(const std::string &name,
+                       const stats::FaultStats &fs);
+
+    /** Free-form top-level section (created on first access). */
+    Json &section(const std::string &name) { return root_[name]; }
+
+    const Json &root() const { return root_; }
+
+    /** The full document, deterministically serialized. */
+    std::string toJson() const { return root_.dump(2); }
+
+    /** Write toJson() to @p path; false + warning when unwritable. */
+    bool writeTo(const std::string &path) const;
+
+    /**
+     * Parse a document toJson() produced; nullopt (with a reason in
+     * @p error when given) on malformed input or a schema-version
+     * mismatch.
+     */
+    static std::optional<MetricsSnapshot>
+    parse(const std::string &text, std::string *error = nullptr);
+
+  private:
+    Json root_;
+};
+
+} // namespace obs
+} // namespace equinox
+
+#endif // EQUINOX_OBS_METRICS_SNAPSHOT_HH

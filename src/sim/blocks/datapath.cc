@@ -204,6 +204,11 @@ Datapath::completeInferenceChunk(InfBatch *batch, Tick chunk)
                 latency_cycles.record(static_cast<double>(finish - a));
                 batch->svc->latency_cycles.record(
                     static_cast<double>(finish - a));
+                // Arrival-to-retire span, one event per measured
+                // request: lets a trace sink reproduce the latency
+                // percentiles exactly (obs::LatencyProbe).
+                emit(TraceEventType::RequestRetired, batch->svc->id,
+                     finish - a, finish);
             }
             service_cycles.record(
                 static_cast<double>(finish - batch->first_issue));

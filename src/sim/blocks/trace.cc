@@ -31,6 +31,8 @@ traceEventTypeName(TraceEventType t)
         return "fault_hang";
       case TraceEventType::FaultRecovery:
         return "fault_recovery";
+      case TraceEventType::RequestRetired:
+        return "request_retired";
       case TraceEventType::NumTypes:
         break;
     }

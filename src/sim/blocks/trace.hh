@@ -38,6 +38,8 @@ enum class TraceEventType : unsigned
     HostTransfer,        //!< host-interface transfer (with retries) done
     FaultHang,           //!< MMU/dispatcher hang began
     FaultRecovery,       //!< hang cleared / reset finished / rollback
+    RequestRetired,      //!< one measured request done; a = latency
+                         //!< cycles, b = retire (finish) tick
     NumTypes,
 };
 

@@ -13,6 +13,13 @@ namespace stats
 void
 LatencyTracker::record(double sample)
 {
+    if (std::isnan(sample)) {
+        // One poisoned measurement must not corrupt every percentile:
+        // NaN breaks the strict weak ordering std::sort requires and
+        // propagates through the running sum.
+        ++nan_rejected;
+        return;
+    }
     samples.push_back(sample);
     sum += sample;
     sorted = false;
@@ -66,8 +73,12 @@ LatencyTracker::percentile(double p) const
     double rank = p * static_cast<double>(samples.size() - 1);
     auto lo_idx = static_cast<std::size_t>(rank);
     double frac = rank - static_cast<double>(lo_idx);
-    if (lo_idx + 1 >= samples.size())
-        return samples.back();
+    if (frac == 0.0 || lo_idx + 1 >= samples.size()) {
+        // Exact-rank queries return the order statistic itself: mixing
+        // in the neighbour with weight 0 would turn an infinite
+        // neighbour into 0 * inf = NaN.
+        return samples[lo_idx];
+    }
     return samples[lo_idx] * (1.0 - frac) + samples[lo_idx + 1] * frac;
 }
 
@@ -77,6 +88,7 @@ LatencyTracker::reset()
     samples.clear();
     sorted = true;
     sum = 0.0;
+    nan_rejected = 0;
 }
 
 LogHistogram::LogHistogram(double lo, double hi, unsigned buckets_per_decade)
@@ -95,17 +107,24 @@ LogHistogram::LogHistogram(double lo, double hi, unsigned buckets_per_decade)
 void
 LogHistogram::record(double sample)
 {
+    if (std::isnan(sample)) {
+        ++nan_rejected;
+        return;
+    }
     if (sample < lo_) {
         ++under;
         return;
     }
     double pos = (std::log10(sample) - log_lo) / bucket_width;
-    auto idx = static_cast<std::size_t>(pos);
-    if (idx >= counts.size()) {
+    // Range-check in floating point BEFORE converting: casting a value
+    // beyond the bucket range (or +inf) to size_t is undefined
+    // behaviour, so out-of-range samples clamp to the overflow counter
+    // without ever being converted.
+    if (!(pos < static_cast<double>(counts.size()))) {
         ++over;
         return;
     }
-    ++counts[idx];
+    ++counts[static_cast<std::size_t>(pos)];
 }
 
 double

@@ -24,11 +24,18 @@ namespace stats
 class LatencyTracker
 {
   public:
-    /** Record one latency sample (any consistent unit). */
+    /**
+     * Record one latency sample (any consistent unit). NaN samples are
+     * rejected (counted, not stored): one corrupted measurement must
+     * not poison every percentile, and sorting NaNs is undefined.
+     */
     void record(double sample);
 
     /** Number of recorded samples. */
     std::size_t count() const { return samples.size(); }
+
+    /** NaN samples rejected by record(). */
+    std::uint64_t nanRejected() const { return nan_rejected; }
 
     /** Arithmetic mean; 0 when empty. */
     double mean() const;
@@ -53,6 +60,7 @@ class LatencyTracker
     mutable std::vector<double> samples;
     mutable bool sorted = true;
     double sum = 0.0;
+    std::uint64_t nan_rejected = 0;
 };
 
 /** Fixed-width log-bucket histogram for summary output. */
@@ -74,6 +82,8 @@ class LogHistogram
     double bucketMid(std::size_t i) const;
     std::uint64_t underflows() const { return under; }
     std::uint64_t overflows() const { return over; }
+    /** NaN samples rejected by record(). */
+    std::uint64_t nanRejected() const { return nan_rejected; }
 
   private:
     double lo_;
@@ -82,6 +92,7 @@ class LogHistogram
     std::vector<std::uint64_t> counts;
     std::uint64_t under = 0;
     std::uint64_t over = 0;
+    std::uint64_t nan_rejected = 0;
 };
 
 } // namespace stats

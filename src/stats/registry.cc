@@ -42,6 +42,15 @@ StatRegistry::contains(const std::string &name) const
 }
 
 void
+StatRegistry::forEach(
+    const std::function<void(const std::string &, double,
+                             const std::string &)> &fn) const
+{
+    for (const auto &[name, entry] : entries)
+        fn(name, entry.getter(), entry.description);
+}
+
+void
 StatRegistry::dump(std::ostream &os) const
 {
     Table table({"stat", "value", "description"});

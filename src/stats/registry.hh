@@ -44,6 +44,14 @@ class StatRegistry
     /** Render all statistics, sorted by name, as an aligned table. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Visit every statistic as (name, current value, description),
+     * sorted by name. The export layer walks the registry with this
+     * to build machine-readable snapshots.
+     */
+    void forEach(const std::function<void(const std::string &, double,
+                                          const std::string &)> &fn) const;
+
     /** Remove everything. */
     void clear() { entries.clear(); }
 

@@ -7,18 +7,18 @@
  * streams), so fan-out must not move a single event, RNG draw or
  * floating-point accumulation.
  *
- * The digest folds every field of every LoadPointResult -- including
- * the full SimResult and fault trace -- the same way
- * test_refactor_identity pins the monolith-vs-blocks refactor.
+ * The digest (tests/sim_digest.hh) folds every field of every
+ * LoadPointResult -- including the full SimResult and fault trace --
+ * the same way test_refactor_identity pins the monolith-vs-blocks
+ * refactor.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstring>
 
-#include "common/units.hh"
-#include "core/experiment.hh"
 #include "model/dse.hh"
+#include "sim_digest.hh"
 
 namespace equinox
 {
@@ -27,134 +27,13 @@ namespace core
 namespace
 {
 
-/** FNV-1a over the exact bit patterns of the accumulated fields. */
-class Digest
-{
-  public:
-    void
-    u64(std::uint64_t v)
-    {
-        for (unsigned i = 0; i < 8; ++i) {
-            h ^= (v >> (8 * i)) & 0xff;
-            h *= 1099511628211ull;
-        }
-    }
+using testutil::digestOf;
+using testutil::tinyRnn;
 
-    void
-    d(double v)
-    {
-        std::uint64_t bits;
-        std::memcpy(&bits, &v, sizeof bits);
-        u64(bits);
-    }
-
-    std::uint64_t value() const { return h; }
-
-  private:
-    std::uint64_t h = 14695981039346656037ull;
-};
-
-void
-foldSim(Digest &dg, const sim::SimResult &r)
-{
-    dg.d(r.sim_seconds);
-    dg.u64(r.completed_requests);
-    dg.d(r.offered_rate_per_s);
-    dg.d(r.inference_throughput_ops);
-    dg.d(r.training_throughput_ops);
-    dg.d(r.mean_latency_s);
-    dg.d(r.p50_latency_s);
-    dg.d(r.p99_latency_s);
-    dg.d(r.max_latency_s);
-    dg.d(r.mean_service_s);
-    for (unsigned c = 0;
-         c < static_cast<unsigned>(stats::CycleClass::NumClasses); ++c)
-        dg.d(r.mmu_breakdown.get(static_cast<stats::CycleClass>(c)));
-    dg.u64(r.batches_formed);
-    dg.u64(r.batches_incomplete);
-    dg.d(r.avg_batch_fill);
-    dg.d(r.dram_utilization);
-    dg.u64(r.dram_train_bytes);
-    dg.u64(r.host_bytes);
-    dg.u64(r.training_iterations);
-    dg.d(r.mmu_busy_cycles);
-    dg.d(r.simd_busy_cycles);
-    for (const auto &s : r.per_service) {
-        dg.u64(s.ctx);
-        dg.u64(s.completed);
-        dg.d(s.mean_latency_s);
-        dg.d(s.p99_latency_s);
-    }
-    dg.u64(r.faults.dram_corrected);
-    dg.u64(r.faults.dram_uncorrectable);
-    dg.u64(r.faults.host_drops);
-    dg.u64(r.faults.host_corruptions);
-    dg.u64(r.faults.mmu_hangs);
-    dg.u64(r.faults.host_retries);
-    dg.u64(r.faults.host_give_ups);
-    dg.u64(r.faults.watchdog_resets);
-    dg.u64(r.faults.checkpoints_written);
-    dg.u64(r.faults.rollbacks);
-    dg.u64(r.faults.lost_training_iterations);
-    dg.u64(r.faults.shed_requests);
-    dg.u64(r.faults.storms_entered);
-    dg.u64(r.faults.downtime_cycles);
-    dg.u64(r.faults.recovery_cycles.count());
-    dg.d(r.faults.recovery_cycles.mean());
-    dg.d(r.faults.recovery_cycles.max());
-    dg.d(r.availability);
-    dg.u64(r.committed_training_iterations);
-    for (const auto &f : r.fault_trace) {
-        dg.u64(f.tick);
-        dg.u64(static_cast<std::uint64_t>(f.kind));
-        dg.u64(f.bytes);
-    }
-}
-
-/** Fold a whole sweep, every field of every point, in input order. */
-std::uint64_t
-digestOf(const std::vector<LoadPointResult> &results)
-{
-    Digest dg;
-    dg.u64(results.size());
-    for (const auto &r : results) {
-        dg.d(r.load);
-        foldSim(dg, r.sim);
-        dg.d(r.inference_tops);
-        dg.d(r.training_tops);
-        dg.d(r.p99_ms);
-        dg.d(r.mean_ms);
-        dg.d(r.max_inference_tops);
-        dg.d(r.service_time_ms);
-    }
-    return dg.value();
-}
-
-/** The small test design the simulator tests share: n=8 m=2 w=2. */
 sim::AcceleratorConfig
 smallConfig()
 {
-    sim::AcceleratorConfig cfg;
-    cfg.name = "parallel-identity";
-    cfg.n = 8;
-    cfg.m = 2;
-    cfg.w = 2;
-    cfg.frequency_hz = units::MHz(100);
-    cfg.simd_lanes = 256;
-    return cfg;
-}
-
-workload::DnnModel
-tinyRnn()
-{
-    workload::DnnModel model;
-    model.name = "tiny";
-    model.kind = workload::DnnModel::Kind::Rnn;
-    model.rnn.hidden = 64;
-    model.rnn.steps = 4;
-    model.rnn.gate_groups = {2};
-    model.rnn.simd_passes = 4.0;
-    return model;
+    return testutil::smallConfig("parallel-identity");
 }
 
 ExperimentOptions
@@ -190,10 +69,7 @@ TEST(ParallelIdentity, ActiveFaultPlanSweepMatchesSerial)
     // rollbacks all fire inside the short run, so the digest covers
     // the fault machinery's RNG streams too.
     auto opts = sweepOptions();
-    opts.fault_plan.seed = 23;
-    opts.fault_plan.dram_bit_error_rate = 1e-7;
-    opts.fault_plan.host_drop_prob = 0.05;
-    opts.fault_plan.mmu_hang_rate_per_s = 200.0;
+    opts.fault_plan = testutil::densePlan();
 
     opts.jobs = 1;
     auto serial = runLoadSweep(smallConfig(), kLoads, opts);

@@ -4,10 +4,11 @@
  *
  * Each scenario runs a small mixed inference+training workload and folds
  * every field of the SimResult -- including the full fault trace -- into
- * one FNV-1a digest over exact bit patterns. The golden constants below
- * were recorded from the pre-refactor monolithic simulator (commit
- * "fault-injection and recovery subsystem"); the decomposed simulator
- * must reproduce them bit-for-bit for identical seeds and configs.
+ * one FNV-1a digest over exact bit patterns (tests/sim_digest.hh). The
+ * golden constants were recorded from the pre-refactor monolithic
+ * simulator (commit "fault-injection and recovery subsystem"); the
+ * decomposed simulator must reproduce them bit-for-bit for identical
+ * seeds and configs.
  *
  * A digest mismatch means the refactor changed behaviour: event
  * insertion order, an RNG draw, or a floating-point accumulation order
@@ -17,12 +18,7 @@
 
 #include <gtest/gtest.h>
 
-#include <cstring>
-
-#include "common/units.hh"
-#include "sim/accelerator.hh"
-#include "workload/compiler.hh"
-#include "workload/dnn_model.hh"
+#include "sim_digest.hh"
 
 namespace equinox
 {
@@ -31,150 +27,20 @@ namespace sim
 namespace
 {
 
-/** FNV-1a over the exact bit patterns of the accumulated fields. */
-class ResultDigest
-{
-  public:
-    void
-    u64(std::uint64_t v)
-    {
-        for (unsigned i = 0; i < 8; ++i) {
-            h ^= (v >> (8 * i)) & 0xff;
-            h *= 1099511628211ull;
-        }
-    }
-
-    void
-    d(double v)
-    {
-        std::uint64_t bits;
-        std::memcpy(&bits, &v, sizeof bits);
-        u64(bits);
-    }
-
-    std::uint64_t value() const { return h; }
-
-  private:
-    std::uint64_t h = 14695981039346656037ull;
-};
-
-/** Fold every SimResult field, in a fixed documented order. */
-std::uint64_t
-digestOf(const SimResult &r)
-{
-    ResultDigest dg;
-    dg.d(r.sim_seconds);
-    dg.u64(r.completed_requests);
-    dg.d(r.offered_rate_per_s);
-    dg.d(r.inference_throughput_ops);
-    dg.d(r.training_throughput_ops);
-    dg.d(r.mean_latency_s);
-    dg.d(r.p50_latency_s);
-    dg.d(r.p99_latency_s);
-    dg.d(r.max_latency_s);
-    dg.d(r.mean_service_s);
-    for (unsigned c = 0;
-         c < static_cast<unsigned>(stats::CycleClass::NumClasses); ++c)
-        dg.d(r.mmu_breakdown.get(static_cast<stats::CycleClass>(c)));
-    dg.u64(r.batches_formed);
-    dg.u64(r.batches_incomplete);
-    dg.d(r.avg_batch_fill);
-    dg.d(r.dram_utilization);
-    dg.u64(r.dram_train_bytes);
-    dg.u64(r.host_bytes);
-    dg.u64(r.training_iterations);
-    dg.d(r.mmu_busy_cycles);
-    dg.d(r.simd_busy_cycles);
-    for (const auto &s : r.per_service) {
-        dg.u64(s.ctx);
-        dg.u64(s.completed);
-        dg.d(s.mean_latency_s);
-        dg.d(s.p99_latency_s);
-    }
-    dg.u64(r.faults.dram_corrected);
-    dg.u64(r.faults.dram_uncorrectable);
-    dg.u64(r.faults.host_drops);
-    dg.u64(r.faults.host_corruptions);
-    dg.u64(r.faults.mmu_hangs);
-    dg.u64(r.faults.host_retries);
-    dg.u64(r.faults.host_give_ups);
-    dg.u64(r.faults.watchdog_resets);
-    dg.u64(r.faults.checkpoints_written);
-    dg.u64(r.faults.rollbacks);
-    dg.u64(r.faults.lost_training_iterations);
-    dg.u64(r.faults.shed_requests);
-    dg.u64(r.faults.storms_entered);
-    dg.u64(r.faults.downtime_cycles);
-    dg.u64(r.faults.recovery_cycles.count());
-    dg.d(r.faults.recovery_cycles.mean());
-    dg.d(r.faults.recovery_cycles.max());
-    dg.d(r.availability);
-    dg.u64(r.committed_training_iterations);
-    for (const auto &f : r.fault_trace) {
-        dg.u64(f.tick);
-        dg.u64(static_cast<std::uint64_t>(f.kind));
-        dg.u64(f.bytes);
-    }
-    return dg.value();
-}
-
-/** The small test design the simulator tests share: n=8 m=2 w=2. */
-AcceleratorConfig
-smallConfig()
-{
-    AcceleratorConfig cfg;
-    cfg.name = "identity";
-    cfg.n = 8;
-    cfg.m = 2;
-    cfg.w = 2;
-    cfg.frequency_hz = units::MHz(100);
-    cfg.simd_lanes = 256;
-    return cfg;
-}
-
-workload::DnnModel
-tinyRnn()
-{
-    workload::DnnModel model;
-    model.name = "tiny";
-    model.kind = workload::DnnModel::Kind::Rnn;
-    model.rnn.hidden = 64;
-    model.rnn.steps = 4;
-    model.rnn.gate_groups = {2};
-    model.rnn.simd_passes = 4.0;
-    return model;
-}
-
-/** Mixed inference+training run shared by the scenarios below. */
-SimResult
-runScenario(SchedPolicy policy, const fault::FaultPlan &faults)
-{
-    auto cfg = smallConfig();
-    cfg.sched_policy = policy;
-    workload::Compiler compiler(cfg);
-    Accelerator accel(cfg);
-    accel.installInference(compiler.compileInference(tinyRnn()));
-    accel.installTraining(compiler.compileTraining(tinyRnn(), 16));
-    RunSpec spec;
-    spec.warmup_requests = 30;
-    spec.measure_requests = 400;
-    spec.seed = 17;
-    spec.arrival_rate_per_s = 0.4 * accel.maxRequestRate();
-    spec.faults = faults;
-    return accel.run(spec);
-}
+using testutil::digestOf;
+using testutil::runScenario;
 
 TEST(RefactorIdentity, FaultFreePriorityScheduler)
 {
     auto res = runScenario(SchedPolicy::Priority, {});
     EXPECT_EQ(res.faults.totalFaults(), 0u);
-    EXPECT_EQ(digestOf(res), 9598426128261729103ull);
+    EXPECT_EQ(digestOf(res), testutil::kGoldenFaultFreePriority);
 }
 
 TEST(RefactorIdentity, FaultFreeFairShareScheduler)
 {
     auto res = runScenario(SchedPolicy::FairShare, {});
-    EXPECT_EQ(digestOf(res), 3136427541025947968ull);
+    EXPECT_EQ(digestOf(res), testutil::kGoldenFaultFreeFairShare);
 }
 
 TEST(RefactorIdentity, ActiveFaultPlan)
@@ -182,31 +48,17 @@ TEST(RefactorIdentity, ActiveFaultPlan)
     // The plan from FaultDeterminism: dense enough that ECC corrections,
     // host drops with retries, hangs, watchdog resets and rollbacks all
     // occur inside the short run.
-    fault::FaultPlan plan;
-    plan.seed = 23;
-    plan.dram_bit_error_rate = 1e-7;
-    plan.host_drop_prob = 0.05;
-    plan.mmu_hang_rate_per_s = 200.0;
-    auto res = runScenario(SchedPolicy::Priority, plan);
+    auto res = runScenario(SchedPolicy::Priority, testutil::densePlan());
     EXPECT_GT(res.faults.totalFaults(), 0u);
     EXPECT_GT(res.fault_trace.size(), 0u);
-    EXPECT_EQ(digestOf(res), 7691949600349461230ull);
+    EXPECT_EQ(digestOf(res), testutil::kGoldenActiveFaultPlan);
 }
 
 TEST(RefactorIdentity, TrainingOnlyRun)
 {
-    auto cfg = smallConfig();
-    workload::Compiler compiler(cfg);
-    Accelerator accel(cfg);
-    accel.installInference(compiler.compileInference(tinyRnn()));
-    accel.installTraining(compiler.compileTraining(tinyRnn(), 16));
-    RunSpec spec;
-    spec.arrival_rate_per_s = 0.0;
-    spec.measure_iterations = 25;
-    spec.seed = 5;
-    auto res = accel.run(spec);
+    auto res = testutil::runTrainingOnly();
     EXPECT_EQ(res.training_iterations, 25u);
-    EXPECT_EQ(digestOf(res), 15216487330587529517ull);
+    EXPECT_EQ(digestOf(res), testutil::kGoldenTrainingOnly);
 }
 
 } // namespace

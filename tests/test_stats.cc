@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/random.hh"
@@ -87,6 +89,53 @@ TEST(LatencyTracker, PercentileMonotoneInP)
     }
 }
 
+TEST(LatencyTracker, EmptyMinMaxAndBoundaryQuantilesAreZero)
+{
+    LatencyTracker t;
+    EXPECT_DOUBLE_EQ(t.min(), 0.0);
+    EXPECT_DOUBLE_EQ(t.max(), 0.0);
+    EXPECT_DOUBLE_EQ(t.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(t.percentile(1.0), 0.0);
+}
+
+TEST(LatencyTracker, RejectsNaNSamples)
+{
+    LatencyTracker t;
+    t.record(1.0);
+    t.record(std::nan(""));
+    t.record(3.0);
+    // The poisoned sample is counted, not stored: every statistic stays
+    // finite and the strict weak ordering std::sort needs survives.
+    EXPECT_EQ(t.count(), 2u);
+    EXPECT_EQ(t.nanRejected(), 1u);
+    EXPECT_DOUBLE_EQ(t.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(t.percentile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(t.max(), 3.0);
+    t.reset();
+    EXPECT_EQ(t.nanRejected(), 0u);
+    EXPECT_EQ(t.count(), 0u);
+}
+
+TEST(LatencyTracker, InfiniteSamplesAreOrderedNormally)
+{
+    LatencyTracker t;
+    t.record(1.0);
+    t.record(std::numeric_limits<double>::infinity());
+    EXPECT_EQ(t.count(), 2u);
+    EXPECT_TRUE(std::isinf(t.max()));
+    EXPECT_DOUBLE_EQ(t.percentile(0.0), 1.0);
+}
+
+TEST(LatencyTrackerDeath, OutOfRangeQuantileIsFatal)
+{
+    LatencyTracker t;
+    t.record(1.0);
+    EXPECT_DEATH(t.percentile(1.5), "quantile out of range");
+    EXPECT_DEATH(t.percentile(-0.1), "quantile out of range");
+    // A NaN p fails the same range check instead of indexing garbage.
+    EXPECT_DEATH(t.percentile(std::nan("")), "quantile out of range");
+}
+
 TEST(LatencyTracker, RecordAfterQueryStaysCorrect)
 {
     LatencyTracker t;
@@ -111,6 +160,28 @@ TEST(LogHistogram, BucketsAndOverflow)
     EXPECT_EQ(h.bucketValue(2), 0u);
     EXPECT_EQ(h.underflows(), 1u);
     EXPECT_EQ(h.overflows(), 1u);
+}
+
+TEST(LogHistogram, OutOfRangeSamplesClampWithoutUndefinedCasts)
+{
+    LogHistogram h(1.0, 1000.0, 1);
+    // NaN is rejected and counted separately; +inf and any finite value
+    // past the last bucket clamp to the overflow counter -- neither is
+    // ever converted to a bucket index (size_t casts of NaN/inf/huge
+    // doubles are undefined behaviour).
+    h.record(std::nan(""));
+    h.record(std::numeric_limits<double>::infinity());
+    h.record(1e300);
+    h.record(1000.0); // exactly the upper bound: first index past range
+    EXPECT_EQ(h.nanRejected(), 1u);
+    EXPECT_EQ(h.overflows(), 3u);
+    EXPECT_EQ(h.underflows(), 0u);
+    for (std::size_t i = 0; i < h.bucketCount(); ++i)
+        EXPECT_EQ(h.bucketValue(i), 0u);
+    // -inf and negative values fall below lo and count as underflow.
+    h.record(-std::numeric_limits<double>::infinity());
+    h.record(-5.0);
+    EXPECT_EQ(h.underflows(), 2u);
 }
 
 TEST(LogHistogram, MidpointsAreGeometric)
