@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/sweep.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "core/experiment.hh"
@@ -209,6 +210,35 @@ class Harness
         core::addLoadSweep(metrics_, label, results);
     }
 
+    /**
+     * Cluster flavour of recordPoint: the fleet's exact merged
+     * percentiles feed the same aggregate latency fields, the peak
+     * rates track the fleet aggregates, and the training throughput
+     * the coordinator recovered lands in `train_rate_tops`.
+     */
+    void
+    recordClusterPoint(const cluster::ClusterPointResult &r)
+    {
+        if (r.completed_requests == 0)
+            return;
+        point_p50_ms_.record(r.p50_latency_s * 1e3);
+        point_p99_ms_.record(r.p99_latency_s * 1e3);
+        point_max_ms_.record(r.max_latency_s * 1e3);
+        peak_tops_ = std::max(peak_tops_, r.aggregate_inference_tops);
+        peak_train_tops_ =
+            std::max(peak_train_tops_, r.aggregate_training_tops);
+    }
+
+    /** recordClusterPoint over a sweep + export under "cluster.<label>". */
+    void
+    recordClusterSweep(const std::string &label,
+                       const std::vector<cluster::ClusterPointResult> &rs)
+    {
+        for (const auto &r : rs)
+            recordClusterPoint(r);
+        core::addClusterSweep(metrics_, label, rs);
+    }
+
     /** Record wall clock + event totals and emit BENCH_<artifact>.json. */
     void
     finish()
@@ -243,6 +273,7 @@ class Harness
         record["latency_p99_ms"] = point_p99_ms_.max();
         record["latency_max_ms"] = point_max_ms_.max();
         record["ops_rate_tops"] = peak_tops_;
+        record["train_rate_tops"] = peak_train_tops_;
 
         std::string path = "BENCH_" + artifact_ + ".json";
         std::ofstream out(path);
@@ -271,6 +302,7 @@ class Harness
     stats::LatencyTracker point_p99_ms_;
     stats::LatencyTracker point_max_ms_;
     double peak_tops_ = 0.0;
+    double peak_train_tops_ = 0.0;
 };
 
 /**

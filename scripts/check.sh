@@ -10,7 +10,8 @@
 #                                # "parallel"-labelled sweep-engine tests
 #   scripts/check.sh --coverage  # build+test the coverage preset, then
 #                                # print per-directory line coverage and
-#                                # fail if src/obs/ is below 90%
+#                                # fail if src/obs/ or src/cluster/ is
+#                                # below 90%
 #   scripts/check.sh --format    # only run the clang-format check
 #
 # Exits nonzero on the first failure.
@@ -68,7 +69,8 @@ case "${1:-}" in
   --coverage)
     run_format_check
     run_preset coverage
-    echo "check.sh: per-directory line coverage (gate: src/obs >= 90%)"
+    echo "check.sh: per-directory line coverage" \
+         "(gates: src/obs, src/cluster >= 90%)"
     python3 scripts/coverage_report.py build-coverage
     ;;
   "")

@@ -6,12 +6,15 @@ intermediate records, merges per-source-line execution counts across
 translation units (a header line is covered if ANY including TU ran
 it), and prints a per-directory table of line coverage under src/.
 
-Exits nonzero when the observability layer (src/obs/) falls below its
-gate (default 90% lines), so `scripts/check.sh --coverage` fails the
-build instead of silently shipping untested export code.
+Exits nonzero when a gated directory falls below its gate (default:
+src/obs and src/cluster at 90% lines), so `scripts/check.sh --coverage`
+fails the build instead of silently shipping untested export or
+fleet-simulation code.
 
-Usage: scripts/coverage_report.py [build_dir] [--gate-dir src/obs]
+Usage: scripts/coverage_report.py [build_dir] [--gate-dir src/obs]...
                                   [--gate-pct 90]
+
+--gate-dir is repeatable; every named directory must clear --gate-pct.
 """
 
 import argparse
@@ -85,9 +88,12 @@ def directory_of(rel_path):
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("build_dir", nargs="?", default="build-coverage")
-    ap.add_argument("--gate-dir", default="src/obs")
+    ap.add_argument("--gate-dir", action="append", default=None,
+                    help="directory that must clear --gate-pct "
+                         "(repeatable; default: src/obs, src/cluster)")
     ap.add_argument("--gate-pct", type=float, default=90.0)
     args = ap.parse_args()
+    gate_dirs = args.gate_dir or ["src/obs", "src/cluster"]
 
     repo_root = os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
@@ -125,32 +131,36 @@ def main():
     print(f"{'directory':<20} {'lines':>8} {'covered':>8} {'pct':>7}")
     print("-" * 46)
     total_cov = total_lines = 0
-    gate_pct_seen = None
+    gate_pct_seen = {}
     for name in sorted(per_dir):
         covered, total = per_dir[name]
         pct = 100.0 * covered / total if total else 0.0
         total_cov += covered
         total_lines += total
-        if name == args.gate_dir:
-            gate_pct_seen = pct
+        if name in gate_dirs:
+            gate_pct_seen[name] = pct
         print(f"{name:<20} {total:>8} {covered:>8} {pct:>6.1f}%")
     print("-" * 46)
     overall = 100.0 * total_cov / total_lines if total_lines else 0.0
     print(f"{'total':<20} {total_lines:>8} {total_cov:>8} "
           f"{overall:>6.1f}%")
 
-    if gate_pct_seen is None:
-        print(f"coverage_report: FAIL -- no coverage data for gated "
-              f"directory {args.gate_dir}", file=sys.stderr)
-        return 1
-    if gate_pct_seen < args.gate_pct:
-        print(f"coverage_report: FAIL -- {args.gate_dir} line coverage "
-              f"{gate_pct_seen:.1f}% < gate {args.gate_pct:.1f}%",
-              file=sys.stderr)
-        return 1
-    print(f"coverage_report: OK -- {args.gate_dir} "
-          f"{gate_pct_seen:.1f}% >= {args.gate_pct:.1f}%")
-    return 0
+    failed = False
+    for gate_dir in gate_dirs:
+        pct = gate_pct_seen.get(gate_dir)
+        if pct is None:
+            print(f"coverage_report: FAIL -- no coverage data for gated "
+                  f"directory {gate_dir}", file=sys.stderr)
+            failed = True
+        elif pct < args.gate_pct:
+            print(f"coverage_report: FAIL -- {gate_dir} line coverage "
+                  f"{pct:.1f}% < gate {args.gate_pct:.1f}%",
+                  file=sys.stderr)
+            failed = True
+        else:
+            print(f"coverage_report: OK -- {gate_dir} "
+                  f"{pct:.1f}% >= {args.gate_pct:.1f}%")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

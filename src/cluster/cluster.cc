@@ -1,0 +1,247 @@
+#include "cluster/cluster.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cluster/router.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "common/units.hh"
+#include "sim/accelerator.hh"
+
+namespace equinox
+{
+namespace cluster
+{
+
+namespace
+{
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return b ? (a + b - 1) / b : a;
+}
+
+} // namespace
+
+std::vector<std::string>
+ClusterSpec::validate() const
+{
+    std::vector<std::string> errors;
+    if (replicas < 1)
+        errors.push_back("replicas must be >= 1");
+    if (latency_window < 1)
+        errors.push_back("latency_window must be >= 1");
+    if (burst_factor < 1.0)
+        errors.push_back("burst_factor must be >= 1");
+    if (arrival_process == sim::ArrivalProcess::Bursty &&
+        burst_period_s <= 0.0)
+        errors.push_back("bursty arrivals need burst_period_s > 0");
+    for (const auto &o : outages) {
+        if (o.replica >= replicas)
+            errors.push_back("outage names replica " +
+                             std::to_string(o.replica) + " but only " +
+                             std::to_string(replicas) + " exist");
+        if (o.from_s < 0.0 || o.to_s < o.from_s)
+            errors.push_back("outage window [" +
+                             std::to_string(o.from_s) + ", " +
+                             std::to_string(o.to_s) +
+                             ") must be ordered and non-negative");
+    }
+    if (!replica_faults.empty() && replica_faults.size() != replicas)
+        errors.push_back(
+            "replica_faults must be empty or name every replica (" +
+            std::to_string(replica_faults.size()) + " plans for " +
+            std::to_string(replicas) + " replicas)");
+    return errors;
+}
+
+Cluster::Cluster(sim::AcceleratorConfig cfg, ClusterSpec spec)
+    : cfg_(std::move(cfg)), spec_(std::move(spec))
+{
+    if (auto errors = cfg_.validate(); !errors.empty()) {
+        EQX_FATAL("invalid accelerator configuration '", cfg_.name,
+                  "':\n", sim::formatConfigErrors(errors));
+    }
+    if (auto errors = spec_.validate(); !errors.empty()) {
+        std::string joined;
+        for (const auto &e : errors)
+            joined += "\n  " + e;
+        EQX_FATAL("invalid cluster spec:", joined);
+    }
+    for (const auto &plan : spec_.replica_faults) {
+        if (auto errors = plan.validate(); !errors.empty()) {
+            std::string joined;
+            for (const auto &e : errors)
+                joined += "\n  " + e;
+            EQX_FATAL("invalid replica fault plan:", joined);
+        }
+    }
+}
+
+ClusterPointResult
+Cluster::run(double load, const core::ExperimentOptions &opts) const
+{
+    return run(load, opts, core::compileWorkload(cfg_, opts));
+}
+
+ClusterPointResult
+Cluster::run(double load, const core::ExperimentOptions &opts,
+             const core::CompiledWorkload &compiled,
+             const std::vector<sim::TraceSink *> &replica_sinks) const
+{
+    if (auto errors = opts.fault_plan.validate(); !errors.empty()) {
+        std::string joined;
+        for (const auto &e : errors)
+            joined += "\n  " + e;
+        EQX_FATAL("invalid fault plan:", joined);
+    }
+
+    const std::size_t n = spec_.replicas;
+    const double f = cfg_.frequency_hz;
+
+    // One replica's saturation request rate, with the exact arithmetic
+    // of Accelerator::maxRequestRate() so a 1-replica cluster offers
+    // bit-identical rates to the single-accelerator path.
+    const isa::CompiledProgram &prog = compiled.inference.program;
+    double op_rate = static_cast<double>(prog.totalRealOps()) /
+                     static_cast<double>(prog.mmuBusyCycles()) * f;
+    double mu_req = op_rate / prog.opsPerRequest();
+    double per_replica_rate = load * mu_req;
+    Tick max_ticks = units::secondsToCycles(opts.max_sim_s, f);
+
+    // Route the global candidate stream. `load` is the offered
+    // fraction of the AGGREGATE capacity, so the stream runs at
+    // per-replica rate x N; bursty mode draws candidates at the peak
+    // rate and the replicas thin them at arrival, mirroring the
+    // single-accelerator generator.
+    std::vector<RouterOutage> outages;
+    for (const auto &o : spec_.outages) {
+        outages.push_back({o.replica, units::secondsToCycles(o.from_s, f),
+                           units::secondsToCycles(o.to_s, f)});
+    }
+    Router router(spec_.policy, n, mu_req / f, spec_.latency_window,
+                  std::move(outages));
+    double rate_cycle =
+        per_replica_rate * static_cast<double>(n) / f;
+    if (spec_.arrival_process == sim::ArrivalProcess::Bursty)
+        rate_cycle *= spec_.burst_factor;
+    RouterResult routed = router.route(rate_cycle, opts.seed, max_ticks);
+
+    // Training coordinator: place the piggybacked training service on
+    // the replicas the router loaded least -- most free cycles, the
+    // "training for free" invariant at fleet scale. Stable sort with
+    // an index tiebreak keeps the placement deterministic.
+    std::vector<char> trains(n, 0);
+    if (compiled.training) {
+        std::size_t k = spec_.train_replicas == 0
+                            ? n
+                            : std::min(spec_.train_replicas, n);
+        std::vector<std::size_t> order(n);
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return routed.assigned[a] <
+                                    routed.assigned[b];
+                         });
+        for (std::size_t i = 0; i < k; ++i)
+            trains[order[i]] = 1;
+    }
+
+    // Run the replicas, one per worker. Each run is self-contained
+    // (own Accelerator, own trace slice, optional own sink), so the
+    // fan-out is byte-identical to a serial loop.
+    std::vector<ReplicaOutcome> out(n);
+    parallelFor(opts.jobs, n, [&](std::size_t r) {
+        sim::Accelerator accel(cfg_);
+        accel.installInference(compiled.inference);
+        if (trains[r])
+            accel.installTraining(*compiled.training);
+        if (r < replica_sinks.size() && replica_sinks[r])
+            accel.setTraceSink(replica_sinks[r]);
+
+        sim::RunSpec rs;
+        rs.arrival_rate_per_s = per_replica_rate;
+        rs.arrival_process = spec_.arrival_process;
+        rs.burst_factor = spec_.burst_factor;
+        rs.burst_period_s = spec_.burst_period_s;
+        rs.arrival_trace_ticks = routed.traces[r];
+        rs.warmup_requests = ceilDiv(opts.warmup_requests, n);
+        rs.warmup_s = opts.warmup_s;
+        rs.measure_requests = ceilDiv(opts.measure_requests, n);
+        rs.min_measure_s = opts.min_measure_s;
+        rs.measure_iterations = opts.measure_iterations;
+        rs.max_sim_s = opts.max_sim_s;
+        rs.seed = opts.seed + r;
+        if (!spec_.replica_faults.empty()) {
+            rs.faults = spec_.replica_faults[r];
+        } else {
+            rs.faults = opts.fault_plan;
+            // Decorrelate replica fault streams; replica 0 keeps the
+            // plan exactly (the 1-replica differential depends on it).
+            if (r > 0)
+                rs.faults.seed += static_cast<std::uint64_t>(r) * 9973;
+        }
+
+        ReplicaOutcome &o = out[r];
+        o.replica = r;
+        o.assigned_candidates = routed.assigned[r];
+        o.training = trains[r] != 0;
+        o.sim = accel.run(rs);
+    });
+
+    // Deterministic merge, replicas in index order.
+    ClusterPointResult res;
+    res.load = load;
+    res.replicas = n;
+    res.policy = spec_.policy;
+    res.generated_candidates = routed.generated;
+    res.router_shed = routed.shed;
+    res.rerouted = routed.rerouted;
+    for (const auto &o : out) {
+        const sim::SimResult &s = o.sim;
+        res.aggregate_inference_ops += s.inference_throughput_ops;
+        res.aggregate_training_ops += s.training_throughput_ops;
+        res.completed_requests += s.completed_requests;
+        res.training_iterations += s.training_iterations;
+        res.committed_training_iterations +=
+            s.committed_training_iterations;
+        res.merged_latency_cycles.merge(s.latency_cycles);
+        res.admitted_requests += s.admitted_requests;
+        res.retired_requests += s.retired_requests;
+        res.inflight_requests += s.inflight_requests;
+        res.shed_requests += s.faults.shed_requests;
+        res.faults.merge(s.faults);
+    }
+    res.aggregate_inference_tops = res.aggregate_inference_ops / 1e12;
+    res.aggregate_training_tops = res.aggregate_training_ops / 1e12;
+    double inv_f = 1.0 / f;
+    if (res.merged_latency_cycles.count() > 0) {
+        res.mean_latency_s = res.merged_latency_cycles.mean() * inv_f;
+        res.p50_latency_s =
+            res.merged_latency_cycles.percentile(0.5) * inv_f;
+        res.p99_latency_s =
+            res.merged_latency_cycles.percentile(0.99) * inv_f;
+        res.max_latency_s = res.merged_latency_cycles.max() * inv_f;
+    }
+    // Planned outages are fleet downtime: account them in the merged
+    // FaultStats and in the availability over the run horizon.
+    for (const auto &o : spec_.outages) {
+        Tick from = std::min(units::secondsToCycles(o.from_s, f),
+                             max_ticks);
+        Tick to = std::min(units::secondsToCycles(o.to_s, f), max_ticks);
+        res.outage_cycles += to - from;
+    }
+    res.faults.downtime_cycles += res.outage_cycles;
+    double span = static_cast<double>(n) *
+                  static_cast<double>(std::max<Tick>(max_ticks, 1));
+    double down =
+        std::min(static_cast<double>(res.faults.downtime_cycles), span);
+    res.availability = 1.0 - down / span;
+    res.per_replica = std::move(out);
+    return res;
+}
+
+} // namespace cluster
+} // namespace equinox

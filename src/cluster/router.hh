@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The cluster front-end: generates the global inference arrival stream
+ * and splits it into one candidate tick trace per replica.
+ *
+ * The arrival generator replays the single-accelerator recipe exactly
+ * -- Rng(seed * 7919 + 1), exponential inter-arrival draws at the
+ * aggregate candidate rate, `Tick(wait) + 1` increments -- so a
+ * 1-replica cluster hands its only replica the very tick sequence a
+ * stochastic single-accelerator run would have drawn, and the replica
+ * run is byte-identical to it (tests/test_cluster_differential.cc).
+ *
+ * Routing decisions are causal: they read only the router's own
+ * ReplicaEstimator state, never the replica simulations, so the
+ * replicas stay independent and can run one-per-worker.
+ */
+
+#ifndef EQUINOX_CLUSTER_ROUTER_HH
+#define EQUINOX_CLUSTER_ROUTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/routing_policy.hh"
+#include "common/types.hh"
+
+namespace equinox
+{
+namespace cluster
+{
+
+/** Returned by Router::pick when no healthy replica exists. */
+constexpr std::size_t kNoReplica = static_cast<std::size_t>(-1);
+
+/** One planned replica outage, in absolute ticks [from, to). */
+struct RouterOutage
+{
+    std::size_t replica = 0;
+    Tick from = 0;
+    Tick to = 0;
+};
+
+/** Everything one routing pass produces. */
+struct RouterResult
+{
+    /** Per-replica candidate arrival ticks (feed RunSpec traces). */
+    std::vector<std::vector<Tick>> traces;
+    /** Candidates assigned per replica (== traces[r].size()). */
+    std::vector<std::uint64_t> assigned;
+    /** Candidates drawn from the global arrival process. */
+    std::uint64_t generated = 0;
+    /** Candidates dropped because every replica was down. */
+    std::uint64_t shed = 0;
+    /** Candidates whose first-choice replica was down (re-routed). */
+    std::uint64_t rerouted = 0;
+};
+
+/** Splits the global arrival stream across replicas by policy. */
+class Router
+{
+  public:
+    /**
+     * @param policy replica-selection strategy
+     * @param replicas replica count (>= 1)
+     * @param service_rate_per_cycle one replica's saturation request
+     *        rate in requests per cycle (feeds the estimators)
+     * @param latency_window sliding window of the latency-aware policy
+     * @param outages planned dead windows the router routes around
+     */
+    Router(RoutingPolicy policy, std::size_t replicas,
+           double service_rate_per_cycle, std::size_t latency_window,
+           std::vector<RouterOutage> outages);
+
+    /**
+     * Draw the global candidate stream and route every candidate.
+     * @param rate_per_cycle aggregate candidate rate in arrivals per
+     *        cycle (bursty peak rate included); <= 0 yields no traffic
+     * @param seed the RunSpec seed the stream replays
+     * @param max_ticks run horizon; generation stops at the first
+     *        candidate beyond it (which is still routed -- the event
+     *        loop dispatches one event past the horizon)
+     */
+    RouterResult route(double rate_per_cycle, std::uint64_t seed,
+                       Tick max_ticks);
+
+    /**
+     * Route one candidate at @p t: updates the estimators and health
+     * view, returns the chosen replica or kNoReplica when every
+     * replica is down. Exposed for unit tests; route() calls this.
+     */
+    std::size_t pick(Tick t);
+
+    /** True when @p replica is inside a planned outage at @p t. */
+    bool alive(std::size_t replica, Tick t) const;
+
+    const std::vector<ReplicaEstimator> &estimators() const
+    {
+        return estimators_;
+    }
+
+    std::uint64_t shedCount() const { return shed_; }
+    std::uint64_t reroutedCount() const { return rerouted_; }
+
+  private:
+    std::size_t pickRoundRobin(Tick t);
+    double metric(std::size_t r) const;
+    std::size_t pickMin(Tick t, bool healthy_only) const;
+
+    RoutingPolicy policy_;
+    std::size_t replicas_;
+    std::vector<ReplicaEstimator> estimators_;
+    std::vector<RouterOutage> outages_;
+    std::size_t rr_next_ = 0;
+    std::uint64_t shed_ = 0;
+    std::uint64_t rerouted_ = 0;
+};
+
+} // namespace cluster
+} // namespace equinox
+
+#endif // EQUINOX_CLUSTER_ROUTER_HH

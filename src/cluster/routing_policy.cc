@@ -1,0 +1,98 @@
+#include "cluster/routing_policy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace cluster
+{
+
+const char *
+routingPolicyName(RoutingPolicy policy)
+{
+    switch (policy) {
+    case RoutingPolicy::RoundRobin:
+        return "round_robin";
+    case RoutingPolicy::JoinShortestQueue:
+        return "join_shortest_queue";
+    case RoutingPolicy::LatencyAware:
+        return "latency_aware";
+    }
+    return "unknown";
+}
+
+std::vector<RoutingPolicy>
+allRoutingPolicies()
+{
+    return {RoutingPolicy::RoundRobin, RoutingPolicy::JoinShortestQueue,
+            RoutingPolicy::LatencyAware};
+}
+
+ReplicaEstimator::ReplicaEstimator(double service_rate_per_cycle,
+                                   std::size_t window)
+    : rate_per_cycle_(service_rate_per_cycle), window_(window)
+{
+    EQX_ASSERT(service_rate_per_cycle > 0.0,
+               "estimator needs a positive service rate");
+    EQX_ASSERT(window > 0, "estimator needs a nonzero window");
+}
+
+void
+ReplicaEstimator::drainTo(Tick now)
+{
+    EQX_ASSERT(now >= last_, "estimator time ran backwards");
+    double drained =
+        static_cast<double>(now - last_) * rate_per_cycle_;
+    backlog_ = backlog_ > drained ? backlog_ - drained : 0.0;
+    last_ = now;
+}
+
+double
+ReplicaEstimator::estimatedLatencyCycles() const
+{
+    // One in-system request occupies the server for 1/mu cycles; a new
+    // arrival waits for the backlog plus its own service.
+    return (backlog_ + 1.0) / rate_per_cycle_;
+}
+
+void
+ReplicaEstimator::assign(Tick now)
+{
+    drainTo(now);
+    recent_.push_back(estimatedLatencyCycles());
+    if (recent_.size() > window_)
+        recent_.pop_front();
+    backlog_ += 1.0;
+    ++assigned_;
+    refreshWindowP99();
+}
+
+void
+ReplicaEstimator::refreshWindowP99()
+{
+    // The window only changes on assignment, so the p99 is refreshed
+    // here once and read for free by every later routing decision.
+    // This runs once per routed request -- a long-horizon stream is
+    // millions of refreshes -- so it reuses a scratch buffer instead
+    // of building a LatencyTracker, while computing bit-for-bit the
+    // same interpolated order statistic LatencyTracker::percentile
+    // defines (the policy contract windowP99() documents).
+    scratch_.assign(recent_.begin(), recent_.end());
+    std::sort(scratch_.begin(), scratch_.end());
+    if (scratch_.size() == 1) {
+        window_p99_ = scratch_.front();
+        return;
+    }
+    double rank = 0.99 * static_cast<double>(scratch_.size() - 1);
+    auto lo_idx = static_cast<std::size_t>(rank);
+    double frac = rank - static_cast<double>(lo_idx);
+    window_p99_ = (frac == 0.0 || lo_idx + 1 >= scratch_.size())
+                      ? scratch_[lo_idx]
+                      : scratch_[lo_idx] * (1.0 - frac) +
+                            scratch_[lo_idx + 1] * frac;
+}
+
+} // namespace cluster
+} // namespace equinox

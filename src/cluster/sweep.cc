@@ -1,0 +1,98 @@
+#include "cluster/sweep.hh"
+
+#include "obs/metrics_snapshot.hh"
+
+namespace equinox
+{
+namespace core
+{
+
+std::vector<cluster::ClusterPointResult>
+runClusterSweep(const sim::AcceleratorConfig &cfg,
+                const cluster::ClusterSpec &cspec,
+                const std::vector<double> &loads,
+                const ExperimentOptions &opts)
+{
+    cluster::Cluster fleet(cfg, cspec);
+    // Compile once per (config, options); every point and every
+    // replica installs copies of the same descriptors. The replicas
+    // inside each point are the parallel dimension (one per worker),
+    // so the points themselves run in input order.
+    CompiledWorkload compiled = compileWorkload(cfg, opts);
+    std::vector<cluster::ClusterPointResult> out;
+    out.reserve(loads.size());
+    for (double load : loads)
+        out.push_back(fleet.run(load, opts, compiled));
+    return out;
+}
+
+void
+addClusterPoint(obs::MetricsSnapshot &snap, const std::string &label,
+                const cluster::ClusterPointResult &r)
+{
+    obs::Json point = obs::Json::object();
+    point["load"] = r.load;
+    point["replicas"] = static_cast<std::uint64_t>(r.replicas);
+    point["policy"] = cluster::routingPolicyName(r.policy);
+
+    point["generated_candidates"] = r.generated_candidates;
+    point["router_shed"] = r.router_shed;
+    point["rerouted"] = r.rerouted;
+
+    point["aggregate_inference_tops"] = r.aggregate_inference_tops;
+    point["aggregate_training_tops"] = r.aggregate_training_tops;
+    point["completed_requests"] = r.completed_requests;
+    point["training_iterations"] = r.training_iterations;
+    point["committed_training_iterations"] =
+        r.committed_training_iterations;
+
+    point["mean_latency_s"] = r.mean_latency_s;
+    point["p50_latency_s"] = r.p50_latency_s;
+    point["p99_latency_s"] = r.p99_latency_s;
+    point["max_latency_s"] = r.max_latency_s;
+    point["merged_samples"] =
+        static_cast<std::uint64_t>(r.merged_latency_cycles.count());
+
+    point["admitted_requests"] = r.admitted_requests;
+    point["retired_requests"] = r.retired_requests;
+    point["inflight_requests"] = r.inflight_requests;
+    point["shed_requests"] = r.shed_requests;
+
+    point["availability"] = r.availability;
+    point["outage_cycles"] = static_cast<std::uint64_t>(r.outage_cycles);
+    if (r.faults.totalFaults() > 0 || r.faults.recoveryEvents() > 0) {
+        obs::Json &faults = point["faults"];
+        faults["total"] = r.faults.totalFaults();
+        faults["recovery_events"] = r.faults.recoveryEvents();
+        faults["downtime_cycles"] =
+            static_cast<std::uint64_t>(r.faults.downtime_cycles);
+    }
+
+    for (const auto &rep : r.per_replica) {
+        obs::Json row = obs::Json::object();
+        row["assigned_candidates"] = rep.assigned_candidates;
+        row["training"] = rep.training;
+        row["completed_requests"] = rep.sim.completed_requests;
+        row["admitted_requests"] = rep.sim.admitted_requests;
+        row["p99_latency_s"] = rep.sim.p99_latency_s;
+        row["inference_tops"] =
+            rep.sim.inference_throughput_ops / 1e12;
+        row["training_tops"] = rep.sim.training_throughput_ops / 1e12;
+        row["availability"] = rep.sim.availability;
+        point["per_replica"]["r" + std::to_string(rep.replica)] =
+            std::move(row);
+    }
+
+    snap.section("cluster")[label].append(std::move(point));
+}
+
+void
+addClusterSweep(obs::MetricsSnapshot &snap, const std::string &label,
+                const std::vector<cluster::ClusterPointResult> &rs)
+{
+    for (const auto &r : rs)
+        addClusterPoint(snap, label, r);
+}
+
+} // namespace core
+} // namespace equinox

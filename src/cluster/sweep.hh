@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Cluster load sweeps wired into the core experiment harness: compile
+ * the workload once (the same CompiledWorkload cache the single-chip
+ * sweeps use), run every load point through a Cluster, and export the
+ * points into a MetricsSnapshot "cluster" section.
+ *
+ * Lives in namespace core beside runLoadSweep -- the cluster layer is
+ * the fleet-scale sibling of that API -- but is built into the
+ * equinox_cluster library, which layers on top of the core one.
+ */
+
+#ifndef EQUINOX_CLUSTER_SWEEP_HH
+#define EQUINOX_CLUSTER_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "core/experiment.hh"
+
+namespace equinox
+{
+namespace core
+{
+
+/**
+ * Run a whole cluster load sweep: the workload compiles once, then
+ * each point routes the global stream and fans its replicas across
+ * opts.jobs workers (one replica per worker). Points run in input
+ * order; results are a pure function of (cfg, cspec, loads, opts).
+ */
+std::vector<cluster::ClusterPointResult> runClusterSweep(
+    const sim::AcceleratorConfig &cfg, const cluster::ClusterSpec &cspec,
+    const std::vector<double> &loads, const ExperimentOptions &opts = {});
+
+/**
+ * Append one cluster point under "cluster.<label>" in @p snap:
+ * routing/aggregate/conservation counters, the exact merged latency
+ * percentiles, per-replica rows, and fault/availability accounting.
+ * Deterministic field order and formatting, like addLoadPoint.
+ */
+void addClusterPoint(obs::MetricsSnapshot &snap, const std::string &label,
+                     const cluster::ClusterPointResult &r);
+
+/** addClusterPoint over a whole sweep, in input order. */
+void addClusterSweep(obs::MetricsSnapshot &snap, const std::string &label,
+                     const std::vector<cluster::ClusterPointResult> &rs);
+
+} // namespace core
+} // namespace equinox
+
+#endif // EQUINOX_CLUSTER_SWEEP_HH

@@ -14,8 +14,6 @@ namespace obs
 namespace
 {
 
-constexpr int kPid = 0;
-
 /**
  * Track (tid) per block name, assigned in first-seen order so the
  * document layout is a pure function of the event stream.
@@ -34,11 +32,12 @@ assignTracks(const std::vector<sim::TraceEvent> &events)
 }
 
 Json
-metadataEvent(const char *name, int tid, const std::string &label)
+metadataEvent(const char *name, int pid, int tid,
+              const std::string &label)
 {
     Json m = Json::object();
     m["ph"] = "M";
-    m["pid"] = kPid;
+    m["pid"] = pid;
     m["tid"] = tid;
     m["name"] = name;
     m["args"]["name"] = label;
@@ -46,13 +45,14 @@ metadataEvent(const char *name, int tid, const std::string &label)
 }
 
 Json
-instantEvent(const sim::TraceEvent &ev, int tid, double us_per_tick)
+instantEvent(const sim::TraceEvent &ev, int pid, int tid,
+             double us_per_tick)
 {
     Json e = Json::object();
     e["name"] = sim::traceEventTypeName(ev.type);
     e["ph"] = "i";
     e["s"] = "t"; // thread-scoped instant
-    e["pid"] = kPid;
+    e["pid"] = pid;
     e["tid"] = tid;
     e["ts"] = static_cast<double>(ev.tick) * us_per_tick;
     e["args"]["tick"] = static_cast<std::uint64_t>(ev.tick);
@@ -67,22 +67,38 @@ instantEvent(const sim::TraceEvent &ev, int tid, double us_per_tick)
  * queue depth in payload `a`, which Perfetto renders as a step graph.
  */
 Json
-counterEvent(const sim::TraceEvent &ev, double us_per_tick)
+counterEvent(const sim::TraceEvent &ev, int pid, double us_per_tick)
 {
     Json e = Json::object();
     e["name"] =
         "pending_requests.svc" + std::to_string(ev.ctx);
     e["ph"] = "C";
-    e["pid"] = kPid;
+    e["pid"] = pid;
     e["ts"] = static_cast<double>(ev.tick) * us_per_tick;
     e["args"]["depth"] = ev.a;
     return e;
 }
 
+/** Shared framing for write()/writeMergedTrace(): one row per line. */
+void
+writeDocument(std::ostream &os, const Json &doc)
+{
+    os << "{\n\"displayTimeUnit\": "
+       << doc.at("displayTimeUnit").dump(-1)
+       << ",\n\"otherData\": " << doc.at("otherData").dump(-1)
+       << ",\n\"traceEvents\": [\n";
+    const auto &rows = doc.at("traceEvents").items();
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        os << rows[i].dump(-1) << (i + 1 < rows.size() ? ",\n" : "\n");
+    os << "]}\n";
+}
+
 } // namespace
 
-ChromeTraceSink::ChromeTraceSink(double frequency_hz, std::size_t cap)
-    : us_per_tick_(1e6 / frequency_hz), cap_(cap)
+ChromeTraceSink::ChromeTraceSink(double frequency_hz, std::size_t cap,
+                                 int pid, std::string process_name)
+    : us_per_tick_(1e6 / frequency_hz), cap_(cap), pid_(pid),
+      process_name_(std::move(process_name))
 {
     EQX_ASSERT(frequency_hz > 0.0, "trace sink needs a positive clock");
 }
@@ -110,16 +126,17 @@ ChromeTraceSink::toJson() const
     auto tids = assignTracks(events_);
     Json &rows = doc["traceEvents"];
     rows = Json::array();
-    rows.append(metadataEvent("process_name", 0, "equinox-sim"));
+    rows.append(metadataEvent("process_name", pid_, 0, process_name_));
     for (const auto &[block, tid] : tids)
-        rows.append(metadataEvent("thread_name", tid, block));
+        rows.append(metadataEvent("thread_name", pid_, tid, block));
     // Events are buffered in dispatch order, so per-track timestamps
     // are monotone by construction (simulated time never runs
     // backwards); the conformance suite checks this invariant.
     for (const auto &ev : events_) {
-        rows.append(instantEvent(ev, tids.at(ev.block), us_per_tick_));
+        rows.append(
+            instantEvent(ev, pid_, tids.at(ev.block), us_per_tick_));
         if (ev.type == sim::TraceEventType::RequestArrival)
-            rows.append(counterEvent(ev, us_per_tick_));
+            rows.append(counterEvent(ev, pid_, us_per_tick_));
     }
     return doc;
 }
@@ -130,15 +147,39 @@ ChromeTraceSink::write(std::ostream &os) const
     // Hand-rolled framing with one compact event per line: a million
     // buffered events serialize without building a giant indented tree,
     // and the result is still a single valid JSON document.
-    Json doc = toJson();
-    os << "{\n\"displayTimeUnit\": "
-       << doc.at("displayTimeUnit").dump(-1)
-       << ",\n\"otherData\": " << doc.at("otherData").dump(-1)
-       << ",\n\"traceEvents\": [\n";
-    const auto &rows = doc.at("traceEvents").items();
-    for (std::size_t i = 0; i < rows.size(); ++i)
-        os << rows[i].dump(-1) << (i + 1 < rows.size() ? ",\n" : "\n");
-    os << "]}\n";
+    writeDocument(os, toJson());
+}
+
+bool
+writeMergedTrace(const std::string &path,
+                 const std::vector<const ChromeTraceSink *> &sinks)
+{
+    Json doc = Json::object();
+    doc["displayTimeUnit"] = "ms";
+    doc["otherData"]["tool"] = "equinox";
+    doc["otherData"]["clock"] = "simulated";
+    std::uint64_t total = 0;
+    std::uint64_t dropped = 0;
+    Json &rows = doc["traceEvents"];
+    rows = Json::array();
+    for (const auto *sink : sinks) {
+        EQX_ASSERT(sink, "null sink in merged trace");
+        total += sink->total();
+        dropped += sink->dropped();
+        Json part = sink->toJson();
+        for (const auto &row : part.at("traceEvents").items())
+            rows.append(row);
+    }
+    doc["otherData"]["events_total"] = total;
+    doc["otherData"]["events_dropped"] = dropped;
+
+    std::ofstream out(path);
+    if (!out) {
+        EQX_WARN("cannot write trace file ", path);
+        return false;
+    }
+    writeDocument(out, doc);
+    return static_cast<bool>(out);
 }
 
 bool

@@ -36,9 +36,16 @@ class ChromeTraceSink : public sim::TraceSink
     /**
      * @param frequency_hz design clock, converts ticks to microseconds
      * @param cap buffered-event bound; drops beyond it are counted
+     * @param pid Chrome trace process id -- one per cluster replica so
+     *        a merged document shows each replica as its own process
+     * @param process_name process_name metadata label for @p pid
+     *
+     * The defaults reproduce the single-accelerator document
+     * byte-identically (pid 0, "equinox-sim").
      */
     explicit ChromeTraceSink(double frequency_hz,
-                             std::size_t cap = 1u << 22);
+                             std::size_t cap = 1u << 22, int pid = 0,
+                             std::string process_name = "equinox-sim");
 
     void record(const sim::TraceEvent &ev) override;
 
@@ -60,10 +67,22 @@ class ChromeTraceSink : public sim::TraceSink
   private:
     double us_per_tick_;
     std::size_t cap_;
+    int pid_;
+    std::string process_name_;
     std::vector<sim::TraceEvent> events_;
     std::uint64_t total_ = 0;
     std::uint64_t dropped_ = 0;
 };
+
+/**
+ * Write one Chrome trace document combining several sinks' events
+ * (e.g. one per cluster replica, each constructed with its own pid).
+ * Rows appear sink by sink in the given order, so the output is a
+ * deterministic function of the sinks regardless of how many workers
+ * produced them. Returns false (with a warning) when unwritable.
+ */
+bool writeMergedTrace(const std::string &path,
+                      const std::vector<const ChromeTraceSink *> &sinks);
 
 /** Fans one event stream out to several sinks (e.g. trace + probe). */
 class MultiSink : public sim::TraceSink

@@ -244,6 +244,10 @@ Accelerator::run(const RunSpec &run_spec)
     }
     res.faults = faults->stats();
     res.availability = faults->stats().availability(elapsed_ticks);
+    res.admitted_requests = requests->requestsAdmitted();
+    res.retired_requests = ctx.completed_total;
+    res.inflight_requests = requests->pendingInferenceWork();
+    res.latency_cycles = latency;
     if (ctx.train) {
         res.committed_training_iterations =
             faults->active() &&

@@ -20,6 +20,7 @@
 #include "isa/program.hh"
 #include "stats/cycle_breakdown.hh"
 #include "stats/fault_stats.hh"
+#include "stats/histogram.hh"
 
 namespace equinox
 {
@@ -88,6 +89,18 @@ struct RunSpec
      * and the run ends when the trace drains.
      */
     std::vector<double> arrival_trace_s;
+    /**
+     * Explicit arrival-candidate trace for service 0 in clock cycles
+     * (ascending); when non-empty it replaces service 0's stochastic
+     * inter-arrival draws but keeps everything else -- chained
+     * scheduling, bursty thinning, shedding -- so a run fed the exact
+     * candidate ticks a stochastic run would have drawn is
+     * byte-identical to it. This is the cluster router's feed: the
+     * router splits one global arrival stream into per-replica traces.
+     * Unlike arrival_trace_s (scheduled up front, thinning skipped),
+     * entries here are candidates, not admissions.
+     */
+    std::vector<Tick> arrival_trace_ticks;
     /** Requests completed before measurement starts. */
     std::uint64_t warmup_requests = 200;
     /** Minimum simulated warmup time (both conditions must hold). */
@@ -165,6 +178,24 @@ struct SimResult
     std::uint64_t committed_training_iterations = 0;
     /** Every injected fault, in injection order (determinism checks). */
     std::vector<fault::FaultRecord> fault_trace;
+
+    // -- run-total conservation counters (whole run, not just the
+    // -- measured window; the cluster property tests check that
+    // -- admitted == retired + inflight at the horizon) ----------------
+    /** Requests admitted past shedding into pending queues (run total). */
+    std::uint64_t admitted_requests = 0;
+    /** Requests whose batches completed the datapath (run total). */
+    std::uint64_t retired_requests = 0;
+    /** Requests still pending or in unfinished batches at the horizon. */
+    std::uint64_t inflight_requests = 0;
+
+    /**
+     * Raw measured-window per-request latencies in cycles. Carried so a
+     * cluster merge can compute exact percentiles over the concatenated
+     * per-replica samples instead of approximating from the derived
+     * quantiles above.
+     */
+    stats::LatencyTracker latency_cycles;
 };
 
 } // namespace sim

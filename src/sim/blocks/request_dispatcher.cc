@@ -38,6 +38,7 @@ RequestDispatcher::resetRun()
     batches_incomplete = 0;
     batch_fill_sum = 0.0;
     requests_admitted = 0;
+    trace_pos = 0;
 }
 
 void
@@ -88,6 +89,18 @@ RequestDispatcher::registerStats(stats::StatRegistry &reg)
 void
 RequestDispatcher::beginRun()
 {
+    if (!ctx.spec.arrival_trace_ticks.empty()) {
+        EQX_ASSERT(!ctx.services.empty(),
+                   "arrival trace needs an inference service");
+        EQX_ASSERT(ctx.spec.arrival_trace_s.empty(),
+                   "arrival_trace_ticks and arrival_trace_s are "
+                   "mutually exclusive");
+        Tick prev = 0;
+        for (Tick t : ctx.spec.arrival_trace_ticks) {
+            EQX_ASSERT(t >= prev, "tick trace must be ascending");
+            prev = t;
+        }
+    }
     ctx.inference_load = false;
     for (std::size_t i = 0; i < ctx.services.size(); ++i) {
         auto &svc = *ctx.services[i];
@@ -103,6 +116,8 @@ RequestDispatcher::beginRun()
         }
         svc.rate_per_cycle = rate / ctx.cfg.frequency_hz;
         ctx.inference_load = ctx.inference_load || rate > 0.0;
+        if (i == 0 && !ctx.spec.arrival_trace_ticks.empty())
+            ctx.inference_load = true;
         scheduleNextArrival(i);
     }
 
@@ -128,6 +143,20 @@ RequestDispatcher::scheduleNextArrival(std::size_t svc_idx)
     auto &svc = *ctx.services[svc_idx];
     if (!ctx.spec.arrival_trace_s.empty() && svc_idx == 0)
         return; // trace playback schedules arrivals up front
+    if (!ctx.spec.arrival_trace_ticks.empty() && svc_idx == 0) {
+        // Chained tick-trace playback: the handler for one candidate
+        // schedules the next, exactly where the stochastic modes
+        // draw-and-schedule, so the event insertion sequence (and thus
+        // same-tick FIFO order) matches a stochastic run that drew the
+        // same candidate ticks. Bursty thinning and shedding still
+        // apply at arrival time, also mirroring the stochastic path.
+        if (ctx.stopping ||
+            trace_pos >= ctx.spec.arrival_trace_ticks.size())
+            return;
+        ctx.events.schedule(ctx.spec.arrival_trace_ticks[trace_pos++],
+                            [this] { onRequestArrival(0); });
+        return;
+    }
     if (svc.rate_per_cycle <= 0.0 || ctx.stopping)
         return;
     // Bursty mode samples candidates at the peak rate and thins them to

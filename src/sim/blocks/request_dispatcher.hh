@@ -53,6 +53,9 @@ class RequestDispatcher : public SimBlock
     /** Raw requests + unfinished batched requests in the pipeline. */
     std::uint64_t pendingInferenceWork() const;
 
+    /** Requests admitted past shedding (run total). */
+    std::uint64_t requestsAdmitted() const { return requests_admitted; }
+
     // -- measured-window batch-formation tallies ------------------------
     std::uint64_t batchesFormed() const { return batches_formed; }
     std::uint64_t batchesIncomplete() const { return batches_incomplete; }
@@ -80,6 +83,9 @@ class RequestDispatcher : public SimBlock
 
     // run totals (observability only)
     std::uint64_t requests_admitted = 0;
+
+    /** Next unplayed entry of spec.arrival_trace_ticks (service 0). */
+    std::size_t trace_pos = 0;
 };
 
 } // namespace sim

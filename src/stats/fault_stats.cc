@@ -32,6 +32,26 @@ FaultStats::availability(Tick elapsed_cycles) const
 }
 
 void
+FaultStats::merge(const FaultStats &other)
+{
+    dram_corrected += other.dram_corrected;
+    dram_uncorrectable += other.dram_uncorrectable;
+    host_drops += other.host_drops;
+    host_corruptions += other.host_corruptions;
+    mmu_hangs += other.mmu_hangs;
+    host_retries += other.host_retries;
+    host_give_ups += other.host_give_ups;
+    watchdog_resets += other.watchdog_resets;
+    checkpoints_written += other.checkpoints_written;
+    rollbacks += other.rollbacks;
+    lost_training_iterations += other.lost_training_iterations;
+    shed_requests += other.shed_requests;
+    storms_entered += other.storms_entered;
+    downtime_cycles += other.downtime_cycles;
+    recovery_cycles.merge(other.recovery_cycles);
+}
+
+void
 FaultStats::reset()
 {
     *this = FaultStats{};

@@ -58,6 +58,13 @@ struct FaultStats
     /** Fraction of @p elapsed_cycles the machine was serving. */
     double availability(Tick elapsed_cycles) const;
 
+    /**
+     * Accumulate another run's (or replica's) counters into this one.
+     * downtime_cycles adds too: for a cluster, divide the merged
+     * downtime by replicas x elapsed when deriving fleet availability.
+     */
+    void merge(const FaultStats &other);
+
     void reset();
 };
 

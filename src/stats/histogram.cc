@@ -83,6 +83,28 @@ LatencyTracker::percentile(double p) const
 }
 
 void
+LatencyTracker::merge(const LatencyTracker &other)
+{
+    // Self-merge would otherwise read the vector being appended to
+    // (iterators invalidate on reallocation): duplicate via a copy.
+    if (&other == this) {
+        std::vector<double> copy = samples;
+        samples.insert(samples.end(), copy.begin(), copy.end());
+        sum += sum;
+        nan_rejected += nan_rejected;
+        if (!copy.empty())
+            sorted = false;
+        return;
+    }
+    samples.insert(samples.end(), other.samples.begin(),
+                   other.samples.end());
+    sum += other.sum;
+    nan_rejected += other.nan_rejected;
+    if (!other.samples.empty())
+        sorted = false;
+}
+
+void
 LatencyTracker::reset()
 {
     samples.clear();

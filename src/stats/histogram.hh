@@ -50,6 +50,20 @@ class LatencyTracker
      */
     double percentile(double p) const;
 
+    /**
+     * Fold another tracker's samples into this one. Equivalent to
+     * having record()ed every one of @p other's samples here: the
+     * merged percentiles are exact order statistics of the concatenated
+     * sample sets, never an approximation from the parts' quantiles.
+     * Sums are added directly rather than recombining means, so an
+     * empty contributor cannot poison the merged mean the way a
+     * zero-weight neighbour poisoned exact-rank percentiles (0 * inf).
+     */
+    void merge(const LatencyTracker &other);
+
+    /** The raw sample buffer (unspecified order; tests and merges). */
+    const std::vector<double> &rawSamples() const { return samples; }
+
     /** Drop all samples. */
     void reset();
 

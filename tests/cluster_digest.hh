@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Digest folds for the cluster layer, layered on the shared
+ * sim_digest.hh machinery. test_cluster_differential compares these
+ * against the single-accelerator folds (1-replica byte-identity) and
+ * against themselves across jobs counts (parallel fan-out identity),
+ * so every field of a ClusterPointResult folds here in a fixed order.
+ */
+
+#ifndef EQUINOX_TESTS_CLUSTER_DIGEST_HH
+#define EQUINOX_TESTS_CLUSTER_DIGEST_HH
+
+#include "cluster/cluster.hh"
+#include "sim_digest.hh"
+
+namespace equinox
+{
+namespace testutil
+{
+
+/** Fold one cluster point: router, aggregates, merge, per-replica. */
+inline void
+foldClusterPoint(ResultDigest &dg, const cluster::ClusterPointResult &r)
+{
+    dg.d(r.load);
+    dg.u64(r.replicas);
+    dg.u64(static_cast<std::uint64_t>(r.policy));
+    dg.u64(r.generated_candidates);
+    dg.u64(r.router_shed);
+    dg.u64(r.rerouted);
+    dg.d(r.aggregate_inference_ops);
+    dg.d(r.aggregate_training_ops);
+    dg.d(r.aggregate_inference_tops);
+    dg.d(r.aggregate_training_tops);
+    dg.u64(r.completed_requests);
+    dg.u64(r.training_iterations);
+    dg.u64(r.committed_training_iterations);
+    dg.u64(r.merged_latency_cycles.count());
+    dg.d(r.merged_latency_cycles.mean());
+    dg.d(r.mean_latency_s);
+    dg.d(r.p50_latency_s);
+    dg.d(r.p99_latency_s);
+    dg.d(r.max_latency_s);
+    dg.u64(r.admitted_requests);
+    dg.u64(r.retired_requests);
+    dg.u64(r.inflight_requests);
+    dg.u64(r.shed_requests);
+    dg.u64(r.faults.totalFaults());
+    dg.u64(r.faults.recoveryEvents());
+    dg.u64(r.faults.downtime_cycles);
+    dg.u64(r.outage_cycles);
+    dg.d(r.availability);
+    for (const auto &rep : r.per_replica) {
+        dg.u64(rep.replica);
+        dg.u64(rep.assigned_candidates);
+        dg.u64(rep.training ? 1 : 0);
+        foldSim(dg, rep.sim);
+        dg.u64(rep.sim.admitted_requests);
+        dg.u64(rep.sim.retired_requests);
+        dg.u64(rep.sim.inflight_requests);
+        dg.u64(rep.sim.latency_cycles.count());
+    }
+}
+
+inline std::uint64_t
+digestOf(const cluster::ClusterPointResult &r)
+{
+    ResultDigest dg;
+    foldClusterPoint(dg, r);
+    return dg.value();
+}
+
+inline std::uint64_t
+digestOf(const std::vector<cluster::ClusterPointResult> &rs)
+{
+    ResultDigest dg;
+    dg.u64(rs.size());
+    for (const auto &r : rs)
+        foldClusterPoint(dg, r);
+    return dg.value();
+}
+
+} // namespace testutil
+} // namespace equinox
+
+#endif // EQUINOX_TESTS_CLUSTER_DIGEST_HH

@@ -252,6 +252,186 @@ TEST(Table, NumFormatting)
     EXPECT_EQ(Table::num(2.0, 0), "2");
 }
 
+TEST(LatencyTrackerMerge, ExactlyEqualsConcatenation)
+{
+    // Merged percentiles must be order statistics of the concatenated
+    // sample sets -- bit-for-bit what record()ing every sample into one
+    // tracker yields, never a recombination of the parts' quantiles.
+    Rng rng(7);
+    LatencyTracker a, b, concat;
+    for (int i = 0; i < 257; ++i) {
+        double s = rng.exponential(0.01);
+        a.record(s);
+        concat.record(s);
+    }
+    for (int i = 0; i < 63; ++i) {
+        double s = rng.exponential(0.1);
+        b.record(s);
+        concat.record(s);
+    }
+    a.merge(b);
+    ASSERT_EQ(a.count(), concat.count());
+    for (double p : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_EQ(a.percentile(p), concat.percentile(p)) << "p" << p;
+    EXPECT_EQ(a.min(), concat.min());
+    EXPECT_EQ(a.max(), concat.max());
+    EXPECT_DOUBLE_EQ(a.mean(), concat.mean());
+}
+
+TEST(LatencyTrackerMerge, EmptyContributorCannotPoisonTheMean)
+{
+    // The zero-weight-neighbour class of bug (PR 4): combining parts
+    // via weighted means multiplies an empty part's 0 count into its
+    // mean -- 0 * (0/0) = NaN -- and one empty replica would poison the
+    // fleet. merge() adds raw sums instead, so an empty contributor is
+    // exactly a no-op.
+    LatencyTracker full, empty;
+    full.record(10.0);
+    full.record(30.0);
+    full.merge(empty);
+    EXPECT_EQ(full.count(), 2u);
+    EXPECT_DOUBLE_EQ(full.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(full.percentile(0.5), 20.0);
+
+    // Merging INTO an empty tracker is a plain copy of the samples.
+    empty.merge(full);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 20.0);
+
+    // Both empty stays empty (and every statistic stays finite).
+    LatencyTracker e1, e2;
+    e1.merge(e2);
+    EXPECT_EQ(e1.count(), 0u);
+    EXPECT_DOUBLE_EQ(e1.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(e1.percentile(0.99), 0.0);
+}
+
+TEST(LatencyTrackerMerge, InfiniteSamplesMergeAsOrderedValues)
+{
+    LatencyTracker a, b;
+    a.record(1.0);
+    b.record(std::numeric_limits<double>::infinity());
+    b.record(2.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_TRUE(std::isinf(a.max()));
+    EXPECT_TRUE(std::isinf(a.percentile(1.0)));
+    EXPECT_DOUBLE_EQ(a.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(a.percentile(0.5), 2.0);
+}
+
+TEST(LatencyTrackerMerge, CarriesNanRejectionCounts)
+{
+    LatencyTracker a, b;
+    a.record(std::nan(""));
+    a.record(1.0);
+    b.record(std::nan(""));
+    b.record(std::nan(""));
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.nanRejected(), 3u);
+}
+
+TEST(LatencyTrackerMerge, SelfMergeDoublesTheSamples)
+{
+    LatencyTracker t;
+    t.record(1.0);
+    t.record(3.0);
+    t.merge(t);
+    EXPECT_EQ(t.count(), 4u);
+    EXPECT_DOUBLE_EQ(t.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(t.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(t.percentile(1.0), 3.0);
+}
+
+TEST(LatencyTrackerMerge, MergeAfterQueryStaysSorted)
+{
+    // merge() appends to a lazily-sorted buffer; a query between
+    // merges must not freeze a stale sort.
+    LatencyTracker a, b;
+    a.record(10.0);
+    EXPECT_DOUBLE_EQ(a.percentile(0.5), 10.0); // sorts a
+    b.record(0.0);
+    b.record(20.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(a.percentile(1.0), 20.0);
+    EXPECT_DOUBLE_EQ(a.percentile(0.5), 10.0);
+}
+
+} // namespace
+} // namespace stats
+} // namespace equinox
+
+// Appended: fault-statistics merge tests (the cluster result merge).
+
+#include "stats/fault_stats.hh"
+
+namespace equinox
+{
+namespace stats
+{
+namespace
+{
+
+TEST(FaultStatsMerge, AccumulatesEveryCounter)
+{
+    FaultStats a, b;
+    a.dram_corrected = 1;
+    a.mmu_hangs = 2;
+    a.watchdog_resets = 1;
+    a.downtime_cycles = 100;
+    a.recovery_cycles.record(50.0);
+
+    b.dram_corrected = 10;
+    b.dram_uncorrectable = 3;
+    b.host_drops = 4;
+    b.host_corruptions = 5;
+    b.mmu_hangs = 6;
+    b.host_retries = 7;
+    b.host_give_ups = 8;
+    b.watchdog_resets = 9;
+    b.checkpoints_written = 10;
+    b.rollbacks = 11;
+    b.lost_training_iterations = 12;
+    b.shed_requests = 13;
+    b.storms_entered = 14;
+    b.downtime_cycles = 900;
+    b.recovery_cycles.record(150.0);
+
+    a.merge(b);
+    EXPECT_EQ(a.dram_corrected, 11u);
+    EXPECT_EQ(a.dram_uncorrectable, 3u);
+    EXPECT_EQ(a.host_drops, 4u);
+    EXPECT_EQ(a.host_corruptions, 5u);
+    EXPECT_EQ(a.mmu_hangs, 8u);
+    EXPECT_EQ(a.host_retries, 7u);
+    EXPECT_EQ(a.host_give_ups, 8u);
+    EXPECT_EQ(a.watchdog_resets, 10u);
+    EXPECT_EQ(a.checkpoints_written, 10u);
+    EXPECT_EQ(a.rollbacks, 11u);
+    EXPECT_EQ(a.lost_training_iterations, 12u);
+    EXPECT_EQ(a.shed_requests, 13u);
+    EXPECT_EQ(a.storms_entered, 14u);
+    EXPECT_EQ(a.downtime_cycles, 1000u);
+    EXPECT_EQ(a.recovery_cycles.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.recovery_cycles.mean(), 100.0);
+    EXPECT_EQ(a.totalFaults(), b.totalFaults() + 1 + 2);
+}
+
+TEST(FaultStatsMerge, MergingZeroRecordIsANoOp)
+{
+    FaultStats a, zero;
+    a.mmu_hangs = 3;
+    a.downtime_cycles = 70;
+    a.recovery_cycles.record(10.0);
+    a.merge(zero);
+    EXPECT_EQ(a.mmu_hangs, 3u);
+    EXPECT_EQ(a.downtime_cycles, 70u);
+    EXPECT_EQ(a.recovery_cycles.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.recovery_cycles.mean(), 10.0);
+}
+
 } // namespace
 } // namespace stats
 } // namespace equinox
