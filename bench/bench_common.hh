@@ -239,6 +239,25 @@ class Harness
         core::addClusterSweep(metrics_, label, rs);
     }
 
+    /**
+     * Attach one headline number to the artefact's perf record:
+     * finish() writes every note under `notes.<key>` in
+     * BENCH_<artifact>.json, so per-bench acceptance figures (e.g.
+     * availability gained by a mechanism) are recorded run over run
+     * alongside the fixed schema fields.
+     */
+    void
+    note(const std::string &key, double value)
+    {
+        notes_[key] = value;
+    }
+
+    void
+    note(const std::string &key, std::uint64_t value)
+    {
+        notes_[key] = value;
+    }
+
     /** Record wall clock + event totals and emit BENCH_<artifact>.json. */
     void
     finish()
@@ -274,6 +293,8 @@ class Harness
         record["latency_max_ms"] = point_max_ms_.max();
         record["ops_rate_tops"] = peak_tops_;
         record["train_rate_tops"] = peak_train_tops_;
+        if (notes_.size() > 0)
+            record["notes"] = notes_;
 
         std::string path = "BENCH_" + artifact_ + ".json";
         std::ofstream out(path);
@@ -298,6 +319,7 @@ class Harness
     bool finished_ = false;
 
     obs::MetricsSnapshot metrics_;
+    obs::Json notes_ = obs::Json::object();
     stats::LatencyTracker point_p50_ms_;
     stats::LatencyTracker point_p99_ms_;
     stats::LatencyTracker point_max_ms_;

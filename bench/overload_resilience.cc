@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Overload-resilience characterisation of the Equinox_500us fleet: the
+ * control plane (admission, retry budgets, hedging, circuit breakers)
+ * against seeded chaos scenarios, versus the shed-only baseline.
+ *
+ * Four sections:
+ *   1. the acceptance scenario: flash crowd + fleet-wide blackout +
+ *      latency storms at equal offered load, shed-only baseline vs the
+ *      full control plane -- inference availability and goodput must
+ *      come out strictly higher with the control plane on,
+ *   2. admission policies side by side under a flash crowd,
+ *   3. retry budget + breakers riding out replica churn,
+ *   4. hedging against latency skew.
+ *
+ * Headline numbers land in BENCH_overload_resilience.json under
+ * `notes.*`; the full per-point counters go to the metrics snapshot
+ * `resilience.*` sections (EXPERIMENTS.md documents both).
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "cluster/cluster.hh"
+#include "cluster/sweep.hh"
+#include "core/equinox.hh"
+#include "fault/chaos_plan.hh"
+
+using namespace equinox;
+
+namespace
+{
+
+constexpr double kHorizonS = 0.25;
+constexpr std::size_t kReplicas = 4;
+constexpr double kLoad = 0.8;
+constexpr double kBackgroundFraction = 0.3;
+// SLO for goodput accounting: requests retired within this wall time
+// count, the rest are waste. Batching floors the latency near ~1 ms at
+// this design point, so 8 ms separates "healthy" from "backlogged".
+constexpr double kDeadlineS = 8e-3;
+
+core::ExperimentOptions
+baseOptions(std::size_t jobs)
+{
+    core::ExperimentOptions opts;
+    opts.train_model = workload::DnnModel::lstm2048();
+    opts.warmup_requests = 100;
+    // Measure the whole chaos horizon: the interesting windows sit
+    // mid-run, so the measured window must not close early.
+    opts.measure_requests = 1u << 30;
+    opts.min_measure_s = kHorizonS;
+    opts.max_sim_s = kHorizonS;
+    opts.jobs = jobs;
+    return opts;
+}
+
+/** The shed-only baseline: priority tags and the deadline for equal
+ *  accounting, every resilience mechanism off. */
+cluster::ResilienceSpec
+baselineSpec(Tick deadline_cycles)
+{
+    cluster::ResilienceSpec rs;
+    rs.admission.policy = cluster::AdmissionPolicy::None;
+    rs.admission.background_fraction = kBackgroundFraction;
+    rs.admission.deadline_cycles = deadline_cycles;
+    return rs;
+}
+
+/** The full control plane. */
+cluster::ResilienceSpec
+resilientSpec(Tick deadline_cycles, double frequency_hz)
+{
+    cluster::ResilienceSpec rs = baselineSpec(deadline_cycles);
+    rs.admission.policy = cluster::AdmissionPolicy::PriorityShed;
+    // Background sheds as soon as the fleet backs up; inference only
+    // at an extreme backlog, so admission never spends inference
+    // availability that queueing could have preserved.
+    rs.admission.background_watermark = 2.0;
+    rs.admission.inference_watermark = 1e6;
+    rs.retry.enabled = true;
+    rs.retry.max_attempts = 6;
+    // Budget sized Finagle-style at ~20% of the run's request volume:
+    // enough to replay a fleet-wide blackout's arrivals, still a hard
+    // bound against retry storms.
+    rs.retry.max_budget = 65536.0;
+    rs.retry.budget_ratio = 0.2;
+    rs.retry.base_backoff_cycles =
+        static_cast<Tick>(1e-3 * frequency_hz); // 1 ms, doubling
+    rs.retry.backoff_multiplier = 2.0;
+    rs.retry.jitter_frac = 0.25;
+    // Hedge-after-p99: duplicate any dispatch whose predicted latency
+    // lands beyond the recent window's p99.
+    rs.hedge.enabled = true;
+    rs.hedge.latency_factor = 1.0;
+    rs.hedge.window = 256;
+    rs.hedge.min_samples = 64;
+    rs.hedge.max_hedge_fraction = 0.01;
+    rs.breaker.enabled = true;
+    rs.breaker.trip_failures = 4;
+    rs.breaker.probe_interval_cycles =
+        static_cast<Tick>(0.2e-3 * frequency_hz);
+    rs.breaker.cooldown_cycles =
+        static_cast<Tick>(0.5e-3 * frequency_hz);
+    rs.breaker.halfopen_probes = 2;
+    rs.shed_training_under_overload = true;
+    rs.training_shed_backlog = 4.0;
+    return rs;
+}
+
+std::string
+pct(double v)
+{
+    return bench::num(v * 100.0, 2) + "%";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+    bench::Harness harness(
+        argc, argv, "overload_resilience", "Overload resilience",
+        "admission control, retry budgets, hedging, and circuit "
+        "breakers under seeded cluster chaos");
+    const std::size_t jobs = harness.jobs();
+
+    auto cfg = core::presetConfig(core::Preset::Us500,
+                                  arith::Encoding::Hbfp8, jobs);
+    auto opts = baseOptions(jobs);
+    auto compiled = core::compileWorkload(cfg, opts);
+    const Tick deadline =
+        static_cast<Tick>(kDeadlineS * cfg.frequency_hz);
+
+    // ------------------------------------------------------------------
+    bench::section(
+        "1. acceptance: flash crowd + fleet blackout + storms at load " +
+        bench::num(kLoad, 2) + " -- shed-only baseline vs control plane");
+    {
+        stats::Table table({"mode", "infer avail", "req avail",
+                            "goodput (req/s)", "deadline met",
+                            "p99 (ms)", "shed", "retried", "hedged",
+                            "breaker opens"});
+        auto runMode = [&](const char *mode,
+                           const cluster::ResilienceSpec &rspec) {
+            cluster::ClusterSpec cspec;
+            cspec.replicas = kReplicas;
+            cspec.policy = cluster::RoutingPolicy::JoinShortestQueue;
+            cspec.train_replicas = 2;
+            cspec.resilience = rspec;
+            cspec.chaos =
+                fault::chaosScenario("flash_crowd_outage", kHorizonS);
+            cluster::Cluster fleet(cfg, cspec);
+            auto r = fleet.run(kLoad, opts, compiled);
+            const auto &s = r.resilience;
+            table.addRow({mode, pct(r.inference_availability),
+                          pct(r.request_availability),
+                          bench::num(r.goodput_rps, 0),
+                          std::to_string(r.deadline_met),
+                          bench::num(r.p99_latency_s * 1e3, 3),
+                          std::to_string(s.totalShed()),
+                          std::to_string(s.retry_recovered),
+                          std::to_string(s.hedges_issued),
+                          std::to_string(s.breaker_opens)});
+            harness.recordClusterPoint(r);
+            core::addResiliencePoint(harness.metrics(), mode, r);
+            return r;
+        };
+        auto base = runMode("shed_only", baselineSpec(deadline));
+        auto resilient = runMode(
+            "control_plane", resilientSpec(deadline, cfg.frequency_hz));
+        table.print(std::cout);
+
+        double avail_gain =
+            resilient.inference_availability - base.inference_availability;
+        double goodput_gain = base.goodput_rps > 0.0
+                                  ? resilient.goodput_rps /
+                                            base.goodput_rps -
+                                        1.0
+                                  : 0.0;
+        std::printf("control plane: %+.2f pp inference availability, "
+                    "%+.1f%% goodput at equal offered load%s\n",
+                    avail_gain * 100.0, goodput_gain * 100.0,
+                    (avail_gain > 0.0 && goodput_gain > 0.0)
+                        ? ""
+                        : "  ** REGRESSION **");
+        harness.note("baseline_inference_availability",
+                     base.inference_availability);
+        harness.note("resilient_inference_availability",
+                     resilient.inference_availability);
+        harness.note("baseline_goodput_rps", base.goodput_rps);
+        harness.note("resilient_goodput_rps", resilient.goodput_rps);
+        harness.note("inference_availability_gain", avail_gain);
+        harness.note("goodput_gain_frac", goodput_gain);
+    }
+
+    // ------------------------------------------------------------------
+    bench::section("2. admission policies under a flash crowd (no "
+                   "outage), load " + bench::num(kLoad, 2));
+    {
+        stats::Table table({"admission", "infer avail", "goodput (req/s)",
+                            "shed rate", "shed queue", "shed bg",
+                            "shed infer", "deadline missed", "p99 (ms)"});
+        std::vector<cluster::ClusterPointResult> points;
+        for (auto policy : cluster::allAdmissionPolicies()) {
+            cluster::ResilienceSpec rs = baselineSpec(deadline);
+            rs.admission.policy = policy;
+            rs.admission.rate_factor = 1.0;
+            rs.admission.burst = 64.0;
+            rs.admission.target_backlog = 8.0;
+            rs.admission.interval_cycles =
+                static_cast<Tick>(0.5e-3 * cfg.frequency_hz);
+            rs.admission.background_watermark = 2.0;
+            rs.admission.inference_watermark = 16.0;
+            cluster::ClusterSpec cspec;
+            cspec.replicas = kReplicas;
+            cspec.policy = cluster::RoutingPolicy::JoinShortestQueue;
+            cspec.resilience = rs;
+            cspec.chaos = fault::chaosScenario("flash_crowd", kHorizonS);
+            cluster::Cluster fleet(cfg, cspec);
+            auto r = fleet.run(kLoad, opts, compiled);
+            const auto &a = r.resilience.admission;
+            table.addRow({cluster::admissionPolicyName(policy),
+                          pct(r.inference_availability),
+                          bench::num(r.goodput_rps, 0),
+                          std::to_string(a.shed_rate_limited),
+                          std::to_string(a.shed_queue),
+                          std::to_string(a.shed_background),
+                          std::to_string(a.shed_inference),
+                          std::to_string(a.deadline_missed),
+                          bench::num(r.p99_latency_s * 1e3, 3)});
+            core::addResiliencePoint(
+                harness.metrics(),
+                std::string("admission_") +
+                    cluster::admissionPolicyName(policy),
+                r);
+            points.push_back(std::move(r));
+        }
+        table.print(std::cout);
+        std::printf("priority shedding steers the overload onto "
+                    "background work; CoDel holds the backlog near "
+                    "target\n");
+        harness.recordClusterSweep("admission_policies", points);
+    }
+
+    // ------------------------------------------------------------------
+    bench::section("3. retry budget + breakers across a fleet-wide "
+                   "blackout (rack_blackout), load 0.7");
+    {
+        stats::Table table({"mode", "req avail", "outage shed",
+                            "retried ok", "retry shed",
+                            "budget dry", "breaker opens", "p99 (ms)"});
+        for (bool resilient : {false, true}) {
+            cluster::ResilienceSpec rs = baselineSpec(deadline);
+            if (resilient) {
+                rs = resilientSpec(deadline, cfg.frequency_hz);
+                rs.admission.policy = cluster::AdmissionPolicy::None;
+                rs.hedge.enabled = false;
+            }
+            cluster::ClusterSpec cspec;
+            cspec.replicas = kReplicas;
+            cspec.policy = cluster::RoutingPolicy::RoundRobin;
+            cspec.resilience = rs;
+            cspec.chaos =
+                fault::chaosScenario("rack_blackout", kHorizonS);
+            cluster::Cluster fleet(cfg, cspec);
+            auto r = fleet.run(0.7, opts, compiled);
+            const auto &s = r.resilience;
+            table.addRow({resilient ? "retries+breakers" : "shed_only",
+                          pct(r.request_availability),
+                          std::to_string(s.outage_shed),
+                          std::to_string(s.retry_recovered),
+                          std::to_string(s.retry_shed),
+                          std::to_string(s.retry_budget_exhausted),
+                          std::to_string(s.breaker_opens),
+                          bench::num(r.p99_latency_s * 1e3, 3)});
+            core::addResiliencePoint(
+                harness.metrics(),
+                resilient ? "blackout_resilient" : "blackout_baseline",
+                r);
+            harness.recordClusterPoint(r);
+        }
+        table.print(std::cout);
+        std::printf("backoff spans the blackout, so bounded retries "
+                    "recover what the shed-only router drops\n");
+    }
+
+    // ------------------------------------------------------------------
+    bench::section("4. hedging against churn-induced queue skew, "
+                   "round-robin routing, load 0.7");
+    {
+        stats::Table table({"mode", "hedges", "hedge wins", "p99 (ms)",
+                            "goodput (req/s)"});
+        for (bool hedged : {false, true}) {
+            cluster::ResilienceSpec rs = baselineSpec(deadline);
+            rs.hedge.enabled = hedged;
+            rs.hedge.latency_factor = 1.0;
+            rs.hedge.window = 256;
+            rs.hedge.min_samples = 64;
+            cluster::ClusterSpec cspec;
+            cspec.replicas = kReplicas;
+            // Round-robin keeps feeding deep queues after an outage
+            // shifts load, which is exactly the estimate skew hedging
+            // exists to cover.
+            cspec.policy = cluster::RoutingPolicy::RoundRobin;
+            cspec.resilience = rs;
+            cspec.chaos =
+                fault::chaosScenario("replica_churn", kHorizonS);
+            cluster::Cluster fleet(cfg, cspec);
+            auto r = fleet.run(0.7, opts, compiled);
+            table.addRow({hedged ? "hedged" : "unhedged",
+                          std::to_string(r.resilience.hedges_issued),
+                          std::to_string(r.resilience.hedge_wins),
+                          bench::num(r.p99_latency_s * 1e3, 3),
+                          bench::num(r.goodput_rps, 0)});
+            core::addResiliencePoint(harness.metrics(),
+                                     hedged ? "churn_hedged"
+                                            : "churn_unhedged",
+                                     r);
+            harness.recordClusterPoint(r);
+        }
+        table.print(std::cout);
+        std::printf("hedges fire on transient estimate skew; first-wins "
+                    "accounting credits the faster copy\n");
+    }
+
+    harness.finish();
+    return 0;
+}

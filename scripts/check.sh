@@ -10,9 +10,15 @@
 #                                # "parallel"-labelled sweep-engine tests
 #   scripts/check.sh --coverage  # build+test the coverage preset, then
 #                                # print per-directory line coverage and
-#                                # fail if src/obs/ or src/cluster/ is
-#                                # below 90%
+#                                # fail if src/obs/, src/cluster/, or
+#                                # src/fault/ is below 90%
+#   scripts/check.sh --resilience # only the overload-resilience
+#                                # control-plane + chaos suites
 #   scripts/check.sh --format    # only run the clang-format check
+#
+# The "resilience" ctest label is a subset of tier1, so the default run
+# (and the asan/tsan presets, via the tier1/parallel labels) already
+# exercises the control-plane suites; --resilience is the fast loop.
 #
 # Exits nonzero on the first failure.
 
@@ -70,15 +76,19 @@ case "${1:-}" in
     run_format_check
     run_preset coverage
     echo "check.sh: per-directory line coverage" \
-         "(gates: src/obs, src/cluster >= 90%)"
+         "(gates: src/obs, src/cluster, src/fault >= 90%)"
     python3 scripts/coverage_report.py build-coverage
+    ;;
+  --resilience)
+    run_preset default resilience
     ;;
   "")
     run_format_check
     run_preset default
     ;;
   *)
-    echo "usage: scripts/check.sh [--asan|--tsan|--coverage|--format]" >&2
+    echo "usage: scripts/check.sh" \
+         "[--asan|--tsan|--coverage|--resilience|--format]" >&2
     exit 2
     ;;
 esac

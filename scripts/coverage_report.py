@@ -7,9 +7,10 @@ translation units (a header line is covered if ANY including TU ran
 it), and prints a per-directory table of line coverage under src/.
 
 Exits nonzero when a gated directory falls below its gate (default:
-src/obs and src/cluster at 90% lines), so `scripts/check.sh --coverage`
-fails the build instead of silently shipping untested export or
-fleet-simulation code.
+src/obs, src/cluster, and src/fault at 90% lines), so
+`scripts/check.sh --coverage` fails the build instead of silently
+shipping untested export, fleet-simulation, or resilience
+control-plane code.
 
 Usage: scripts/coverage_report.py [build_dir] [--gate-dir src/obs]...
                                   [--gate-pct 90]
@@ -90,10 +91,11 @@ def main():
     ap.add_argument("build_dir", nargs="?", default="build-coverage")
     ap.add_argument("--gate-dir", action="append", default=None,
                     help="directory that must clear --gate-pct "
-                         "(repeatable; default: src/obs, src/cluster)")
+                         "(repeatable; default: src/obs, src/cluster, "
+                         "src/fault)")
     ap.add_argument("--gate-pct", type=float, default=90.0)
     args = ap.parse_args()
-    gate_dirs = args.gate_dir or ["src/obs", "src/cluster"]
+    gate_dirs = args.gate_dir or ["src/obs", "src/cluster", "src/fault"]
 
     repo_root = os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Admission control at the cluster front door.
+ *
+ * The AdmissionController sits before the Router and decides, per
+ * arriving candidate, whether the fleet takes the request at all.
+ * Three pluggable policies cover the classic overload shapes:
+ *
+ *   - TokenBucket: a rate limiter refilled at a configurable multiple
+ *     of the fleet's saturation request rate with a bounded burst
+ *     allowance -- flash crowds are clipped at the door.
+ *   - QueueDepth: CoDel-style shedding on the router's estimated mean
+ *     backlog -- sheds only once the backlog has stayed above target
+ *     for a full interval, then sheds at the inverse-sqrt-spaced CoDel
+ *     cadence until the backlog recovers.
+ *   - PriorityShed: two backlog watermarks -- background/training
+ *     traffic sheds at the lower one, inference only above the higher
+ *     one, the paper's "shed training before inference" rule.
+ *
+ * All decisions are pure functions of the candidate's tick, its
+ * priority tag, and the router-side backlog estimate, so admission
+ * stays causal and deterministic like routing itself. Accounting
+ * follows the FaultStats idiom: plain counters, mergeable, reset-able.
+ */
+
+#ifndef EQUINOX_CLUSTER_ADMISSION_HH
+#define EQUINOX_CLUSTER_ADMISSION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace equinox
+{
+namespace cluster
+{
+
+/** How the front door decides what the fleet takes under load. */
+enum class AdmissionPolicy
+{
+    None,         //!< admit everything (shed-only baseline)
+    TokenBucket,  //!< rate-limit at a multiple of fleet capacity
+    QueueDepth,   //!< CoDel-style shedding on estimated backlog
+    PriorityShed, //!< shed background before inference by watermark
+};
+
+/** Stable short name ("token_bucket", ...) for labels and JSON. */
+const char *admissionPolicyName(AdmissionPolicy policy);
+
+/** Every policy, in enum order (sweeps and property tests). */
+std::vector<AdmissionPolicy> allAdmissionPolicies();
+
+/** Knobs of the admission layer (defaults admit everything). */
+struct AdmissionConfig
+{
+    AdmissionPolicy policy = AdmissionPolicy::None;
+    /**
+     * Fraction of candidates tagged background/training priority
+     * (deterministic per-candidate draw from the run seed). Tagging
+     * runs whenever the control plane does, so the shed-only baseline
+     * and the resilient run split traffic identically.
+     */
+    double background_fraction = 0.0;
+    /** TokenBucket: refill rate as a multiple of fleet capacity. */
+    double rate_factor = 1.0;
+    /** TokenBucket: bucket depth (burst allowance, requests). */
+    double burst = 32.0;
+    /** QueueDepth: mean-backlog target (requests per replica). */
+    double target_backlog = 4.0;
+    /** QueueDepth: CoDel interval in cycles. */
+    Tick interval_cycles = 50000;
+    /** PriorityShed: mean backlog above which background sheds. */
+    double background_watermark = 2.0;
+    /** PriorityShed: mean backlog above which inference sheds too. */
+    double inference_watermark = 8.0;
+    /**
+     * Deadline on the model latency estimate of a dispatched request;
+     * estimates beyond it count deadline_missed (and miss goodput).
+     * 0 disables deadline accounting.
+     */
+    Tick deadline_cycles = 0;
+
+    /** Actionable configuration errors; empty when usable. */
+    std::vector<std::string> validate() const;
+};
+
+/** FaultStats-style accounting of one admission controller. */
+struct AdmissionStats
+{
+    std::uint64_t offered = 0;            //!< candidates seen
+    std::uint64_t offered_background = 0; //!< of which background
+    std::uint64_t admitted = 0;
+    std::uint64_t shed_rate_limited = 0; //!< TokenBucket drops
+    std::uint64_t shed_queue = 0;        //!< QueueDepth (CoDel) drops
+    std::uint64_t shed_background = 0;   //!< PriorityShed, background
+    std::uint64_t shed_inference = 0;    //!< PriorityShed, inference
+    /** Dispatched requests whose latency estimate broke the deadline. */
+    std::uint64_t deadline_missed = 0;
+
+    std::uint64_t
+    totalShed() const
+    {
+        return shed_rate_limited + shed_queue + shed_background +
+               shed_inference;
+    }
+
+    /** Accumulate counters from another controller (plain sums). */
+    void merge(const AdmissionStats &other);
+
+    void reset() { *this = AdmissionStats{}; }
+};
+
+/** The front-door gate; one instance per cluster run. */
+class AdmissionController
+{
+  public:
+    /**
+     * @param cfg validated admission knobs
+     * @param tokens_per_cycle TokenBucket refill rate in requests per
+     *        cycle (rate_factor x fleet saturation rate); ignored by
+     *        the other policies
+     */
+    AdmissionController(const AdmissionConfig &cfg,
+                        double tokens_per_cycle);
+
+    /**
+     * Decide one candidate arriving at @p t. @p background is its
+     * priority tag; @p mean_backlog the router's mean estimated
+     * backlog per replica at @p t. True admits; false sheds (the
+     * cause lands in stats()).
+     */
+    bool offer(Tick t, bool background, double mean_backlog);
+
+    /** Account the latency estimate of a dispatched request. */
+    void noteDispatch(double estimate_cycles);
+
+    const AdmissionStats &stats() const { return stats_; }
+
+  private:
+    bool offerTokenBucket(Tick t);
+    bool offerQueueDepth(Tick t, double mean_backlog);
+    bool offerPriority(bool background, double mean_backlog);
+
+    AdmissionConfig cfg_;
+    double tokens_per_cycle_;
+    AdmissionStats stats_;
+
+    // TokenBucket state.
+    double tokens_;
+    Tick last_refill_ = 0;
+
+    // QueueDepth (CoDel) state.
+    bool above_target_ = false;
+    bool dropping_ = false;
+    Tick above_since_ = 0;
+    Tick next_drop_ = 0;
+    std::uint64_t drop_count_ = 0;
+};
+
+} // namespace cluster
+} // namespace equinox
+
+#endif // EQUINOX_CLUSTER_ADMISSION_HH

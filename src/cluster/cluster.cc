@@ -1,6 +1,7 @@
 #include "cluster/cluster.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "cluster/router.hh"
@@ -54,6 +55,16 @@ ClusterSpec::validate() const
             "replica_faults must be empty or name every replica (" +
             std::to_string(replica_faults.size()) + " plans for " +
             std::to_string(replicas) + " replicas)");
+    for (auto &e : resilience.validate())
+        errors.push_back("resilience: " + std::move(e));
+    for (auto &e : chaos.validate())
+        errors.push_back("chaos: " + std::move(e));
+    for (const auto &o : chaos.scheduled_outages) {
+        if (o.replica != fault::kEveryReplica && o.replica >= replicas)
+            errors.push_back("chaos scheduled outage names replica " +
+                             std::to_string(o.replica) + " but only " +
+                             std::to_string(replicas) + " exist");
+    }
     return errors;
 }
 
@@ -111,23 +122,57 @@ Cluster::run(double load, const core::ExperimentOptions &opts,
     double per_replica_rate = load * mu_req;
     Tick max_ticks = units::secondsToCycles(opts.max_sim_s, f);
 
-    // Route the global candidate stream. `load` is the offered
-    // fraction of the AGGREGATE capacity, so the stream runs at
-    // per-replica rate x N; bursty mode draws candidates at the peak
-    // rate and the replicas thin them at arrival, mirroring the
-    // single-accelerator generator.
+    // Cluster-scope chaos: expand the plan into concrete outage
+    // windows, per-replica scheduled faults, and arrival surges. A
+    // default plan skips this entirely, so chaos-free runs stay
+    // byte-identical to a build without the subsystem.
+    fault::MaterializedChaos chaos;
+    const bool chaos_on = spec_.chaos.enabled();
+    if (chaos_on)
+        chaos = fault::materializeChaos(spec_.chaos, n, opts.max_sim_s);
+
     std::vector<RouterOutage> outages;
     for (const auto &o : spec_.outages) {
         outages.push_back({o.replica, units::secondsToCycles(o.from_s, f),
                            units::secondsToCycles(o.to_s, f)});
     }
-    Router router(spec_.policy, n, mu_req / f, spec_.latency_window,
-                  std::move(outages));
+    for (const auto &o : chaos.outages) {
+        outages.push_back({o.replica, units::secondsToCycles(o.from_s, f),
+                           units::secondsToCycles(o.to_s, f)});
+    }
+    std::vector<RouterSurge> surges;
+    for (const auto &s : chaos.surges) {
+        surges.push_back({units::secondsToCycles(s.from_s, f),
+                          units::secondsToCycles(s.to_s, f), s.factor});
+    }
+
+    // Route the global candidate stream. `load` is the offered
+    // fraction of the AGGREGATE capacity, so the stream runs at
+    // per-replica rate x N; bursty mode draws candidates at the peak
+    // rate and the replicas thin them at arrival, mirroring the
+    // single-accelerator generator. An enabled resilience spec swaps
+    // the bare Router for the ControlPlane (admission, retries,
+    // hedging, breakers); disabled specs never construct one, so the
+    // legacy path is bit-for-bit untouched.
     double rate_cycle =
         per_replica_rate * static_cast<double>(n) / f;
     if (spec_.arrival_process == sim::ArrivalProcess::Bursty)
         rate_cycle *= spec_.burst_factor;
-    RouterResult routed = router.route(rate_cycle, opts.seed, max_ticks);
+    const bool cp_on = spec_.resilience.enabled();
+    RouterResult routed;
+    ResilienceStats rstats;
+    double overload_frac = 0.0;
+    if (cp_on) {
+        ControlPlane cp(spec_.resilience, spec_.policy, n, mu_req / f,
+                        spec_.latency_window, outages);
+        routed = cp.route(rate_cycle, opts.seed, max_ticks, surges);
+        rstats = cp.stats();
+        overload_frac = cp.overloadFraction();
+    } else {
+        Router router(spec_.policy, n, mu_req / f, spec_.latency_window,
+                      outages);
+        routed = router.route(rate_cycle, opts.seed, max_ticks, surges);
+    }
 
     // Training coordinator: place the piggybacked training service on
     // the replicas the router loaded least -- most free cycles, the
@@ -138,6 +183,17 @@ Cluster::run(double load, const core::ExperimentOptions &opts,
         std::size_t k = spec_.train_replicas == 0
                             ? n
                             : std::min(spec_.train_replicas, n);
+        // Graceful degradation: the fraction of the run the fleet
+        // spent over the overload threshold sheds that fraction of
+        // the training replicas -- training hands back its free
+        // cycles before inference suffers.
+        if (cp_on && spec_.resilience.shed_training_under_overload) {
+            auto shed = std::min(
+                k, static_cast<std::size_t>(std::floor(
+                       overload_frac * static_cast<double>(k))));
+            rstats.training_replicas_shed = shed;
+            k -= shed;
+        }
         std::vector<std::size_t> order(n);
         std::iota(order.begin(), order.end(), std::size_t{0});
         std::stable_sort(order.begin(), order.end(),
@@ -183,6 +239,12 @@ Cluster::run(double load, const core::ExperimentOptions &opts,
             if (r > 0)
                 rs.faults.seed += static_cast<std::uint64_t>(r) * 9973;
         }
+        // Chaos latency storms land as extra scheduled faults on the
+        // victim replica's plan (the watchdog machinery answers them).
+        if (chaos_on) {
+            for (const auto &sf : chaos.replica_faults[r])
+                rs.faults.scheduled.push_back(sf);
+        }
 
         ReplicaOutcome &o = out[r];
         o.replica = r;
@@ -225,12 +287,12 @@ Cluster::run(double load, const core::ExperimentOptions &opts,
             res.merged_latency_cycles.percentile(0.99) * inv_f;
         res.max_latency_s = res.merged_latency_cycles.max() * inv_f;
     }
-    // Planned outages are fleet downtime: account them in the merged
-    // FaultStats and in the availability over the run horizon.
-    for (const auto &o : spec_.outages) {
-        Tick from = std::min(units::secondsToCycles(o.from_s, f),
-                             max_ticks);
-        Tick to = std::min(units::secondsToCycles(o.to_s, f), max_ticks);
+    // Planned and chaos outages are fleet downtime: account them in
+    // the merged FaultStats and in the availability over the run
+    // horizon.
+    for (const auto &o : outages) {
+        Tick from = std::min(o.from, max_ticks);
+        Tick to = std::min(o.to, max_ticks);
         res.outage_cycles += to - from;
     }
     res.faults.downtime_cycles += res.outage_cycles;
@@ -239,6 +301,42 @@ Cluster::run(double load, const core::ExperimentOptions &opts,
     double down =
         std::min(static_cast<double>(res.faults.downtime_cycles), span);
     res.availability = 1.0 - down / span;
+
+    // Resilience reporting. Request availability is candidate-level
+    // (all sheds); inference availability excludes sheds the priority
+    // tags steered onto background work. Goodput counts measured
+    // completions inside the admission deadline (all of them when no
+    // deadline is set), normalized per replica-measured-second.
+    res.control_plane = cp_on;
+    res.resilience = rstats;
+    std::uint64_t total_shed = cp_on ? rstats.totalShed() : routed.shed;
+    if (routed.generated > 0) {
+        res.request_availability =
+            1.0 - static_cast<double>(total_shed) /
+                      static_cast<double>(routed.generated);
+    }
+    std::uint64_t inference_offered =
+        rstats.admission.offered - rstats.admission.offered_background;
+    if (cp_on && inference_offered > 0) {
+        res.inference_availability =
+            1.0 - static_cast<double>(rstats.shed_inference_total) /
+                      static_cast<double>(inference_offered);
+    } else {
+        res.inference_availability = res.request_availability;
+    }
+    const Tick deadline = spec_.resilience.admission.deadline_cycles;
+    for (const auto &o : out) {
+        std::uint64_t good = 0;
+        for (double s : o.sim.latency_cycles.rawSamples()) {
+            if (deadline == 0 || s <= static_cast<double>(deadline))
+                ++good;
+        }
+        res.deadline_met += good;
+        if (o.sim.sim_seconds > 0.0) {
+            res.goodput_rps +=
+                static_cast<double>(good) / o.sim.sim_seconds;
+        }
+    }
     res.per_replica = std::move(out);
     return res;
 }

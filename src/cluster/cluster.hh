@@ -25,8 +25,10 @@
 #include <string>
 #include <vector>
 
+#include "cluster/control_plane.hh"
 #include "cluster/routing_policy.hh"
 #include "core/experiment.hh"
+#include "fault/chaos_plan.hh"
 #include "sim/accelerator_types.hh"
 #include "sim/config.hh"
 #include "stats/fault_stats.hh"
@@ -71,6 +73,18 @@ struct ClusterSpec
      * exact), non-empty must have one entry per replica.
      */
     std::vector<fault::FaultPlan> replica_faults;
+    /**
+     * Overload-resilience control plane (admission, retries, hedging,
+     * breakers). Default-constructed = disabled: the run never builds
+     * a ControlPlane and routes exactly as before.
+     */
+    ResilienceSpec resilience;
+    /**
+     * Cluster-scope chaos (replica churn, rack outages, latency
+     * storms, flash crowds). Default-constructed = none: the run
+     * skips materialization entirely.
+     */
+    fault::ChaosPlan chaos;
 
     /** Actionable configuration errors; empty when usable. */
     std::vector<std::string> validate() const;
@@ -130,6 +144,26 @@ struct ClusterPointResult
     Tick outage_cycles = 0;
     /** 1 - downtime / (replicas x run horizon). */
     double availability = 1.0;
+
+    // -- resilience control plane -------------------------------------
+    /** True when the run routed through the ControlPlane. */
+    bool control_plane = false;
+    ResilienceStats resilience;
+    /** 1 - all sheds / generated candidates (request-level). */
+    double request_availability = 1.0;
+    /**
+     * 1 - inference-priority sheds / inference candidates. Equals
+     * request_availability without the control plane (no priority
+     * tags), exceeds it when background work absorbs the shedding.
+     */
+    double inference_availability = 1.0;
+    /** Measured completions inside the deadline, summed per replica. */
+    std::uint64_t deadline_met = 0;
+    /**
+     * Deadline-meeting completions per second of measured time,
+     * summed over replicas (all completions when no deadline is set).
+     */
+    double goodput_rps = 0.0;
 
     std::vector<ReplicaOutcome> per_replica;
 };

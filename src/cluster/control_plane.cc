@@ -1,0 +1,360 @@
+#include "cluster/control_plane.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace equinox
+{
+namespace cluster
+{
+
+namespace
+{
+
+// Per-stream seed decorrelation: the priority tags and the retry
+// jitter draw from their own Rng streams, so switching retries on
+// never perturbs the candidate ticks or the priority split.
+constexpr std::uint64_t kPriorityStream = 104729ull;
+constexpr std::uint64_t kJitterStream = 130363ull;
+
+/**
+ * The interpolated order statistic LatencyTracker::percentile defines,
+ * over the hedging layer's sliding estimate window.
+ */
+double
+windowP99(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    std::vector<double> sorted(samples);
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted.front();
+    double rank = 0.99 * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<std::size_t>(rank);
+    double frac = rank - static_cast<double>(lo);
+    return (frac == 0.0 || lo + 1 >= sorted.size())
+               ? sorted[lo]
+               : sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+/** One dispatch attempt in the global time-ordered event heap. */
+struct DispatchEvent
+{
+    Tick t = 0;
+    std::uint64_t seq = 0; //!< FIFO tiebreak at equal ticks
+    unsigned attempt = 0;  //!< 0 = first offer, > 0 = retry
+    bool background = false;
+};
+
+struct LaterEvent
+{
+    bool
+    operator()(const DispatchEvent &a, const DispatchEvent &b) const
+    {
+        if (a.t != b.t)
+            return a.t > b.t;
+        return a.seq > b.seq;
+    }
+};
+
+} // namespace
+
+bool
+ResilienceSpec::enabled() const
+{
+    return admission.policy != AdmissionPolicy::None ||
+           admission.background_fraction > 0.0 ||
+           admission.deadline_cycles > 0 || retry.enabled ||
+           hedge.enabled || breaker.enabled ||
+           shed_training_under_overload;
+}
+
+std::vector<std::string>
+ResilienceSpec::validate() const
+{
+    std::vector<std::string> errors = admission.validate();
+    for (auto &e : breaker.validate())
+        errors.push_back(std::move(e));
+    auto complain = [&errors](auto &&...parts) {
+        std::ostringstream oss;
+        (oss << ... << parts);
+        errors.push_back(oss.str());
+    };
+
+    if (retry.enabled) {
+        if (retry.max_attempts < 2) {
+            complain("retry.max_attempts must be >= 2 when retries are "
+                     "enabled (got ", retry.max_attempts,
+                     "); the first attempt is not a retry");
+        }
+        if (retry.max_budget <= 0.0) {
+            complain("retry.max_budget must be positive when retries "
+                     "are enabled (got ", retry.max_budget,
+                     "); a zero budget sheds every retry it allows");
+        }
+        if (retry.budget_ratio < 0.0) {
+            complain("retry.budget_ratio must be >= 0 (got ",
+                     retry.budget_ratio, ")");
+        }
+        if (retry.base_backoff_cycles == 0) {
+            complain("retry.base_backoff_cycles must be >= 1 when "
+                     "retries are enabled; an instant retry re-offers "
+                     "into the same outage window");
+        }
+        if (retry.backoff_multiplier < 1.0) {
+            complain("retry.backoff_multiplier must be >= 1 (got ",
+                     retry.backoff_multiplier,
+                     "); shrinking backoff invites livelock");
+        }
+        if (retry.jitter_frac < 0.0) {
+            complain("retry.jitter_frac must be >= 0 (got ",
+                     retry.jitter_frac, ")");
+        }
+    }
+    if (hedge.enabled) {
+        if (hedge.latency_factor <= 0.0) {
+            complain("hedge.latency_factor must be > 0 when hedging is "
+                     "enabled (got ", hedge.latency_factor,
+                     "); a non-positive threshold hedges every "
+                     "request");
+        }
+        if (hedge.window == 0) {
+            complain("hedge.window must be >= 1 when hedging is "
+                     "enabled");
+        }
+        if (hedge.min_samples == 0 ||
+            hedge.min_samples > hedge.window) {
+            complain("hedge.min_samples must be in [1, hedge.window] "
+                     "(got ", hedge.min_samples, " with window ",
+                     hedge.window, ")");
+        }
+        if (hedge.max_hedge_fraction <= 0.0 ||
+            hedge.max_hedge_fraction > 1.0) {
+            complain("hedge.max_hedge_fraction must be in (0, 1] (got ",
+                     hedge.max_hedge_fraction,
+                     "); the hedge budget caps duplicates as a "
+                     "fraction of dispatched requests");
+        }
+    }
+    if (shed_training_under_overload && training_shed_backlog <= 0.0) {
+        complain("training_shed_backlog must be positive when "
+                 "shed_training_under_overload is set (got ",
+                 training_shed_backlog,
+                 "); a zero threshold sheds training permanently");
+    }
+    return errors;
+}
+
+ControlPlane::ControlPlane(const ResilienceSpec &spec,
+                           RoutingPolicy policy, std::size_t replicas,
+                           double service_rate_per_cycle,
+                           std::size_t latency_window,
+                           std::vector<RouterOutage> outages)
+    : spec_(spec), replicas_(replicas),
+      router_(policy, replicas, service_rate_per_cycle, latency_window,
+              std::move(outages)),
+      admission_(spec.admission, spec.admission.rate_factor *
+                                     static_cast<double>(replicas) *
+                                     service_rate_per_cycle)
+{
+    if (spec_.breaker.enabled) {
+        breakers_.reserve(replicas);
+        for (std::size_t r = 0; r < replicas; ++r)
+            breakers_.emplace_back(spec_.breaker);
+        router_.setAvailabilityFilter([this](std::size_t r, Tick t) {
+            return breakers_[r].allows(t);
+        });
+    }
+}
+
+void
+ControlPlane::observeHealth(Tick t)
+{
+    // One probe round per dispatch event; each breaker rate-limits
+    // itself to probe_interval_cycles. Health is causal: the outage
+    // calendar plus the replica's own window-p99 estimate.
+    for (std::size_t r = 0; r < replicas_; ++r) {
+        bool healthy = router_.alive(r, t);
+        if (healthy && spec_.breaker.latency_trip_cycles > 0.0) {
+            healthy = router_.estimators()[r].windowP99() <=
+                      spec_.breaker.latency_trip_cycles;
+        }
+        breakers_[r].observe(t, healthy);
+    }
+}
+
+double
+ControlPlane::overloadFraction() const
+{
+    if (stats_.admission.offered == 0)
+        return 0.0;
+    return static_cast<double>(stats_.overload_candidates) /
+           static_cast<double>(stats_.admission.offered);
+}
+
+RouterResult
+ControlPlane::route(double rate_per_cycle, std::uint64_t seed,
+                    Tick max_ticks,
+                    const std::vector<RouterSurge> &surges)
+{
+    RouterResult res;
+    res.traces.resize(replicas_);
+    res.assigned.assign(replicas_, 0);
+
+    std::vector<Tick> ticks =
+        generateCandidateTicks(rate_per_cycle, seed, max_ticks, surges);
+    res.generated = ticks.size();
+
+    Rng priority_rng(seed * kPriorityStream + 7);
+    Rng jitter_rng(seed * kJitterStream + 11);
+
+    // All dispatch attempts -- fresh candidates and backed-off retries
+    // -- drain through one global min-heap ordered by (tick, seq), so
+    // the per-replica traces come out non-decreasing no matter how
+    // retries interleave with later arrivals.
+    std::priority_queue<DispatchEvent, std::vector<DispatchEvent>,
+                        LaterEvent>
+        heap;
+    std::uint64_t seq = 0;
+    const double bg_frac = spec_.admission.background_fraction;
+    for (Tick t : ticks) {
+        bool bg = bg_frac > 0.0 && priority_rng.uniform() < bg_frac;
+        heap.push({t, seq++, 0, bg});
+    }
+
+    double retry_tokens = spec_.retry.max_budget;
+    std::vector<double> hedge_window;
+    hedge_window.reserve(spec_.hedge.window + 1);
+
+    auto shedPriority = [this](bool background) {
+        if (background)
+            ++stats_.shed_background_total;
+        else
+            ++stats_.shed_inference_total;
+    };
+
+    while (!heap.empty()) {
+        DispatchEvent ev = heap.top();
+        heap.pop();
+        const Tick t = ev.t;
+
+        router_.drainAll(t);
+        if (spec_.breaker.enabled)
+            observeHealth(t);
+
+        if (ev.attempt == 0) {
+            double mean_backlog = router_.meanBacklog();
+            if (mean_backlog > spec_.training_shed_backlog)
+                ++stats_.overload_candidates;
+            if (!admission_.offer(t, ev.background, mean_backlog)) {
+                shedPriority(ev.background);
+                continue;
+            }
+        }
+
+        std::size_t r = router_.pick(t);
+        if (r == kNoReplica) {
+            // No replica available. Distinguish "breakers vetoed an
+            // otherwise-alive fleet" for the accounting, then spend a
+            // retry token if the budget and attempt cap allow.
+            bool any_alive = false;
+            for (std::size_t i = 0; i < replicas_ && !any_alive; ++i)
+                any_alive = router_.alive(i, t);
+            if (any_alive && spec_.breaker.enabled)
+                ++stats_.breaker_denials;
+
+            if (spec_.retry.enabled &&
+                ev.attempt + 1 < spec_.retry.max_attempts) {
+                if (retry_tokens >= 1.0) {
+                    retry_tokens -= 1.0;
+                    ++stats_.retry_attempts;
+                    double backoff =
+                        static_cast<double>(
+                            spec_.retry.base_backoff_cycles) *
+                        std::pow(spec_.retry.backoff_multiplier,
+                                 static_cast<double>(ev.attempt));
+                    backoff *= 1.0 + spec_.retry.jitter_frac *
+                                         jitter_rng.uniform();
+                    Tick delay = std::max<Tick>(
+                        1, static_cast<Tick>(backoff));
+                    heap.push({t + delay, seq++, ev.attempt + 1,
+                               ev.background});
+                    continue;
+                }
+                ++stats_.retry_budget_exhausted;
+            }
+            if (ev.attempt > 0)
+                ++stats_.retry_shed;
+            else
+                ++stats_.outage_shed;
+            shedPriority(ev.background);
+            continue;
+        }
+
+        if (ev.attempt > 0)
+            ++stats_.retry_recovered;
+        res.traces[r].push_back(t);
+        ++res.assigned[r];
+        ++stats_.dispatched;
+        if (ev.background)
+            ++stats_.dispatched_background;
+        retry_tokens = std::min(spec_.retry.max_budget,
+                                retry_tokens + spec_.retry.budget_ratio);
+
+        double est =
+            router_.estimators()[r].lastAssignmentEstimateCycles();
+        admission_.noteDispatch(est);
+
+        if (spec_.hedge.enabled) {
+            // The hedge budget compares against dispatches so far, so
+            // sustained overload (every estimate past the window p99)
+            // settles at the cap instead of doubling offered load.
+            bool budget_ok =
+                static_cast<double>(stats_.hedges_issued) <
+                spec_.hedge.max_hedge_fraction *
+                    static_cast<double>(stats_.dispatched);
+            if (budget_ok &&
+                hedge_window.size() >= spec_.hedge.min_samples &&
+                est > spec_.hedge.latency_factor *
+                          windowP99(hedge_window)) {
+                std::size_t alt = router_.pickAlternate(t, r);
+                if (alt != kNoReplica) {
+                    router_.assignTo(alt, t);
+                    res.traces[alt].push_back(t);
+                    ++res.assigned[alt];
+                    ++stats_.hedges_issued;
+                    // First-wins against the causal model: the copy
+                    // predicted faster wins; the loser is accounted
+                    // cancelled but still occupies its replica (the
+                    // honest capacity cost of hedging).
+                    double est_alt = router_.estimators()[alt]
+                                         .lastAssignmentEstimateCycles();
+                    if (est_alt < est)
+                        ++stats_.hedge_wins;
+                }
+            }
+            hedge_window.push_back(est);
+            if (hedge_window.size() > spec_.hedge.window)
+                hedge_window.erase(hedge_window.begin());
+        }
+    }
+
+    for (const auto &b : breakers_) {
+        stats_.breaker_opens += b.opens();
+        stats_.breaker_reopens += b.reopens();
+        stats_.breaker_closes += b.closes();
+    }
+    stats_.admission = admission_.stats();
+    res.shed = stats_.totalShed();
+    res.rerouted = router_.reroutedCount();
+    return res;
+}
+
+} // namespace cluster
+} // namespace equinox

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The overload-resilience control plane of the cluster front-end.
+ *
+ * Sits between the arrival generator and the Router and layers four
+ * mechanisms over plain routing (DESIGN.md section 2.5):
+ *
+ *   admission -> routing -> hedging -> circuit breaking
+ *
+ *   - An AdmissionController sheds at the front door (token bucket,
+ *     CoDel on the estimated backlog, or priority watermarks).
+ *   - A client-side retry budget re-offers candidates that found no
+ *     available replica, with exponential backoff and seeded jitter,
+ *     bounded by a token budget refilled by successful dispatches.
+ *   - A hedging layer duplicates a dispatch whose latency estimate
+ *     exceeds latency_factor x the sliding-window p99 of recent
+ *     estimates, onto the best alternate replica; first-wins
+ *     cancellation is accounted against the router's causal model
+ *     (the predicted-faster copy "wins"), while both copies occupy
+ *     real replica capacity -- the honest cost of hedging.
+ *   - Per-replica CircuitBreakers veto routing to replicas whose
+ *     health probes (outage state + window-p99 latency) keep failing.
+ *
+ * Determinism: candidates, priority tags, retry jitter, and chaos all
+ * draw from separate seeded Rng streams; retries and hedges are
+ * processed through one global time-ordered event heap so per-replica
+ * traces stay non-decreasing and a run is a pure function of
+ * (spec, rate, seed, horizon, surges). With every mechanism disabled
+ * the Cluster never constructs a ControlPlane at all, so golden
+ * digests are untouched.
+ */
+
+#ifndef EQUINOX_CLUSTER_CONTROL_PLANE_HH
+#define EQUINOX_CLUSTER_CONTROL_PLANE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/admission.hh"
+#include "cluster/circuit_breaker.hh"
+#include "cluster/router.hh"
+
+namespace equinox
+{
+namespace cluster
+{
+
+/** Client-side retry budget over the Router (defaults: off). */
+struct RetryConfig
+{
+    bool enabled = false;
+    /** Total attempts per candidate including the first (>= 2). */
+    unsigned max_attempts = 3;
+    /** Retry-token bucket depth; the budget starts full. */
+    double max_budget = 32.0;
+    /** Tokens deposited per successfully dispatched primary. */
+    double budget_ratio = 0.1;
+    /** First backoff wait, in cycles. */
+    Tick base_backoff_cycles = 2000;
+    /** Geometric backoff growth per attempt. */
+    double backoff_multiplier = 2.0;
+    /** Uniform jitter fraction added to each wait (seeded stream). */
+    double jitter_frac = 0.25;
+};
+
+/** Hedged-request layer (defaults: off). */
+struct HedgeConfig
+{
+    bool enabled = false;
+    /** Hedge when the estimate exceeds factor x window p99 (> 0). */
+    double latency_factor = 2.0;
+    /** Sliding window of recent dispatch estimates. */
+    std::size_t window = 128;
+    /** Estimates required before hedging starts (warm-up guard). */
+    std::size_t min_samples = 16;
+    /**
+     * Hedge budget: duplicates are suppressed once they exceed this
+     * fraction of dispatched requests, so overload (which pushes every
+     * estimate past the window p99) cannot trigger a hedge storm that
+     * doubles the offered load. In (0, 1].
+     */
+    double max_hedge_fraction = 0.02;
+};
+
+/** Everything the resilience control plane can switch on. */
+struct ResilienceSpec
+{
+    AdmissionConfig admission;
+    RetryConfig retry;
+    HedgeConfig hedge;
+    BreakerConfig breaker;
+    /**
+     * Cluster-wide graceful degradation: when the mean backlog spends
+     * part of the run above training_shed_backlog, the training
+     * coordinator sheds that fraction of its training replicas --
+     * training gives back its free cycles before inference suffers.
+     */
+    bool shed_training_under_overload = false;
+    double training_shed_backlog = 2.0;
+
+    /** True when any mechanism (or priority tagging) is active. */
+    bool enabled() const;
+
+    /** Actionable configuration errors; empty when usable. */
+    std::vector<std::string> validate() const;
+};
+
+/** FaultStats-style accounting of one control-plane routing pass. */
+struct ResilienceStats
+{
+    AdmissionStats admission;
+
+    /** Primary dispatches (candidates that reached a replica). */
+    std::uint64_t dispatched = 0;
+    std::uint64_t dispatched_background = 0;
+
+    std::uint64_t retry_attempts = 0;
+    /** Retried candidates that eventually dispatched. */
+    std::uint64_t retry_recovered = 0;
+    /** Candidates shed after at least one retry. */
+    std::uint64_t retry_shed = 0;
+    /** Retries denied because the token budget ran dry. */
+    std::uint64_t retry_budget_exhausted = 0;
+    /** Candidates shed with no replica available and no retry left. */
+    std::uint64_t outage_shed = 0;
+    /** Picks that failed although an outage-alive replica existed. */
+    std::uint64_t breaker_denials = 0;
+
+    std::uint64_t hedges_issued = 0;
+    /** Hedges whose duplicate was predicted to beat the primary. */
+    std::uint64_t hedge_wins = 0;
+
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t breaker_reopens = 0;
+    std::uint64_t breaker_closes = 0;
+
+    /** Sheds of any cause, split by the candidate's priority tag. */
+    std::uint64_t shed_background_total = 0;
+    std::uint64_t shed_inference_total = 0;
+
+    /** Candidates that arrived with the fleet over the training-shed
+     *  backlog threshold (drives the degradation fraction). */
+    std::uint64_t overload_candidates = 0;
+    /** Training replicas the coordinator shed (filled by Cluster). */
+    std::size_t training_replicas_shed = 0;
+
+    /** All candidates shed by any mechanism. */
+    std::uint64_t
+    totalShed() const
+    {
+        return admission.totalShed() + retry_shed + outage_shed;
+    }
+};
+
+/** Admission + retries + hedging + breakers around one Router. */
+class ControlPlane
+{
+  public:
+    /**
+     * @param spec validated resilience knobs
+     * @param policy,replicas,service_rate_per_cycle,latency_window,
+     *        outages forwarded to the underlying Router; the token
+     *        bucket refills at
+     *        admission.rate_factor x replicas x service rate
+     */
+    ControlPlane(const ResilienceSpec &spec, RoutingPolicy policy,
+                 std::size_t replicas, double service_rate_per_cycle,
+                 std::size_t latency_window,
+                 std::vector<RouterOutage> outages);
+
+    /**
+     * Route one run's candidate stream through the control plane.
+     * Same contract as Router::route, plus: RouterResult::shed counts
+     * every control-plane shed (stats().totalShed()), and the
+     * conservation identities become
+     *   generated == dispatched + shed
+     *   sum(assigned) == dispatched + hedges_issued.
+     */
+    RouterResult route(double rate_per_cycle, std::uint64_t seed,
+                       Tick max_ticks,
+                       const std::vector<RouterSurge> &surges = {});
+
+    const ResilienceStats &stats() const { return stats_; }
+
+    /** Fraction of candidates that arrived during fleet overload. */
+    double overloadFraction() const;
+
+    /** Breaker of replica @p r (tests; empty unless enabled). */
+    const CircuitBreaker &breaker(std::size_t r) const
+    {
+        return breakers_[r];
+    }
+
+  private:
+    void observeHealth(Tick t);
+
+    ResilienceSpec spec_;
+    std::size_t replicas_;
+    Router router_;
+    AdmissionController admission_;
+    std::vector<CircuitBreaker> breakers_;
+    ResilienceStats stats_;
+};
+
+} // namespace cluster
+} // namespace equinox
+
+#endif // EQUINOX_CLUSTER_CONTROL_PLANE_HH

@@ -1,5 +1,7 @@
 #include "cluster/router.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "common/random.hh"
 
@@ -7,6 +9,71 @@ namespace equinox
 {
 namespace cluster
 {
+
+std::vector<Tick>
+generateCandidateTicks(double rate_per_cycle, std::uint64_t seed,
+                       Tick max_ticks,
+                       const std::vector<RouterSurge> &surges)
+{
+    std::vector<Tick> ticks;
+    if (rate_per_cycle <= 0.0)
+        return ticks;
+
+    // Replay of RequestDispatcher's service-0 arrival recipe: same
+    // seeding, same draw, same Tick(wait) + 1 increment. Any change
+    // there must land here too or the 1-replica differential test
+    // breaks.
+    Rng rng(seed * 7919 + 1);
+    if (surges.empty()) {
+        Tick t = 0;
+        while (true) {
+            double wait = rng.exponential(rate_per_cycle);
+            t += static_cast<Tick>(wait) + 1;
+            ticks.push_back(t);
+            // Include the first candidate beyond the horizon: the
+            // replica event loop dispatches one event past max_ticks,
+            // so the trace must cover it for byte-identity with a
+            // stochastic run.
+            if (t > max_ticks)
+                break;
+        }
+        return ticks;
+    }
+
+    // Flash-crowd path: draw at the peak rate and thin each candidate
+    // against the instantaneous rate (Lewis-Shedler thinning), so the
+    // accepted stream runs `factor` times denser inside each surge
+    // window and at the base rate outside. One seeded stream drives
+    // both the waits and the acceptance draws, keeping the whole
+    // stream a pure function of (rate, seed, surges).
+    double peak_factor = 1.0;
+    for (const auto &s : surges) {
+        EQX_ASSERT(s.factor >= 1.0, "surge factor must be >= 1");
+        peak_factor = std::max(peak_factor, s.factor);
+    }
+    auto factor_at = [&surges](Tick t) {
+        double factor = 1.0;
+        for (const auto &s : surges) {
+            if (t >= s.from && t < s.to)
+                factor = std::max(factor, s.factor);
+        }
+        return factor;
+    };
+    Tick t = 0;
+    while (true) {
+        double wait = rng.exponential(rate_per_cycle * peak_factor);
+        t += static_cast<Tick>(wait) + 1;
+        if (t > max_ticks) {
+            // The one-past-the-horizon candidate is always accepted so
+            // every trace covers the final dispatched event.
+            ticks.push_back(t);
+            break;
+        }
+        if (rng.uniform() * peak_factor < factor_at(t))
+            ticks.push_back(t);
+    }
+    return ticks;
+}
 
 Router::Router(RoutingPolicy policy, std::size_t replicas,
                double service_rate_per_cycle, std::size_t latency_window,
@@ -34,6 +101,28 @@ Router::alive(std::size_t replica, Tick t) const
     return true;
 }
 
+bool
+Router::available(std::size_t replica, Tick t) const
+{
+    return alive(replica, t) && (!filter_ || filter_(replica, t));
+}
+
+void
+Router::drainAll(Tick t)
+{
+    for (auto &e : estimators_)
+        e.drainTo(t);
+}
+
+double
+Router::meanBacklog() const
+{
+    double sum = 0.0;
+    for (const auto &e : estimators_)
+        sum += e.backlog();
+    return sum / static_cast<double>(replicas_);
+}
+
 std::size_t
 Router::pickRoundRobin(Tick t)
 {
@@ -41,7 +130,7 @@ Router::pickRoundRobin(Tick t)
     // healthy replica at or after it wins and the pointer moves on.
     for (std::size_t i = 0; i < replicas_; ++i) {
         std::size_t cand = (rr_next_ + i) % replicas_;
-        if (alive(cand, t)) {
+        if (available(cand, t)) {
             if (i > 0)
                 ++rerouted_;
             rr_next_ = (cand + 1) % replicas_;
@@ -55,9 +144,11 @@ Router::pickRoundRobin(Tick t)
 double
 Router::metric(std::size_t r) const
 {
-    return policy_ == RoutingPolicy::JoinShortestQueue
-               ? estimators_[r].backlog()
-               : estimators_[r].windowP99();
+    // LatencyAware ranks by observed window p99; every other policy
+    // (JSQ picks, round-robin hedge alternates) ranks by backlog.
+    return policy_ == RoutingPolicy::LatencyAware
+               ? estimators_[r].windowP99()
+               : estimators_[r].backlog();
 }
 
 std::size_t
@@ -67,7 +158,7 @@ Router::pickMin(Tick t, bool healthy_only) const
     // which the determinism contract (DESIGN.md section 2.4) requires.
     std::size_t best = kNoReplica;
     for (std::size_t r = 0; r < replicas_; ++r) {
-        if (healthy_only && !alive(r, t))
+        if (healthy_only && !available(r, t))
             continue;
         if (best == kNoReplica || metric(r) < metric(best))
             best = r;
@@ -76,10 +167,30 @@ Router::pickMin(Tick t, bool healthy_only) const
 }
 
 std::size_t
+Router::pickAlternate(Tick t, std::size_t exclude) const
+{
+    std::size_t best = kNoReplica;
+    for (std::size_t r = 0; r < replicas_; ++r) {
+        if (r == exclude || !available(r, t))
+            continue;
+        if (best == kNoReplica || metric(r) < metric(best))
+            best = r;
+    }
+    return best;
+}
+
+void
+Router::assignTo(std::size_t r, Tick t)
+{
+    EQX_ASSERT(r < replicas_, "assignTo names replica ", r, " of ",
+               replicas_);
+    estimators_[r].assign(t);
+}
+
+std::size_t
 Router::pick(Tick t)
 {
-    for (auto &e : estimators_)
-        e.drainTo(t);
+    drainAll(t);
 
     std::size_t choice;
     if (policy_ == RoutingPolicy::RoundRobin) {
@@ -87,9 +198,9 @@ Router::pick(Tick t)
     } else {
         choice = pickMin(t, true);
         // Re-routed: the pick made ignoring health would have landed
-        // on a dead replica (the round-robin path counts its own
-        // skips).
-        if (choice != kNoReplica && !alive(pickMin(t, false), t))
+        // on a dead or vetoed replica (the round-robin path counts
+        // its own skips).
+        if (choice != kNoReplica && !available(pickMin(t, false), t))
             ++rerouted_;
     }
     if (choice == kNoReplica) {
@@ -101,34 +212,22 @@ Router::pick(Tick t)
 }
 
 RouterResult
-Router::route(double rate_per_cycle, std::uint64_t seed, Tick max_ticks)
+Router::route(double rate_per_cycle, std::uint64_t seed, Tick max_ticks,
+              const std::vector<RouterSurge> &surges)
 {
     RouterResult res;
     res.traces.resize(replicas_);
     res.assigned.assign(replicas_, 0);
-    if (rate_per_cycle <= 0.0)
-        return res;
 
-    // Replay of RequestDispatcher's service-0 arrival recipe: same
-    // seeding, same draw, same Tick(wait) + 1 increment. Any change
-    // there must land here too or the 1-replica differential test
-    // breaks.
-    Rng rng(seed * 7919 + 1);
-    Tick t = 0;
-    while (true) {
-        double wait = rng.exponential(rate_per_cycle);
-        t += static_cast<Tick>(wait) + 1;
-        ++res.generated;
+    std::vector<Tick> ticks =
+        generateCandidateTicks(rate_per_cycle, seed, max_ticks, surges);
+    res.generated = ticks.size();
+    for (Tick t : ticks) {
         std::size_t r = pick(t);
         if (r != kNoReplica) {
             res.traces[r].push_back(t);
             ++res.assigned[r];
         }
-        // Include the first candidate beyond the horizon: the replica
-        // event loop dispatches one event past max_ticks, so the trace
-        // must cover it for byte-identity with a stochastic run.
-        if (t > max_ticks)
-            break;
     }
     res.shed = shed_;
     res.rerouted = rerouted_;

@@ -19,6 +19,7 @@
 #define EQUINOX_CLUSTER_ROUTER_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cluster/routing_policy.hh"
@@ -39,6 +40,30 @@ struct RouterOutage
     Tick from = 0;
     Tick to = 0;
 };
+
+/** One arrival-rate surge window, in absolute ticks [from, to). */
+struct RouterSurge
+{
+    Tick from = 0;
+    Tick to = 0;
+    /** Arrival-rate multiplier inside the window (> 1). */
+    double factor = 1.0;
+};
+
+/**
+ * Draw the global candidate tick stream for one run. With no surge
+ * windows this replays RequestDispatcher's service-0 arrival recipe
+ * exactly -- Rng(seed * 7919 + 1), exponential draws at
+ * @p rate_per_cycle, `Tick(wait) + 1` increments, one candidate past
+ * @p max_ticks -- so trace-fed replicas stay byte-identical to their
+ * stochastic twins. With surge windows the stream is drawn at the peak
+ * rate (base x max factor) and thinned against the instantaneous rate,
+ * so candidates inside a window arrive factor-times denser; this path
+ * only runs under chaos, where no golden digest applies.
+ */
+std::vector<Tick> generateCandidateTicks(
+    double rate_per_cycle, std::uint64_t seed, Tick max_ticks,
+    const std::vector<RouterSurge> &surges = {});
 
 /** Everything one routing pass produces. */
 struct RouterResult
@@ -79,9 +104,11 @@ class Router
      * @param max_ticks run horizon; generation stops at the first
      *        candidate beyond it (which is still routed -- the event
      *        loop dispatches one event past the horizon)
+     * @param surges optional arrival surge windows (flash crowds)
      */
     RouterResult route(double rate_per_cycle, std::uint64_t seed,
-                       Tick max_ticks);
+                       Tick max_ticks,
+                       const std::vector<RouterSurge> &surges = {});
 
     /**
      * Route one candidate at @p t: updates the estimators and health
@@ -93,6 +120,35 @@ class Router
     /** True when @p replica is inside a planned outage at @p t. */
     bool alive(std::size_t replica, Tick t) const;
 
+    /**
+     * Install a health veto consulted on top of the outage windows
+     * (the control plane's circuit breakers). A vetoed replica is
+     * skipped by pick() exactly like a dead one; alive() itself stays
+     * outage-only so health checks observe the raw outage state.
+     */
+    void
+    setAvailabilityFilter(std::function<bool(std::size_t, Tick)> filter)
+    {
+        filter_ = std::move(filter);
+    }
+
+    /** Advance every estimator's fluid drain to @p t. */
+    void drainAll(Tick t);
+
+    /** Mean estimated backlog across replicas (after drainAll). */
+    double meanBacklog() const;
+
+    /**
+     * The best available replica other than @p exclude by the policy
+     * metric (backlog, or window p99 for LatencyAware), ties to the
+     * lowest index; kNoReplica when none. Does NOT assign -- the
+     * hedging layer decides and then calls assignTo().
+     */
+    std::size_t pickAlternate(Tick t, std::size_t exclude) const;
+
+    /** Account one (hedged) request assigned to @p r at @p t. */
+    void assignTo(std::size_t r, Tick t);
+
     const std::vector<ReplicaEstimator> &estimators() const
     {
         return estimators_;
@@ -102,6 +158,7 @@ class Router
     std::uint64_t reroutedCount() const { return rerouted_; }
 
   private:
+    bool available(std::size_t replica, Tick t) const;
     std::size_t pickRoundRobin(Tick t);
     double metric(std::size_t r) const;
     std::size_t pickMin(Tick t, bool healthy_only) const;
@@ -110,6 +167,7 @@ class Router
     std::size_t replicas_;
     std::vector<ReplicaEstimator> estimators_;
     std::vector<RouterOutage> outages_;
+    std::function<bool(std::size_t, Tick)> filter_;
     std::size_t rr_next_ = 0;
     std::uint64_t shed_ = 0;
     std::uint64_t rerouted_ = 0;

@@ -81,6 +81,19 @@ class ReplicaEstimator
     /** Requests assigned to this replica so far. */
     std::uint64_t assigned() const { return assigned_; }
 
+    /**
+     * The latency estimate recorded for the most recent assignment --
+     * i.e. the model latency THAT request is predicted to see. The
+     * control plane's deadline accounting and hedging threshold read
+     * it right after Router::pick()/assignTo(). 0 before any
+     * assignment.
+     */
+    double
+    lastAssignmentEstimateCycles() const
+    {
+        return recent_.empty() ? 0.0 : recent_.back();
+    }
+
   private:
     void refreshWindowP99();
 

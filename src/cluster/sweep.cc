@@ -59,6 +59,10 @@ addClusterPoint(obs::MetricsSnapshot &snap, const std::string &label,
     point["shed_requests"] = r.shed_requests;
 
     point["availability"] = r.availability;
+    point["request_availability"] = r.request_availability;
+    point["inference_availability"] = r.inference_availability;
+    point["goodput_rps"] = r.goodput_rps;
+    point["deadline_met"] = r.deadline_met;
     point["outage_cycles"] = static_cast<std::uint64_t>(r.outage_cycles);
     if (r.faults.totalFaults() > 0 || r.faults.recoveryEvents() > 0) {
         obs::Json &faults = point["faults"];
@@ -92,6 +96,58 @@ addClusterSweep(obs::MetricsSnapshot &snap, const std::string &label,
 {
     for (const auto &r : rs)
         addClusterPoint(snap, label, r);
+}
+
+void
+addResiliencePoint(obs::MetricsSnapshot &snap, const std::string &label,
+                   const cluster::ClusterPointResult &r)
+{
+    const cluster::ResilienceStats &s = r.resilience;
+    obs::Json point = obs::Json::object();
+    point["load"] = r.load;
+    point["control_plane"] = r.control_plane;
+    point["request_availability"] = r.request_availability;
+    point["inference_availability"] = r.inference_availability;
+    point["goodput_rps"] = r.goodput_rps;
+    point["deadline_met"] = r.deadline_met;
+    point["p99_latency_s"] = r.p99_latency_s;
+
+    obs::Json &admission = point["admission"];
+    admission["offered"] = s.admission.offered;
+    admission["offered_background"] = s.admission.offered_background;
+    admission["admitted"] = s.admission.admitted;
+    admission["shed_rate_limited"] = s.admission.shed_rate_limited;
+    admission["shed_queue"] = s.admission.shed_queue;
+    admission["shed_background"] = s.admission.shed_background;
+    admission["shed_inference"] = s.admission.shed_inference;
+    admission["deadline_missed"] = s.admission.deadline_missed;
+
+    obs::Json &retry = point["retry"];
+    retry["attempts"] = s.retry_attempts;
+    retry["recovered"] = s.retry_recovered;
+    retry["shed"] = s.retry_shed;
+    retry["budget_exhausted"] = s.retry_budget_exhausted;
+    retry["outage_shed"] = s.outage_shed;
+
+    obs::Json &hedge = point["hedge"];
+    hedge["issued"] = s.hedges_issued;
+    hedge["wins"] = s.hedge_wins;
+
+    obs::Json &breaker = point["breaker"];
+    breaker["opens"] = s.breaker_opens;
+    breaker["reopens"] = s.breaker_reopens;
+    breaker["closes"] = s.breaker_closes;
+    breaker["denials"] = s.breaker_denials;
+
+    point["dispatched"] = s.dispatched;
+    point["dispatched_background"] = s.dispatched_background;
+    point["shed_background_total"] = s.shed_background_total;
+    point["shed_inference_total"] = s.shed_inference_total;
+    point["total_shed"] = s.totalShed();
+    point["training_replicas_shed"] =
+        static_cast<std::uint64_t>(s.training_replicas_shed);
+
+    snap.section("resilience")[label].append(std::move(point));
 }
 
 } // namespace core

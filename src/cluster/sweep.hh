@@ -47,6 +47,18 @@ void addClusterPoint(obs::MetricsSnapshot &snap, const std::string &label,
 void addClusterSweep(obs::MetricsSnapshot &snap, const std::string &label,
                      const std::vector<cluster::ClusterPointResult> &rs);
 
+/**
+ * Append one control-plane point under "resilience.<label>" in @p
+ * snap: availability/goodput headline numbers plus the full admission,
+ * retry, hedge, and breaker counter breakdown. Only meaningful for
+ * points run with the resilience control plane enabled
+ * (r.control_plane); plain points export their availability headline
+ * and zeroed mechanism counters.
+ */
+void addResiliencePoint(obs::MetricsSnapshot &snap,
+                        const std::string &label,
+                        const cluster::ClusterPointResult &r);
+
 } // namespace core
 } // namespace equinox
 

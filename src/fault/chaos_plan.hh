@@ -1,0 +1,174 @@
+/**
+ * @file
+ * ChaosPlan: FaultPlan lifted to cluster scope.
+ *
+ * A FaultPlan describes what goes wrong inside ONE accelerator; a
+ * ChaosPlan describes what goes wrong to a FLEET: replicas crashing
+ * and restarting, whole racks going dark together, latency storms
+ * pinning single replicas, and flash crowds multiplying the offered
+ * arrival rate. Like FaultPlan, a ChaosPlan is purely declarative and
+ * seeded: materializeChaos() expands the stochastic policies into
+ * concrete outage windows, per-replica scheduled faults, and arrival
+ * surge windows, drawing every event from its own seeded per-component
+ * RNG stream so components decorrelate and a plan with one policy
+ * zeroed produces byte-identical events for the others.
+ *
+ * The default-constructed plan injects nothing; the cluster layer
+ * skips materialization entirely and stays byte-identical to a build
+ * without this subsystem.
+ */
+
+#ifndef EQUINOX_FAULT_CHAOS_PLAN_HH
+#define EQUINOX_FAULT_CHAOS_PLAN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+
+namespace equinox
+{
+namespace fault
+{
+
+/** Sentinel replica index: the event hits every replica at once. */
+constexpr std::size_t kEveryReplica = static_cast<std::size_t>(-1);
+
+/** Stochastic replica crash/restart churn (Poisson per replica). */
+struct ReplicaCrashPolicy
+{
+    /** Crash events per replica-second; 0 disables churn. */
+    double rate_per_replica_s = 0.0;
+    /** Mean time to repair: how long a crashed replica stays dark. */
+    double mttr_s = 0.02;
+};
+
+/** Correlated whole-rack outages (Poisson per rack). */
+struct RackOutagePolicy
+{
+    /** Replicas per rack; 0 disables rack outages. */
+    std::size_t rack_size = 0;
+    /** Rack-outage events per second across the fleet. */
+    double rate_per_s = 0.0;
+    /** How long a dark rack stays dark. */
+    double outage_s = 0.01;
+};
+
+/**
+ * Latency storms: windows during which one replica's dispatcher keeps
+ * hanging (materialized as scheduled MmuHang faults, so the existing
+ * watchdog/reset machinery answers them and the replica's tail
+ * latency spikes without the replica going formally dark).
+ */
+struct LatencyStormPolicy
+{
+    /** Storm events per second across the fleet; 0 disables storms. */
+    double rate_per_s = 0.0;
+    /** Length of one storm window. */
+    double duration_s = 0.005;
+    /** Scheduled MmuHang faults injected inside one window. */
+    unsigned hangs_per_storm = 4;
+};
+
+/** Flash crowds: windows where the offered arrival rate multiplies. */
+struct FlashCrowdPolicy
+{
+    /** Crowd events per second; 0 disables stochastic crowds. */
+    double rate_per_s = 0.0;
+    /** Length of one crowd window. */
+    double duration_s = 0.005;
+    /** Rate multiplier inside the window (> 1). */
+    double factor = 3.0;
+};
+
+/** One concrete replica-dark window in seconds of simulated time. */
+struct ChaosOutageWindow
+{
+    /** Replica index, or kEveryReplica for a fleet-wide blackout. */
+    std::size_t replica = 0;
+    double from_s = 0.0;
+    double to_s = 0.0;
+};
+
+/** One concrete arrival-rate surge window. */
+struct SurgeWindow
+{
+    double from_s = 0.0;
+    double to_s = 0.0;
+    /** Rate multiplier inside [from_s, to_s) (> 1). */
+    double factor = 3.0;
+};
+
+/** A complete, seeded cluster-scope chaos plan for one run. */
+struct ChaosPlan
+{
+    std::uint64_t seed = 1;
+
+    // -- stochastic cluster fault processes (default "never") ---------
+    ReplicaCrashPolicy crash;
+    RackOutagePolicy rack;
+    LatencyStormPolicy storm;
+    FlashCrowdPolicy crowd;
+
+    // -- explicitly scheduled cluster events (scenario building) ------
+    std::vector<ChaosOutageWindow> scheduled_outages;
+    std::vector<SurgeWindow> scheduled_surges;
+
+    /** True when the plan can produce at least one cluster event. */
+    bool enabled() const;
+
+    /**
+     * Sanity-check the plan; returns actionable messages for each
+     * out-of-range knob (empty = valid). Replica indexes in
+     * scheduled_outages are range-checked by ClusterSpec::validate,
+     * which knows the replica count.
+     */
+    std::vector<std::string> validate() const;
+};
+
+/** Everything materializeChaos() expands a plan into. */
+struct MaterializedChaos
+{
+    /** Concrete replica-dark windows (kEveryReplica expanded). */
+    std::vector<ChaosOutageWindow> outages;
+    /** Extra scheduled faults per replica (index = replica). */
+    std::vector<std::vector<ScheduledFault>> replica_faults;
+    /** Concrete arrival surge windows, in event-draw order. */
+    std::vector<SurgeWindow> surges;
+};
+
+/**
+ * Expand @p plan into concrete events over @p horizon_s for a fleet
+ * of @p replicas. Pure function of (plan, replicas, horizon_s): each
+ * stochastic component draws from its own Rng stream seeded from
+ * plan.seed, so runs are reproducible and components decorrelated.
+ */
+MaterializedChaos materializeChaos(const ChaosPlan &plan,
+                                   std::size_t replicas,
+                                   double horizon_s);
+
+/** Names of the built-in chaos scenarios (bench/overload_resilience). */
+std::vector<std::string> chaosScenarioNames();
+
+/**
+ * A named chaos scenario sized to @p horizon_s of simulated time:
+ *   - "replica_churn": Poisson crash/restart churn on every replica,
+ *   - "rack_blackout": one scheduled fleet-wide dark window,
+ *   - "latency_storm": Poisson per-replica MmuHang storm windows,
+ *   - "flash_crowd": two scheduled arrival surges (3x and 4x),
+ *   - "flash_crowd_outage": two transient surges (2x and 2.5x) with a
+ *     fleet blackout in the lull between them, plus latency storms --
+ *     the overload-resilience acceptance scenario (the surges are
+ *     drainable on purpose: a sustained-infeasible crowd would reward
+ *     a queue-everything baseline on availability).
+ * Dies on an unknown name (chaosScenarioNames() lists the valid ones).
+ */
+ChaosPlan chaosScenario(const std::string &name, double horizon_s,
+                        std::uint64_t seed = 1);
+
+} // namespace fault
+} // namespace equinox
+
+#endif // EQUINOX_FAULT_CHAOS_PLAN_HH

@@ -50,6 +50,36 @@ foldClusterPoint(ResultDigest &dg, const cluster::ClusterPointResult &r)
     dg.u64(r.faults.downtime_cycles);
     dg.u64(r.outage_cycles);
     dg.d(r.availability);
+    dg.u64(r.control_plane ? 1 : 0);
+    dg.u64(r.resilience.admission.offered);
+    dg.u64(r.resilience.admission.offered_background);
+    dg.u64(r.resilience.admission.admitted);
+    dg.u64(r.resilience.admission.shed_rate_limited);
+    dg.u64(r.resilience.admission.shed_queue);
+    dg.u64(r.resilience.admission.shed_background);
+    dg.u64(r.resilience.admission.shed_inference);
+    dg.u64(r.resilience.admission.deadline_missed);
+    dg.u64(r.resilience.dispatched);
+    dg.u64(r.resilience.dispatched_background);
+    dg.u64(r.resilience.retry_attempts);
+    dg.u64(r.resilience.retry_recovered);
+    dg.u64(r.resilience.retry_shed);
+    dg.u64(r.resilience.retry_budget_exhausted);
+    dg.u64(r.resilience.outage_shed);
+    dg.u64(r.resilience.breaker_denials);
+    dg.u64(r.resilience.hedges_issued);
+    dg.u64(r.resilience.hedge_wins);
+    dg.u64(r.resilience.breaker_opens);
+    dg.u64(r.resilience.breaker_reopens);
+    dg.u64(r.resilience.breaker_closes);
+    dg.u64(r.resilience.shed_background_total);
+    dg.u64(r.resilience.shed_inference_total);
+    dg.u64(r.resilience.overload_candidates);
+    dg.u64(r.resilience.training_replicas_shed);
+    dg.d(r.request_availability);
+    dg.d(r.inference_availability);
+    dg.u64(r.deadline_met);
+    dg.d(r.goodput_rps);
     for (const auto &rep : r.per_replica) {
         dg.u64(rep.replica);
         dg.u64(rep.assigned_candidates);

@@ -522,5 +522,84 @@ TEST(ClusterObs, SnapshotClusterSectionRoundTrips)
     EXPECT_LT(sweep.at(0).at("availability").asDouble(), 1.0);
 }
 
+// ---------------------------------------------------------------------
+// Appended: router outage-path coverage (overload-resilience PR).
+
+TEST(Router, SimultaneousMultiReplicaOutageReroutesDeterministically)
+{
+    // Replicas 1 and 2 of 4 go dark over the same window. The
+    // re-route order must be a pure function of the pick sequence:
+    // round-robin advances its cursor past every dead replica and
+    // lands on the survivors in rotation order, identically on every
+    // replay.
+    auto mkRouter = [] {
+        return cluster::Router(
+            cluster::RoutingPolicy::RoundRobin, 4, 0.01, 4,
+            {{1, 100, 500}, {2, 100, 500}});
+    };
+    auto a = mkRouter();
+    // Before the outage: full rotation.
+    EXPECT_EQ(a.pick(1), 0u);
+    EXPECT_EQ(a.pick(2), 1u);
+    EXPECT_EQ(a.pick(3), 2u);
+    EXPECT_EQ(a.pick(4), 3u);
+    // Inside the outage: only survivors 0 and 3, in rotation order.
+    EXPECT_EQ(a.pick(101), 0u);
+    EXPECT_EQ(a.pick(102), 3u); // skipped 1 and 2
+    EXPECT_EQ(a.pick(103), 0u);
+    EXPECT_EQ(a.pick(104), 3u);
+    EXPECT_EQ(a.reroutedCount(), 2u);
+    // After the outage: the dead replicas rejoin the rotation.
+    EXPECT_EQ(a.pick(500), 0u);
+    EXPECT_EQ(a.pick(501), 1u);
+    EXPECT_EQ(a.pick(502), 2u);
+
+    // The whole routed stream replays identically.
+    auto b = mkRouter();
+    auto c = mkRouter();
+    auto rb = b.route(2e-3, 23, 1000);
+    auto rc = c.route(2e-3, 23, 1000);
+    ASSERT_EQ(rb.traces.size(), rc.traces.size());
+    for (std::size_t r = 0; r < rb.traces.size(); ++r)
+        EXPECT_EQ(rb.traces[r], rc.traces[r]) << "replica " << r;
+    EXPECT_EQ(rb.rerouted, rc.rerouted);
+    EXPECT_EQ(rb.shed, rc.shed);
+    // No trace contains a candidate inside its replica's dark window.
+    for (std::size_t r : {std::size_t(1), std::size_t(2)})
+        for (Tick t : rb.traces[r])
+            EXPECT_TRUE(t < 100 || t >= 500)
+                << "replica " << r << " got a candidate at " << t;
+}
+
+TEST(ClusterProperties, RequestConservationUnderMultiReplicaOutage)
+{
+    // admitted == retired + shed + in-flight-at-end, with a window
+    // where most of the fleet is dark (so the shed path is live too).
+    cluster::ClusterSpec cspec;
+    cspec.replicas = 3;
+    cspec.policy = cluster::RoutingPolicy::JoinShortestQueue;
+    cspec.outages.push_back({0, 0.008, 0.012});
+    cspec.outages.push_back({1, 0.008, 0.012});
+    cspec.outages.push_back({2, 0.009, 0.011});
+
+    auto opts = baseOptions();
+    opts.jobs = 3;
+    cluster::Cluster fleet(testutil::smallConfig(), cspec);
+    auto r = fleet.run(
+        0.8, opts, core::compileWorkload(testutil::smallConfig(), opts));
+
+    EXPECT_GT(r.router_shed, 0u); // the full blackout really shed
+    EXPECT_EQ(r.generated_candidates,
+              r.router_shed +
+                  [&] {
+                      std::uint64_t assigned = 0;
+                      for (const auto &rep : r.per_replica)
+                          assigned += rep.assigned_candidates;
+                      return assigned;
+                  }());
+    EXPECT_EQ(r.admitted_requests,
+              r.retired_requests + r.inflight_requests);
+}
+
 } // namespace
 } // namespace equinox

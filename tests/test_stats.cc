@@ -498,3 +498,89 @@ TEST(StatRegistryDeath, MissingStatIsFatal)
 } // namespace
 } // namespace stats
 } // namespace equinox
+
+// Appended: empty / single-sample merge regression pins (the
+// overload-resilience PR folds these trackers into cluster digests, so
+// the merged bit patterns must stay exactly stable).
+
+#include "stats/fault_stats.hh"
+
+namespace equinox
+{
+namespace stats
+{
+namespace
+{
+
+TEST(LatencyTrackerMerge, SingleSampleIntoEmptyPinsBitwise)
+{
+    // One sample through a merge must come out bit-identical: count 1,
+    // mean/min/max/percentiles exactly the recorded double.
+    const double sample = 0.12345678901234567;
+    LatencyTracker src;
+    src.record(sample);
+
+    LatencyTracker dst;
+    dst.merge(src);
+    EXPECT_EQ(dst.count(), 1u);
+    EXPECT_EQ(dst.mean(), sample);
+    EXPECT_EQ(dst.min(), sample);
+    EXPECT_EQ(dst.max(), sample);
+    for (double p : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_EQ(dst.percentile(p), sample) << "p" << p;
+
+    // And the mirror image: empty merged into single-sample.
+    LatencyTracker single;
+    single.record(sample);
+    single.merge(LatencyTracker{});
+    EXPECT_EQ(single.count(), 1u);
+    EXPECT_EQ(single.mean(), sample);
+    EXPECT_EQ(single.percentile(0.5), sample);
+}
+
+TEST(LatencyTrackerMerge, TwoSingleSamplesInterpolateExactly)
+{
+    // The interpolated order statistic over {1.0, 3.0} is pinned: p50
+    // sits exactly halfway, p0/p100 on the samples themselves.
+    LatencyTracker a, b;
+    a.record(1.0);
+    b.record(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.percentile(0.0), 1.0);
+    EXPECT_EQ(a.percentile(1.0), 3.0);
+    EXPECT_EQ(a.percentile(0.5), 2.0);
+    EXPECT_EQ(a.mean(), 2.0);
+}
+
+TEST(FaultStatsMerge, SingleSampleRecoveryTrackerSurvivesMergeChain)
+{
+    // empty <- single <- empty must leave the one recovery sample (and
+    // every counter) bitwise intact through the whole chain.
+    const double cycles = 12345.6789;
+    FaultStats single;
+    single.mmu_hangs = 1;
+    single.recovery_cycles.record(cycles);
+
+    FaultStats acc;
+    acc.merge(FaultStats{});
+    acc.merge(single);
+    acc.merge(FaultStats{});
+    EXPECT_EQ(acc.mmu_hangs, 1u);
+    EXPECT_EQ(acc.totalFaults(), 1u);
+    EXPECT_EQ(acc.recovery_cycles.count(), 1u);
+    EXPECT_EQ(acc.recovery_cycles.mean(), cycles);
+    EXPECT_EQ(acc.recovery_cycles.percentile(0.99), cycles);
+
+    // Both-empty merge stays a true zero record.
+    FaultStats e1, e2;
+    e1.merge(e2);
+    EXPECT_EQ(e1.totalFaults(), 0u);
+    EXPECT_EQ(e1.downtime_cycles, 0u);
+    EXPECT_EQ(e1.recovery_cycles.count(), 0u);
+    EXPECT_EQ(e1.recovery_cycles.mean(), 0.0);
+}
+
+} // namespace
+} // namespace stats
+} // namespace equinox
