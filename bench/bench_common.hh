@@ -346,7 +346,12 @@ traceRepresentativeRun(Harness &harness,
     obs::LatencyProbe probe;
     obs::MultiSink sinks;
     sinks.add(&trace);
-    sinks.add(&probe);
+    // The probe's percentile report only ever surfaces through the
+    // metrics snapshot; without `--metrics` installing it would tax
+    // every RequestRetired record for output nobody reads.
+    const bool want_metrics = !harness.metricsPath().empty();
+    if (want_metrics)
+        sinks.add(&probe);
     auto traced = opts;
     traced.trace_sink = &sinks;
     traced.jobs = 1;
@@ -357,7 +362,8 @@ traceRepresentativeRun(Harness &harness,
                     static_cast<unsigned long long>(trace.total()),
                     cfg.name.c_str(), load,
                     harness.tracePath().c_str());
-    probe.addTo(harness.metrics(), "trace_run", cfg.frequency_hz);
+    if (want_metrics)
+        probe.addTo(harness.metrics(), "trace_run", cfg.frequency_hz);
 }
 
 } // namespace bench

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<artifact>.json perf records.
+
+Usage:
+    bench_compare.py BASELINE CURRENT [--tolerance FRAC]
+
+Every bench binary writes a BENCH_<artifact>.json record on exit (see
+bench/bench_common.hh); this script diffs a committed baseline against
+a fresh run and exits nonzero when the simulator got more than
+--tolerance (default 0.10) slower on the events/second figure of
+merit. Latency/throughput fields and notes are reported for context
+but never gate: they measure the *simulated* system, which must not
+move at all -- byte-identity is the digest suites' job, not a
+tolerance check's.
+
+The tolerance can also come from EQX_BENCH_TOLERANCE (the flag wins),
+so CI lanes on noisy shared runners can widen the gate without
+touching the call sites.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+GATED_FIELD = "events_per_second"
+
+# Reported for context when present in both records.
+CONTEXT_FIELDS = [
+    "wall_seconds",
+    "events_dispatched",
+    "jobs",
+    "latency_p50_ms",
+    "latency_p99_ms",
+    "ops_rate_tops",
+]
+
+
+def load_record(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"bench_compare: cannot read {path}: {exc}")
+    if GATED_FIELD not in record:
+        sys.exit(f"bench_compare: {path} has no '{GATED_FIELD}' field "
+                 "(not a BENCH record?)")
+    return record
+
+
+def fmt(value):
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_<artifact>.json perf records and "
+                    "fail on an events/s regression.")
+    parser.add_argument("baseline", help="committed BENCH json")
+    parser.add_argument("current", help="freshly produced BENCH json")
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get("EQX_BENCH_TOLERANCE", "0.10")),
+        help="allowed fractional events/s regression (default 0.10, "
+             "or EQX_BENCH_TOLERANCE)")
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        sys.exit("bench_compare: --tolerance must be in [0, 1)")
+
+    base = load_record(args.baseline)
+    cur = load_record(args.current)
+
+    if base.get("artifact") != cur.get("artifact"):
+        sys.exit(f"bench_compare: artifact mismatch: "
+                 f"{base.get('artifact')!r} vs {cur.get('artifact')!r}")
+
+    artifact = cur.get("artifact", "?")
+    base_eps = float(base[GATED_FIELD])
+    cur_eps = float(cur[GATED_FIELD])
+    if base_eps <= 0.0:
+        sys.exit(f"bench_compare: baseline {GATED_FIELD} is "
+                 f"{base_eps}; record a real baseline first")
+
+    ratio = cur_eps / base_eps
+    print(f"bench_compare: {artifact}")
+    print(f"  {GATED_FIELD}: {fmt(base_eps)} -> {fmt(cur_eps)} "
+          f"({ratio:.3f}x, gate >= {1.0 - args.tolerance:.2f}x)")
+    for field in CONTEXT_FIELDS:
+        if field in base and field in cur and base[field] != cur[field]:
+            print(f"  {field}: {fmt(base[field])} -> {fmt(cur[field])}")
+    for key, val in sorted(cur.get("notes", {}).items()):
+        prev = base.get("notes", {}).get(key)
+        arrow = f"{fmt(prev)} -> " if prev is not None else ""
+        print(f"  notes.{key}: {arrow}{fmt(val)}")
+
+    if ratio < 1.0 - args.tolerance:
+        print(f"bench_compare: FAIL: {artifact} regressed "
+              f"{(1.0 - ratio) * 100.0:.1f}% on {GATED_FIELD} "
+              f"(tolerance {args.tolerance * 100.0:.0f}%)")
+        return 1
+    print("bench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,13 @@
 #                                # src/fault/ is below 90%
 #   scripts/check.sh --resilience # only the overload-resilience
 #                                # control-plane + chaos suites
+#   scripts/check.sh --bench-smoke # build the default preset, run the
+#                                # fig7 + event-kernel benches, and diff
+#                                # their BENCH records against the
+#                                # committed bench/baselines/ (fails on
+#                                # a >10% events/s regression; widen on
+#                                # noisy runners with
+#                                # EQX_BENCH_TOLERANCE)
 #   scripts/check.sh --format    # only run the clang-format check
 #
 # The "resilience" ctest label is a subset of tier1, so the default run
@@ -58,6 +65,24 @@ run_preset() {
     ctest --preset "$preset" -L "$label" -j "$(nproc)"
 }
 
+run_bench_smoke() {
+    # Perf-regression gate: run the two perf-tracking benches serially
+    # (jobs=1 pins the exact dispatch path the digests cover) and diff
+    # the fresh BENCH records against the committed baselines.
+    echo "check.sh: configure+build preset 'default' (bench smoke)"
+    cmake --preset default
+    cmake --build --preset default -j "$(nproc)" \
+        --target fig7_inference_latency event_kernel
+    local bench
+    for bench in fig7_inference_latency event_kernel; do
+        echo "check.sh: bench smoke: $bench"
+        (cd build/bench && "./$bench" --jobs=1 >/dev/null)
+        python3 scripts/bench_compare.py \
+            "bench/baselines/BENCH_$bench.json" \
+            "build/bench/BENCH_$bench.json"
+    done
+}
+
 case "${1:-}" in
   --format)
     run_format_check
@@ -82,13 +107,16 @@ case "${1:-}" in
   --resilience)
     run_preset default resilience
     ;;
+  --bench-smoke)
+    run_bench_smoke
+    ;;
   "")
     run_format_check
     run_preset default
     ;;
   *)
     echo "usage: scripts/check.sh" \
-         "[--asan|--tsan|--coverage|--resilience|--format]" >&2
+         "[--asan|--tsan|--coverage|--resilience|--bench-smoke|--format]" >&2
     exit 2
     ;;
 esac

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/min_heap.hh"
 #include "common/random.hh"
 
 namespace equinox
@@ -217,10 +217,12 @@ ControlPlane::route(double rate_per_cycle, std::uint64_t seed,
     // All dispatch attempts -- fresh candidates and backed-off retries
     // -- drain through one global min-heap ordered by (tick, seq), so
     // the per-replica traces come out non-decreasing no matter how
-    // retries interleave with later arrivals.
-    std::priority_queue<DispatchEvent, std::vector<DispatchEvent>,
-                        LaterEvent>
-        heap;
+    // retries interleave with later arrivals. The candidate count is
+    // the heap's provable high-water mark (every round pops one event
+    // and pushes at most one retry), so one reserve() up front keeps
+    // the whole routing pass allocation-free.
+    ReservedMinHeap<DispatchEvent, LaterEvent> heap;
+    heap.reserve(ticks.size());
     std::uint64_t seq = 0;
     const double bg_frac = spec_.admission.background_fraction;
     for (Tick t : ticks) {
@@ -240,8 +242,7 @@ ControlPlane::route(double rate_per_cycle, std::uint64_t seed,
     };
 
     while (!heap.empty()) {
-        DispatchEvent ev = heap.top();
-        heap.pop();
+        DispatchEvent ev = heap.pop();
         const Tick t = ev.t;
 
         router_.drainAll(t);
@@ -344,6 +345,13 @@ ControlPlane::route(double rate_per_cycle, std::uint64_t seed,
                 hedge_window.erase(hedge_window.begin());
         }
     }
+
+    EQX_ASSERT(heap.reallocations() == 0,
+               "dispatch heap reallocated mid-route: reserve(",
+               ticks.size(), ") was not the high-water mark (saw ",
+               heap.highWater(), ")");
+    stats_.dispatch_heap_reallocs = heap.reallocations();
+    stats_.dispatch_heap_high_water = heap.highWater();
 
     for (const auto &b : breakers_) {
         stats_.breaker_opens += b.opens();

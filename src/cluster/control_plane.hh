@@ -142,6 +142,16 @@ struct ResilienceStats
     /** Candidates that arrived with the fleet over the training-shed
      *  backlog threshold (drives the degradation fraction). */
     std::uint64_t overload_candidates = 0;
+
+    /**
+     * Allocation audit of the global dispatch heap: route() reserves
+     * the candidate count up front (each round pops one event and
+     * pushes at most one retry, so the initial fill is the provable
+     * high-water mark) and these must come out 0-realloc; the
+     * resilience suite pins that.
+     */
+    std::uint64_t dispatch_heap_reallocs = 0;
+    std::size_t dispatch_heap_high_water = 0;
     /** Training replicas the coordinator shed (filled by Cluster). */
     std::size_t training_replicas_shed = 0;
 

@@ -15,6 +15,18 @@
 #include <sstream>
 #include <string>
 
+/**
+ * Branch-prediction hints for hot-path guards (e.g. the trace-sink-off
+ * fast path). Plain pass-through on compilers without the builtin.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define EQX_LIKELY(x) __builtin_expect(!!(x), 1)
+#define EQX_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define EQX_LIKELY(x) (x)
+#define EQX_UNLIKELY(x) (x)
+#endif
+
 namespace equinox
 {
 

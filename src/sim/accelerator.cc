@@ -136,9 +136,10 @@ Accelerator::run(const RunSpec &run_spec)
     // beginRun() builds the injector and link hooks the other blocks'
     // transfers consult.
     ctx.events = EventQueue{};
-    // Pre-size the event heap to its typical high-water mark so the
-    // run's steady state never reallocates mid-dispatch.
-    ctx.events.reserve(1024);
+    // Pre-size the event heap so the run's steady state never
+    // reallocates mid-dispatch: the hint starts at a cold-start floor
+    // and tracks the worst observed high-water mark across runs.
+    ctx.events.reserve(event_reserve_);
     ctx.hbm = std::make_unique<dram::HbmModel>(cfg.frequency_hz, cfg.dram);
     ctx.host = std::make_unique<dram::HostLink>(cfg.frequency_hz,
                                                 cfg.host);
@@ -183,6 +184,7 @@ Accelerator::run(const RunSpec &run_spec)
            ctx.events.now() <= max_ticks)
         ctx.events.runOne();
     addGlobalDispatchedEvents(ctx.events.dispatched());
+    event_reserve_ = std::max(event_reserve_, ctx.events.highWater());
 
     faults->finalizeDowntime();
     if (!datapath->mmuBusy())

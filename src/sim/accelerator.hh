@@ -94,6 +94,14 @@ class Accelerator
   private:
     AcceleratorConfig cfg;
 
+    /**
+     * Event-heap reserve carried across runs: seeded with a floor that
+     * covers a cold start, then raised to the worst highWater() any
+     * previous run on this accelerator observed, so sweeps over many
+     * load points stop reallocating after the first run.
+     */
+    std::size_t event_reserve_ = 1024;
+
     // on-chip buffers (install-time space sharing)
     SramBuffer act_buffer;
     SramBuffer weight_buffer;

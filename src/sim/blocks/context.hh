@@ -67,6 +67,18 @@ struct SimContext
     std::uint64_t train_iterations_measured = 0;
     ByteCount dram_lp_snapshot = 0;
 
+    // -- incremental scheduling predicates -------------------------------
+    // Maintained by the request dispatcher (arrival/batch-forming) and
+    // the datapath (first issue) so the per-round spike/queue-low
+    // policy checks are O(1) instead of rescanning every service and
+    // queued batch. Invariants:
+    //   full_pending_services == #services with pending.size() >=
+    //                            batch_rows
+    //   unstarted_batches     == #queued batches never issued
+    //                            (first_issue still kTickMax)
+    std::uint32_t full_pending_services = 0;
+    std::uint32_t unstarted_batches = 0;
+
     // -- installed services (shared across blocks) ----------------------
     std::vector<std::unique_ptr<InfService>> services;
     std::unique_ptr<TrainState> train;

@@ -125,8 +125,12 @@ Datapath::issueInferenceChunk(InfBatch *batch)
     double real_frac = static_cast<double>(batch->real) /
                        static_cast<double>(prog.batch_rows);
 
-    if (batch->first_issue == kTickMax)
+    if (batch->first_issue == kTickMax) {
         batch->first_issue = now;
+        EQX_ASSERT(ctx.unstarted_batches > 0,
+                   "unstarted-batch counter underflow");
+        --ctx.unstarted_batches;
+    }
     dispatcher->noteInferenceServed(batch->svc->id);
 
     // With a training context installed, the instruction controller
@@ -231,8 +235,11 @@ Datapath::completeInferenceChunk(InfBatch *batch, Tick chunk)
         }
     }
 
-    inf_waiting_at_release = dispatcher->firstReadyBatchWaiting() ||
-                             !ctx.batch_queue.empty();
+    // Any queued batch means gaps are dependence stalls, not idle. (A
+    // dependence-READY batch implies a queued one, so the old extra
+    // firstReadyBatchWaiting() scan here was subsumed by this check --
+    // dropping it halves the ready-scan count per retire.)
+    inf_waiting_at_release = !ctx.batch_queue.empty();
     dispatcher->tryDispatch();
 }
 

@@ -30,7 +30,7 @@ class InstructionDispatcher;
 class TrainPrefetcher;
 
 /** MMU/SIMD datapath timing and measured-window accounting. */
-class Datapath : public SimBlock
+class Datapath final : public SimBlock
 {
   public:
     explicit Datapath(SimContext &context);

@@ -33,7 +33,7 @@ class InstructionDispatcher;
 class TrainPrefetcher;
 
 /** Fault injection, recovery policies, and degradation control. */
-class FaultUnit : public SimBlock
+class FaultUnit final : public SimBlock
 {
   public:
     explicit FaultUnit(SimContext &context);

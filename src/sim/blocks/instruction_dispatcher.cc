@@ -17,6 +17,14 @@ InstructionDispatcher::InstructionDispatcher(SimContext &context)
     : SimBlock(context, "instruction_dispatcher"),
       policy_(makeSchedulingPolicy(context.cfg))
 {
+    // Built once: constructing three std::functions per scheduling
+    // round showed up in profiles. The closures capture only `this`,
+    // which outlives the view.
+    view_.spike = [this] { return spikeDetected(); };
+    view_.queue_low = [this] { return inferenceQueueLow(); };
+    view_.pending_work = [this] {
+        return requests->pendingInferenceWork();
+    };
 }
 
 InstructionDispatcher::~InstructionDispatcher() = default;
@@ -36,6 +44,7 @@ InstructionDispatcher::resetRun()
 {
     prefer_training = false;
     policy_->reset();
+    armed_wakes_.clear(); // the run's EventQueue was rebuilt
     rounds = 0;
     inf_issues = 0;
     train_issues = 0;
@@ -62,16 +71,15 @@ InstructionDispatcher::firstReadyBatch()
     // FIFO within a hardware context; round-robin across contexts so a
     // long-running service (e.g. a 30 ms GRU batch) cannot head-of-line
     // block a sub-ms one in its dependence gaps.
+    const Tick now = ctx.events.now();
     InfBatch *fallback = nullptr;
     for (auto *b : ctx.batch_queue) {
-        if (b->done || b->in_flight)
+        if (b->done || b->in_flight || b->ready_at > now)
             continue;
-        if (b->ready_at > ctx.events.now())
-            continue;
-        if (!fallback)
-            fallback = b;
         if (b->svc->id != last_served_ctx)
             return b;
+        if (!fallback)
+            fallback = b;
     }
     return fallback;
 }
@@ -80,34 +88,22 @@ bool
 InstructionDispatcher::inferenceQueueLow() const
 {
     // "Low queuing": at most one batch anywhere in the pipeline and no
-    // full batch of raw requests waiting to form.
-    std::size_t incomplete = ctx.batch_queue.size();
-    if (incomplete > 1)
-        return false;
-    for (const auto &svc : ctx.services) {
-        if (svc->pending.size() >= svc->desc.program.batch_rows)
-            return false;
-    }
-    return true;
+    // full batch of raw requests waiting to form. Both facts are
+    // maintained incrementally (see SimContext) -- this predicate runs
+    // on every policy round and used to rescan every service.
+    return ctx.batch_queue.size() <= 1 &&
+           ctx.full_pending_services == 0;
 }
 
 bool
 InstructionDispatcher::spikeDetected() const
 {
     // The instruction controller compares the inference queue size
-    // against an install-time threshold (section 3.2).
-    unsigned unstarted = 0;
-    for (const auto *b : ctx.batch_queue) {
-        if (!b->done && b->first_issue == kTickMax)
-            ++unstarted;
-    }
-    if (unstarted >= ctx.cfg.spike_threshold_batches)
-        return true;
-    for (const auto &svc : ctx.services) {
-        if (svc->pending.size() >= svc->desc.program.batch_rows)
-            return true;
-    }
-    return false;
+    // against an install-time threshold (section 3.2). O(1): the
+    // unstarted-batch and full-pending-service counts are maintained
+    // at their mutation sites instead of rescanned per round.
+    return ctx.unstarted_batches >= ctx.cfg.spike_threshold_batches ||
+           ctx.full_pending_services > 0;
 }
 
 bool
@@ -151,24 +147,16 @@ InstructionDispatcher::tryDispatch()
 
     // The policy sees readiness plus lazy (pure) queue predicates and
     // vetoes service classes; the round-robin and the issue stay here.
-    SchedulerView view;
-    view.now = now;
-    view.inference_ready = inf != nullptr;
-    view.training_ready = train_ok;
-    view.spike = [this] { return spikeDetected(); };
-    view.queue_low = [this] { return inferenceQueueLow(); };
-    view.pending_work = [this] {
-        return requests->pendingInferenceWork();
-    };
-    SchedDecision d = policy_->decide(view);
+    view_.now = now;
+    view_.inference_ready = inf != nullptr;
+    view_.training_ready = train_ok;
+    SchedDecision d = policy_->decide(view_);
     if (!d.allow_inference)
         inf = nullptr;
     if (!d.allow_training)
         train_ok = false;
-    if (d.revisit_at != kTickMax && d.revisit_at > now) {
-        Tick at = d.revisit_at;
-        ctx.events.schedule(at, [this] { tryDispatch(); });
-    }
+    if (d.revisit_at != kTickMax && d.revisit_at > now)
+        scheduleWake(d.revisit_at);
 
     if (inf && train_ok) {
         if (prefer_training) {
@@ -205,9 +193,33 @@ InstructionDispatcher::tryDispatch()
     }
     if (ctx.train && !ctx.train->in_flight && ctx.train->ready_at > now)
         wake = std::min(wake, ctx.train->ready_at);
-    if (wake != kTickMax && wake > now) {
-        ctx.events.schedule(wake, [this] { tryDispatch(); });
+    if (wake != kTickMax && wake > now)
+        scheduleWake(wake);
+}
+
+void
+InstructionDispatcher::scheduleWake(Tick at)
+{
+    // Exact-same-tick dedup only: a wake already armed at `at` makes a
+    // second event there a guaranteed no-op (every state change pokes
+    // tryDispatch directly, and decide() is pure), so skipping it
+    // cannot change dispatch order, policy state, or the final now().
+    // Never coalesce across DIFFERENT ticks -- that could change the
+    // tick the run drains at and thus the Idle-cycle accounting.
+    for (Tick t : armed_wakes_) {
+        if (t == at)
+            return;
     }
+    armed_wakes_.push_back(at);
+    ctx.events.schedule(at, [this, at] {
+        for (std::size_t i = 0; i < armed_wakes_.size(); ++i) {
+            if (armed_wakes_[i] == at) {
+                armed_wakes_.erase(armed_wakes_.begin() + i);
+                break;
+            }
+        }
+        tryDispatch();
+    });
 }
 
 } // namespace sim

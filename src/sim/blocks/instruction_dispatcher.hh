@@ -31,7 +31,7 @@ class FaultUnit;
 class RequestDispatcher;
 
 /** Execution-unit scheduler between inference contexts and training. */
-class InstructionDispatcher : public SimBlock
+class InstructionDispatcher final : public SimBlock
 {
   public:
     explicit InstructionDispatcher(SimContext &context);
@@ -66,12 +66,28 @@ class InstructionDispatcher : public SimBlock
     bool inferenceQueueLow() const;
     bool spikeDetected() const;
     bool trainingReady() const;
+    void scheduleWake(Tick at);
 
     Datapath *datapath = nullptr;
     RequestDispatcher *requests = nullptr;
     FaultUnit *faults = nullptr;
 
     std::unique_ptr<SchedulingPolicy> policy_;
+    /**
+     * Reusable policy view: the lazy predicate closures are built once
+     * per run instead of constructing three std::functions on every
+     * scheduling round; tryDispatch() only refreshes the scalars.
+     */
+    SchedulerView view_;
+    /**
+     * Ticks with an armed tryDispatch() wakeup. Completion paths used
+     * to re-arm an identical wake after every same-gap arrival; the
+     * dedup drops the extra no-op events without moving any wake to a
+     * different tick (so dispatch order and final now() are unchanged,
+     * keeping the golden digests byte-identical). Bounded by the number
+     * of distinct dependence-ready ticks in flight, in practice <= 2.
+     */
+    std::vector<Tick> armed_wakes_;
     bool prefer_training = false;  //!< round-robin alternation latch
     /**
      * Cross-context round-robin cursor. Deliberately NOT cleared by

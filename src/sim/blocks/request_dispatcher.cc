@@ -33,6 +33,8 @@ void
 RequestDispatcher::resetRun()
 {
     ctx.batch_queue.clear();
+    ctx.unstarted_batches = 0;
+    ctx.full_pending_services = 0;
     batch_pool.clear();
     batches_formed = 0;
     batches_incomplete = 0;
@@ -102,6 +104,7 @@ RequestDispatcher::beginRun()
         }
     }
     ctx.inference_load = false;
+    ctx.full_pending_services = 0; // every pending queue clears below
     for (std::size_t i = 0; i < ctx.services.size(); ++i) {
         auto &svc = *ctx.services[i];
         svc.pending.clear();
@@ -207,6 +210,8 @@ RequestDispatcher::onRequestArrival(std::size_t svc_idx)
         return;
     }
     svc.pending.push_back(ctx.events.now());
+    if (svc.pending.size() == svc.desc.program.batch_rows)
+        ++ctx.full_pending_services; // crossed the full-batch threshold
     ++requests_admitted;
     emit(TraceEventType::RequestArrival, svc.id, svc.pending.size());
     formFullBatches(svc);
@@ -219,6 +224,8 @@ void
 RequestDispatcher::formFullBatches(InfService &svc)
 {
     const std::uint32_t batch_rows = svc.desc.program.batch_rows;
+    if (svc.pending.size() >= batch_rows)
+        --ctx.full_pending_services; // the loop drains below full
     while (svc.pending.size() >= batch_rows) {
         auto batch = std::make_unique<InfBatch>();
         batch->svc = &svc;
@@ -243,6 +250,7 @@ RequestDispatcher::formFullBatches(InfService &svc)
         emit(TraceEventType::BatchFormed, svc.id, batch->real,
              batch_rows);
         ctx.batch_queue.push(batch.get());
+        ++ctx.unstarted_batches;
         batch_pool.push_back(std::move(batch));
     }
 }
@@ -252,6 +260,7 @@ RequestDispatcher::formPartialBatch(InfService &svc)
 {
     EQX_ASSERT(!svc.pending.empty(), "partial batch from empty queue");
     const std::uint32_t batch_rows = svc.desc.program.batch_rows;
+    const bool was_full = svc.pending.size() >= batch_rows;
     auto batch = std::make_unique<InfBatch>();
     batch->svc = &svc;
     batch->real = static_cast<std::uint32_t>(
@@ -260,6 +269,8 @@ RequestDispatcher::formPartialBatch(InfService &svc)
         batch->arrivals.push_back(svc.pending.front());
         svc.pending.pop_front();
     }
+    if (was_full && svc.pending.size() < batch_rows)
+        --ctx.full_pending_services;
     ByteCount in_bytes = static_cast<ByteCount>(batch->real) *
                          svc.desc.input_bytes_per_request;
     batch->ready_at = in_bytes
@@ -275,6 +286,7 @@ RequestDispatcher::formPartialBatch(InfService &svc)
     }
     emit(TraceEventType::BatchFormed, svc.id, batch->real, batch_rows);
     ctx.batch_queue.push(batch.get());
+    ++ctx.unstarted_batches;
     batch_pool.push_back(std::move(batch));
 }
 

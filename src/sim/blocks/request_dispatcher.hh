@@ -29,7 +29,7 @@ class FaultUnit;
 class InstructionDispatcher;
 
 /** Request dispatcher and batch former (hardware contexts, Figure 5). */
-class RequestDispatcher : public SimBlock
+class RequestDispatcher final : public SimBlock
 {
   public:
     explicit RequestDispatcher(SimContext &context);

@@ -81,7 +81,7 @@ class SchedulingPolicy
 };
 
 /** Baseline: training never issues. */
-class InferenceOnlyPolicy : public SchedulingPolicy
+class InferenceOnlyPolicy final : public SchedulingPolicy
 {
   public:
     const char *name() const override { return "inference_only"; }
@@ -94,7 +94,7 @@ class InferenceOnlyPolicy : public SchedulingPolicy
  * dependence gaps) when batches back up; training frozen entirely
  * during a load spike.
  */
-class PriorityPolicy : public SchedulingPolicy
+class PriorityPolicy final : public SchedulingPolicy
 {
   public:
     const char *name() const override { return "priority"; }
@@ -102,7 +102,7 @@ class PriorityPolicy : public SchedulingPolicy
 };
 
 /** Hardware fair-share: always round-robin, never vetoes. */
-class FairSharePolicy : public SchedulingPolicy
+class FairSharePolicy final : public SchedulingPolicy
 {
   public:
     const char *name() const override { return "fair_share"; }
@@ -115,7 +115,7 @@ class FairSharePolicy : public SchedulingPolicy
  * software decision turnaround elapses; once issued, the training
  * batch cannot be preempted until its iteration retires.
  */
-class SoftwareBatchPolicy : public SchedulingPolicy
+class SoftwareBatchPolicy final : public SchedulingPolicy
 {
   public:
     explicit SoftwareBatchPolicy(Tick turnaround_cycles)

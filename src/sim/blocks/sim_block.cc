@@ -21,11 +21,10 @@ SimBlock::registerStats(stats::StatRegistry &)
 }
 
 void
-SimBlock::emit(TraceEventType type, ContextId svc, std::uint64_t a,
-               std::uint64_t b) const
+SimBlock::emitSlow(TraceEventType type, ContextId svc, std::uint64_t a,
+                   std::uint64_t b) const
 {
-    if (!ctx.trace)
-        return;
+    noteTraceRecordDelivered();
     TraceEvent ev;
     ev.tick = ctx.events.now();
     ev.type = type;

@@ -25,7 +25,9 @@
 
 #include <cstdint>
 
+#include "common/logging.hh"
 #include "common/types.hh"
+#include "sim/blocks/context.hh"
 #include "sim/blocks/trace.hh"
 
 namespace equinox
@@ -37,8 +39,6 @@ class StatRegistry;
 
 namespace sim
 {
-
-struct SimContext;
 
 /** Base class of every simulation block. */
 class SimBlock
@@ -63,13 +63,28 @@ class SimBlock
     virtual void registerStats(stats::StatRegistry &reg);
 
   protected:
-    /** Report a block event to the trace sink, if one is installed. */
-    void emit(TraceEventType type, ContextId svc = 0,
-              std::uint64_t a = 0, std::uint64_t b = 0) const;
+    /**
+     * Report a block event to the trace sink, if one is installed.
+     * Sink-off is the zero-cost default: the guard inlines to one
+     * predicted-not-taken branch on the hot retire/issue paths, and
+     * everything that builds the TraceEvent stays outlined in
+     * emitSlow().
+     */
+    void
+    emit(TraceEventType type, ContextId svc = 0, std::uint64_t a = 0,
+         std::uint64_t b = 0) const
+    {
+        if (EQX_LIKELY(ctx.trace == nullptr))
+            return;
+        emitSlow(type, svc, a, b);
+    }
 
     SimContext &ctx;
 
   private:
+    void emitSlow(TraceEventType type, ContextId svc, std::uint64_t a,
+                  std::uint64_t b) const;
+
     const char *name_;
 };
 

@@ -1,9 +1,28 @@
 #include "sim/blocks/trace.hh"
 
+#include <atomic>
+
 namespace equinox
 {
 namespace sim
 {
+
+namespace
+{
+std::atomic<std::uint64_t> g_records_delivered{0};
+} // namespace
+
+std::uint64_t
+traceRecordsDelivered()
+{
+    return g_records_delivered.load(std::memory_order_relaxed);
+}
+
+void
+noteTraceRecordDelivered()
+{
+    g_records_delivered.fetch_add(1, std::memory_order_relaxed);
+}
 
 const char *
 traceEventTypeName(TraceEventType t)

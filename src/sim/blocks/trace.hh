@@ -69,6 +69,16 @@ class TraceSink
 };
 
 /**
+ * Process-wide count of trace events actually delivered to a sink
+ * (thread-safe). Sink-free runs must leave it untouched -- the
+ * regression tests for the zero-cost emit path assert exactly that.
+ */
+std::uint64_t traceRecordsDelivered();
+
+/** Bump the delivered-record counter (called by the emit slow path). */
+void noteTraceRecordDelivered();
+
+/**
  * Bounded in-memory sink: keeps the first @p cap events verbatim plus
  * per-type counts of everything (drops beyond the cap are counted, not
  * silently lost).

@@ -24,7 +24,7 @@ class FaultUnit;
 class InstructionDispatcher;
 
 /** DRAM-to-staging prefetch engine for the training context. */
-class TrainPrefetcher : public SimBlock
+class TrainPrefetcher final : public SimBlock
 {
   public:
     /** Training prefetch granularity over the DRAM interface. */

@@ -32,35 +32,79 @@ EventQueue::schedule(Tick when, Callback cb)
 {
     EQX_ASSERT(when >= now_, "scheduling into the past: ", when, " < ",
                now_);
-    heap.push_back(Entry{when, next_seq++, std::move(cb)});
-    std::push_heap(heap.begin(), heap.end(), Later{});
+    if (tick_open_ && when == now_) {
+        // The running tick's FIFO is open: appending preserves the
+        // (tick, seq) order directly because seq is globally monotonic
+        // and every same-tick entry with a smaller seq is already in
+        // the FIFO (refillFifo drained the heap of this tick).
+        fifo_.push_back(Entry{when, next_seq++, std::move(cb)});
+    } else {
+        if (heap_.size() == heap_.capacity())
+            ++heap_reallocs_;
+        heap_.push_back(Entry{when, next_seq++, std::move(cb)});
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
+    }
+    noteHighWater();
+}
+
+bool
+EventQueue::refillFifo()
+{
+    // Pool reuse: clear() keeps the vector's capacity, so after warmup
+    // tick turnover performs no allocation.
+    fifo_.clear();
+    fifo_head_ = 0;
+    if (heap_.empty()) {
+        tick_open_ = false;
+        return false;
+    }
+    const Tick t = heap_.front().when;
+    now_ = t;
+    // Batched same-tick drain: pop every entry for tick t once, in
+    // (tick, seq) order. Draining the FIFO afterwards never touches
+    // the heap again, and same-tick schedules made by the callbacks
+    // append behind fifo_head_ in O(1).
+    do {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        fifo_.push_back(std::move(heap_.back()));
+        heap_.pop_back();
+    } while (!heap_.empty() && heap_.front().when == t);
+    tick_open_ = true;
+    return true;
 }
 
 bool
 EventQueue::runOne()
 {
-    if (heap.empty())
+    if (fifo_head_ >= fifo_.size() && !refillFifo())
         return false;
-    std::pop_heap(heap.begin(), heap.end(), Later{});
     // Move the entry out before invoking: the callback may schedule
-    // more events (reallocating the heap) and the moved-out closure
-    // avoids a copy of its captured state per dispatch.
-    Entry e = std::move(heap.back());
-    heap.pop_back();
-    now_ = e.when;
+    // more events (growing the FIFO) and the moved-out closure avoids
+    // a dangling reference into the reallocated vector.
+    Callback cb = std::move(fifo_[fifo_head_++].cb);
     ++dispatched_;
-    e.cb();
+    cb();
     return true;
 }
 
 void
 EventQueue::runUntil(Tick limit)
 {
-    while (!heap.empty() && heap.front().when <= limit) {
-        if (!runOne())
+    for (;;) {
+        if (fifo_head_ >= fifo_.size()) {
+            fifo_.clear();
+            fifo_head_ = 0;
+            tick_open_ = false;
+            if (heap_.empty() || heap_.front().when > limit)
+                break;
+        } else if (now_ > limit) {
+            // A previously opened tick past the limit still has
+            // undispatched entries; leave them pending.
             break;
+        }
+        runOne();
     }
-    if (now_ < limit && heap.empty())
+    if (now_ < limit && empty())
         now_ = limit;
 }
 

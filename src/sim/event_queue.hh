@@ -17,13 +17,32 @@
  * simulator's byte-identical replay guarantee (and the golden digests
  * in test_refactor_identity.cc) depends on this: blocks deliberately
  * encode priority as call order, never by racing on a tick.
+ *
+ * Representation (hot-path kernel overhaul):
+ *  - Callback is a small-buffer-optimized type-erased callable. Every
+ *    closure the simulator schedules (a block pointer plus a couple of
+ *    scalars) is trivially copyable and well under kInlineBytes, so the
+ *    steady state performs zero per-event heap allocations -- unlike
+ *    std::function, whose 16-byte libstdc++ SBO spilled the common
+ *    [this, batch, chunk] capture to the heap on every schedule().
+ *  - Dispatch is batched per tick: advancing to a new tick pops EVERY
+ *    entry for that tick off the binary heap once, in (tick, seq)
+ *    order, into a flat FIFO that is drained without re-heapifying.
+ *    Same-tick schedules made by running callbacks append to the open
+ *    FIFO in O(1) instead of round-tripping through the heap. The FIFO
+ *    vector is reused across ticks (pool allocation: capacity is
+ *    retained when cleared), so tick turnover allocates nothing.
  */
 
 #ifndef EQUINOX_SIM_EVENT_QUEUE_HH
 #define EQUINOX_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -33,28 +52,136 @@ namespace equinox
 namespace sim
 {
 
+/**
+ * Move-only type-erased callable with small-buffer optimization.
+ *
+ * Trivially copyable callables up to kInlineBytes live inline in the
+ * entry itself; anything larger (or with a non-trivial destructor)
+ * falls back to a single heap allocation. Moves are a memcpy plus
+ * nulling the source -- valid for the inline case because the payload
+ * is trivially copyable, and for the heap case because only the owning
+ * pointer moves.
+ */
+class Callback
+{
+  public:
+    /**
+     * Inline capture budget. 32 bytes fits every closure the blocks
+     * schedule today (block pointer + batch pointer + chunk is 24
+     * bytes), and keeps a queue Entry (when + seq + callback) at
+     * exactly one 64-byte cache line. Larger or non-trivial callables
+     * still work through the heap fallback.
+     */
+    static constexpr std::size_t kInlineBytes = 32;
+
+    Callback() = default;
+
+    template <typename Fn,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<Fn>, Callback>>>
+    Callback(Fn &&fn) // NOLINT: intentional implicit conversion
+    {
+        using D = std::decay_t<Fn>;
+        if constexpr (sizeof(D) <= kInlineBytes &&
+                      alignof(D) <= alignof(std::max_align_t) &&
+                      std::is_trivially_copyable_v<D> &&
+                      std::is_trivially_destructible_v<D>) {
+            ::new (static_cast<void *>(buf_)) D(std::forward<Fn>(fn));
+            invoke_ = [](void *p) { (*static_cast<D *>(p))(); };
+            destroy_ = nullptr;
+        } else {
+            D *heap = new D(std::forward<Fn>(fn));
+            std::memcpy(buf_, &heap, sizeof(heap));
+            invoke_ = [](void *p) {
+                D *f;
+                std::memcpy(&f, p, sizeof(f));
+                (*f)();
+            };
+            destroy_ = [](void *p) {
+                D *f;
+                std::memcpy(&f, p, sizeof(f));
+                delete f;
+            };
+        }
+    }
+
+    Callback(Callback &&other) noexcept
+        : invoke_(other.invoke_), destroy_(other.destroy_)
+    {
+        std::memcpy(buf_, other.buf_, sizeof(buf_));
+        other.invoke_ = nullptr;
+        other.destroy_ = nullptr;
+    }
+
+    Callback &
+    operator=(Callback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            invoke_ = other.invoke_;
+            destroy_ = other.destroy_;
+            std::memcpy(buf_, other.buf_, sizeof(buf_));
+            other.invoke_ = nullptr;
+            other.destroy_ = nullptr;
+        }
+        return *this;
+    }
+
+    Callback(const Callback &) = delete;
+    Callback &operator=(const Callback &) = delete;
+
+    ~Callback() { reset(); }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    /** True when the payload lives inline (no heap allocation). */
+    bool inlineStored() const { return invoke_ && !destroy_; }
+
+    void operator()() { invoke_(buf_); }
+
+  private:
+    void
+    reset()
+    {
+        if (destroy_)
+            destroy_(buf_);
+    }
+
+    void (*invoke_)(void *) = nullptr;
+    /** Non-null only for heap-allocated payloads. */
+    void (*destroy_)(void *) = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
 /** Tick-ordered callback queue. */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = sim::Callback;
 
     /** Current simulated tick. */
     Tick now() const { return now_; }
 
     /**
-     * Pre-allocate heap storage for @p events pending entries so steady
+     * Pre-allocate storage for @p events pending entries so steady
      * growth does not reallocate mid-run (the accelerator reserves its
      * expected high-water mark up front).
      */
-    void reserve(std::size_t events) { heap.reserve(events); }
+    void
+    reserve(std::size_t events)
+    {
+        heap_.reserve(events);
+    }
 
     /** Schedule @p cb at absolute tick @p when (>= now). */
     void schedule(Tick when, Callback cb);
 
     /** Schedule @p cb @p delta ticks from now. */
-    void scheduleIn(Tick delta, Callback cb) { schedule(now_ + delta,
-                                                        std::move(cb)); }
+    void
+    scheduleIn(Tick delta, Callback cb)
+    {
+        schedule(now_ + delta, std::move(cb));
+    }
 
     /** Dispatch the earliest event. @return false when empty. */
     bool runOne();
@@ -62,11 +189,29 @@ class EventQueue
     /** Run until the queue drains or now() would exceed @p limit. */
     void runUntil(Tick limit);
 
-    bool empty() const { return heap.empty(); }
-    std::size_t pending() const { return heap.size(); }
+    bool
+    empty() const
+    {
+        return heap_.empty() && fifo_head_ >= fifo_.size();
+    }
+
+    std::size_t
+    pending() const
+    {
+        return heap_.size() + (fifo_.size() - fifo_head_);
+    }
 
     /** Events dispatched so far (for perf diagnostics). */
     std::uint64_t dispatched() const { return dispatched_; }
+
+    /**
+     * Most entries ever simultaneously pending. Consumers capture this
+     * after a representative run to size reserve() for the next one.
+     */
+    std::size_t highWater() const { return high_water_; }
+
+    /** Heap-vector reallocations since construction (reserve audit). */
+    std::uint64_t heapReallocations() const { return heap_reallocs_; }
 
   private:
     struct Entry
@@ -92,18 +237,42 @@ class EventQueue
         }
     };
 
+    /** Pop every heap entry for the earliest tick into the FIFO. */
+    bool refillFifo();
+
+    void
+    noteHighWater()
+    {
+        std::size_t p = pending();
+        if (p > high_water_)
+            high_water_ = p;
+    }
+
     /**
-     * Explicit binary heap (std::push_heap/std::pop_heap over a vector)
-     * rather than std::priority_queue: the vector exposes reserve() and
-     * lets runOne() move entries out instead of copy-under-const_cast.
-     * (when, seq) is a strict total order, so the dispatch sequence is
-     * the comparator's alone — independent of internal heap shape — and
-     * the golden identity digests are unaffected by this representation.
+     * Future ticks: explicit binary heap (std::push_heap/std::pop_heap
+     * over a vector) rather than std::priority_queue: the vector
+     * exposes reserve() and lets dispatch move entries out instead of
+     * copy-under-const_cast. (when, seq) is a strict total order, so
+     * the dispatch sequence is the comparator's alone -- independent of
+     * internal heap shape -- and the golden identity digests are
+     * unaffected by this representation.
+     *
+     * Invariant: while a tick is open (tick_open_), the heap holds no
+     * entry with when == now_ -- refillFifo() drained them all, and
+     * schedule() routes new ones to the FIFO. Because seq is globally
+     * monotonic, FIFO append order equals seq order, so draining the
+     * FIFO front-to-back IS (tick, seq) dispatch order.
      */
-    std::vector<Entry> heap;
+    std::vector<Entry> heap_;
+    /** The open tick's events, drained front-to-back without popping. */
+    std::vector<Entry> fifo_;
+    std::size_t fifo_head_ = 0;
+    bool tick_open_ = false;
     Tick now_ = 0;
     std::uint64_t next_seq = 0;
     std::uint64_t dispatched_ = 0;
+    std::size_t high_water_ = 0;
+    std::uint64_t heap_reallocs_ = 0;
 };
 
 /**

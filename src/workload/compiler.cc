@@ -190,21 +190,33 @@ Compiler::compileRnnInference(const DnnModel &model) const
     desc.program.batch_rows = cfg.n;
     desc.program.scale_rows_by_batch = true;
 
-    for (std::size_t t = 0; t < rnn.steps; ++t) {
-        for (unsigned gates : rnn.gate_groups) {
-            std::vector<isa::Instruction> insts;
-            for (unsigned g = 0; g < gates; ++g) {
-                auto gemm = emitGemmMode1(cfg.n, h, h);
-                insts.insert(insts.end(), gemm.begin(), gemm.end());
-            }
-            isa::StepBlock sb;
-            sb.mmu = isa::makeTileWork(insts, macs, 0);
-            sb.simd_cycles = simdCycles(static_cast<double>(cfg.n) *
-                                        static_cast<double>(h) *
-                                        rnn.simd_passes / groups);
-            sb.drain_cycles = cfg.drainCycles();
-            desc.program.steps.push_back(sb);
+    // Every time step of a given gate group compiles to an identical
+    // step block (the GEMM shapes depend only on (n, h)), so build each
+    // distinct group width once and replicate -- the DSE probe compiles
+    // thousands of these and the per-step re-emission dominated it.
+    std::vector<std::pair<unsigned, isa::StepBlock>> group_blocks;
+    auto groupBlock = [&](unsigned gates) -> const isa::StepBlock & {
+        for (const auto &kv : group_blocks) {
+            if (kv.first == gates)
+                return kv.second;
         }
+        auto gemm = emitGemmMode1(cfg.n, h, h);
+        std::vector<isa::Instruction> insts;
+        insts.reserve(gemm.size() * gates);
+        for (unsigned g = 0; g < gates; ++g)
+            insts.insert(insts.end(), gemm.begin(), gemm.end());
+        isa::StepBlock sb;
+        sb.mmu = isa::makeTileWork(insts, macs, 0);
+        sb.simd_cycles = simdCycles(static_cast<double>(cfg.n) *
+                                    static_cast<double>(h) *
+                                    rnn.simd_passes / groups);
+        sb.drain_cycles = cfg.drainCycles();
+        group_blocks.emplace_back(gates, sb);
+        return group_blocks.back().second;
+    };
+    for (std::size_t t = 0; t < rnn.steps; ++t) {
+        for (unsigned gates : rnn.gate_groups)
+            desc.program.steps.push_back(groupBlock(gates));
     }
 
     desc.weight_footprint = static_cast<ByteCount>(
@@ -395,42 +407,68 @@ Compiler::compileRnnTraining(const DnnModel &model, std::size_t batch,
         desc.iteration.steps.push_back(sb);
     };
 
+    // The per-time-step blocks of each pass are identical for a given
+    // gate-group width (GEMM shapes depend only on (batch, h)), so emit
+    // each distinct group once per pass and replicate across steps --
+    // exactly the same program, a fraction of the compile cost.
+    auto gateGroupInsts = [&](unsigned gates) {
+        auto gemm = emitGemmMode1(batch, h, h);
+        std::vector<isa::Instruction> insts;
+        insts.reserve(gemm.size() * gates);
+        for (unsigned g = 0; g < gates; ++g)
+            insts.insert(insts.end(), gemm.begin(), gemm.end());
+        return insts;
+    };
+    auto replicateSteps = [&](auto &&stepForGates) {
+        std::vector<std::pair<unsigned, isa::StepBlock>> cache;
+        for (std::size_t t = 0; t < rnn.steps; ++t) {
+            for (unsigned gates : rnn.gate_groups) {
+                const isa::StepBlock *sb = nullptr;
+                for (const auto &kv : cache) {
+                    if (kv.first == gates)
+                        sb = &kv.second;
+                }
+                if (!sb) {
+                    cache.emplace_back(gates, stepForGates(gates));
+                    sb = &cache.back().second;
+                }
+                desc.iteration.steps.push_back(*sb);
+            }
+        }
+    };
+
     // Forward pass: operands stream from DRAM through the staging
     // buffers (the weight buffer belongs to the inference context), and
     // activations/state for the backward pass stream back out.
-    for (std::size_t t = 0; t < rnn.steps; ++t) {
-        for (unsigned gates : rnn.gate_groups) {
-            std::vector<isa::Instruction> insts;
-            for (unsigned g = 0; g < gates; ++g) {
-                auto gemm = emitGemmMode1(batch, h, h);
-                insts.insert(insts.end(), gemm.begin(), gemm.end());
-            }
-            double stream = gates * hh * bpv + 2.0 * bh * bpv / groups;
-            double store =
-                (static_cast<double>(total_gates) + 2.0) * bh * bpv /
-                groups;
-            add_step(std::move(insts), stream, store,
-                     bh * rnn.simd_passes / groups);
-        }
-    }
+    replicateSteps([&](unsigned gates) {
+        double stream = gates * hh * bpv + 2.0 * bh * bpv / groups;
+        double store = (static_cast<double>(total_gates) + 2.0) * bh *
+                       bpv / groups;
+        isa::StepBlock sb;
+        sb.mmu = isa::makeTileWork(gateGroupInsts(gates), macs,
+                                   static_cast<ByteCount>(stream));
+        sb.store_bytes = static_cast<ByteCount>(store);
+        sb.simd_cycles = simdCycles(bh * rnn.simd_passes / groups);
+        sb.drain_cycles = cfg.drainCycles();
+        return sb;
+    });
 
     // Data-gradient pass (reverse time order; same GEMM shapes against
     // transposed weights, which stream again).
-    for (std::size_t t = 0; t < rnn.steps; ++t) {
-        for (unsigned gates : rnn.gate_groups) {
-            std::vector<isa::Instruction> insts;
-            for (unsigned g = 0; g < gates; ++g) {
-                auto gemm = emitGemmMode1(batch, h, h);
-                insts.insert(insts.end(), gemm.begin(), gemm.end());
-            }
-            double stream = gates * hh * bpv +
-                            (static_cast<double>(total_gates) + 2.0) *
-                                bh * bpv / groups;
-            double store = gates * bh * gbv;
-            add_step(std::move(insts), stream, store,
-                     bh * (rnn.simd_passes + 2.0) / groups);
-        }
-    }
+    replicateSteps([&](unsigned gates) {
+        double stream = gates * hh * bpv +
+                        (static_cast<double>(total_gates) + 2.0) * bh *
+                            bpv / groups;
+        double store = gates * bh * gbv;
+        isa::StepBlock sb;
+        sb.mmu = isa::makeTileWork(gateGroupInsts(gates), macs,
+                                   static_cast<ByteCount>(stream));
+        sb.store_bytes = static_cast<ByteCount>(store);
+        sb.simd_cycles =
+            simdCycles(bh * (rnn.simd_passes + 2.0) / groups);
+        sb.drain_cycles = cfg.drainCycles();
+        return sb;
+    });
 
     // Weight-gradient pass: dW_g = X^T . delta_g, a tall mode-2 product.
     // Consecutive time steps concatenate along the inner dimension

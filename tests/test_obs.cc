@@ -26,6 +26,7 @@
 #include "obs/json.hh"
 #include "obs/latency_probe.hh"
 #include "obs/metrics_snapshot.hh"
+#include "sim/blocks/trace.hh"
 #include "sim_digest.hh"
 #include "stats/cycle_breakdown.hh"
 #include "stats/fault_stats.hh"
@@ -336,6 +337,27 @@ TEST(ObsIdentity, GoldenDigestsUnchangedWithTraceSinkInstalled)
     EXPECT_EQ(digestOf(training), testutil::kGoldenTrainingOnly);
 
     EXPECT_GT(trace.total(), 0u);
+}
+
+TEST(ObsIdentity, SinkFreeRunTakesTheZeroCostEmitPath)
+{
+    // With no sink installed, SimBlock::emit() must bail on its inline
+    // null check before building a TraceEvent: the process-global
+    // delivery counter (bumped on the slow path only) cannot move. A
+    // regression here means every block event in every untraced run --
+    // i.e. all of them -- pays for observability nobody asked for.
+    const std::uint64_t before = sim::traceRecordsDelivered();
+    auto untraced =
+        testutil::runScenario(sim::SchedPolicy::Priority, {}, nullptr);
+    EXPECT_EQ(digestOf(untraced), testutil::kGoldenFaultFreePriority);
+    EXPECT_EQ(sim::traceRecordsDelivered(), before);
+
+    // Control: the same run with a sink drives the slow path.
+    ChromeTraceSink trace(units::MHz(100));
+    auto traced =
+        testutil::runScenario(sim::SchedPolicy::Priority, {}, &trace);
+    EXPECT_EQ(digestOf(traced), testutil::kGoldenFaultFreePriority);
+    EXPECT_GT(sim::traceRecordsDelivered(), before);
 }
 
 TEST(ObsIdentity, SweepWithSinkMatchesUntracedSweep)

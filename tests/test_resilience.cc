@@ -671,7 +671,41 @@ TEST(ControlPlane, ConservationIdentitiesHoldUnderChaos)
         // Hedge wins cannot exceed hedges; recoveries need attempts.
         EXPECT_LE(s.hedge_wins, s.hedges_issued);
         EXPECT_LE(s.retry_recovered, s.retry_attempts);
+        // The dispatch heap was reserved to the candidate count up
+        // front; retries re-push while draining, so even under chaos
+        // the routing pass must stay allocation-free.
+        EXPECT_EQ(s.dispatch_heap_reallocs, 0u) << "seed " << seed;
+        EXPECT_LE(s.dispatch_heap_high_water,
+                  static_cast<std::size_t>(res.generated))
+            << "seed " << seed;
     }
+}
+
+TEST(ControlPlane, DispatchHeapNeverReallocatesMidRoute)
+{
+    // Pin of the reserve contract on the retry-heavy path: a
+    // fleet-wide outage maximizes retry re-pushes into the heap while
+    // it drains, which is exactly when an under-reserved heap would
+    // grow. The candidate count must remain the high-water mark.
+    cluster::ResilienceSpec spec;
+    spec.retry.enabled = true;
+    spec.retry.max_attempts = 6;
+    spec.retry.max_budget = 1e6;
+    spec.retry.base_backoff_cycles = 100000;
+
+    const double mu = 1e-3;
+    const Tick horizon = 4000000;
+    std::vector<cluster::RouterOutage> outages{
+        {0, 500000, 1500000}, {1, 500000, 1500000}};
+    cluster::ControlPlane cp(spec, cluster::RoutingPolicy::RoundRobin,
+                             2, mu, 64, outages);
+    auto res = cp.route(1.6e-3, 7, horizon);
+    const auto &s = cp.stats();
+    EXPECT_GT(s.retry_attempts, 0u);
+    EXPECT_EQ(s.dispatch_heap_reallocs, 0u);
+    EXPECT_GT(s.dispatch_heap_high_water, 0u);
+    EXPECT_LE(s.dispatch_heap_high_water,
+              static_cast<std::size_t>(res.generated));
 }
 
 TEST(ControlPlane, HedgeBudgetCapsDuplicates)
