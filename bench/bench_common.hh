@@ -24,6 +24,7 @@
 #include "obs/chrome_trace.hh"
 #include "obs/latency_probe.hh"
 #include "obs/metrics_snapshot.hh"
+#include "sim/accelerator.hh"
 #include "sim/event_queue.hh"
 #include "stats/histogram.hh"
 #include "stats/table.hh"
@@ -69,6 +70,15 @@ struct BenchArgs
     std::size_t jobs = 1;
     std::string trace_path;   //!< `--trace FILE`: Perfetto JSON out
     std::string metrics_path; //!< `--metrics FILE`: snapshot JSON out
+    /**
+     * `--check-exact`: co-simulate every fast-forwarded run against
+     * the cycle-accurate path and die on any digest divergence (see
+     * sim::setCheckExactMode). Roughly doubles the wall clock; the
+     * recorded events/s only counts the fast-forwarded runs, so the
+     * BENCH record stays comparable -- but commit baselines from runs
+     * without it.
+     */
+    bool check_exact = false;
 };
 
 /**
@@ -115,15 +125,20 @@ parseBenchArgs(int argc, char **argv)
                 (arg.rfind("--metrics", 0) == 0 &&
                  args.metrics_path.empty()))
                 EQX_FATAL(arg, " wants an output path");
+        } else if (arg == "--check-exact") {
+            args.check_exact = true;
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
-                "usage: %s [--jobs N] [--trace FILE] [--metrics FILE]\n"
+                "usage: %s [--jobs N] [--trace FILE] [--metrics FILE] "
+                "[--check-exact]\n"
                 "  --jobs N       worker threads for the sweeps "
                 "(default: EQX_JOBS or hardware concurrency; 1 = "
                 "serial)\n"
                 "  --trace FILE   write a Chrome/Perfetto trace of one "
                 "representative run\n"
-                "  --metrics FILE write the metrics snapshot JSON\n",
+                "  --metrics FILE write the metrics snapshot JSON\n"
+                "  --check-exact  co-simulate every fast-forwarded run "
+                "cycle-accurately and die on digest divergence\n",
                 argv[0]);
             std::exit(0);
         }
@@ -162,6 +177,8 @@ class Harness
           events_start_(sim::globalDispatchedEvents()),
           start_(std::chrono::steady_clock::now())
     {
+        if (args_.check_exact)
+            sim::setCheckExactMode(true);
         banner(title, description);
     }
 
@@ -266,6 +283,12 @@ class Harness
         auto elapsed = std::chrono::steady_clock::now() - start_;
         double wall_s =
             std::chrono::duration<double>(elapsed).count();
+        // Per-run event count: the delta over the process-global tally
+        // since this harness started (sim::resetGlobalSimCounters()
+        // exists for callers that want absolute per-run figures; the
+        // delta keeps multiple harnesses in one process additive).
+        // Check-exact reference runs never enter the global tally, so
+        // this stays the fast-forwarded runs' count either way.
         std::uint64_t events =
             sim::globalDispatchedEvents() - events_start_;
         double eps = wall_s > 0.0
@@ -286,6 +309,7 @@ class Harness
         record["events_dispatched"] = events;
         record["events_per_second"] = eps;
         record["jobs"] = static_cast<std::uint64_t>(args_.jobs);
+        record["check_exact"] = args_.check_exact;
         record["points_recorded"] =
             static_cast<std::uint64_t>(point_p99_ms_.count());
         record["latency_p50_ms"] = point_p50_ms_.percentile(0.5);

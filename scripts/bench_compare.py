@@ -38,6 +38,14 @@ CONTEXT_FIELDS = [
 
 
 def load_record(path):
+    if not os.path.exists(path):
+        # Exit nonzero loudly: a missing baseline silently skipping the
+        # gate would let regressions through. Record one with e.g.
+        #   (cd build/bench && ./<bench> --jobs=1) && \
+        #   cp build/bench/BENCH_<bench>.json bench/baselines/
+        sys.exit(f"bench_compare: FAIL: record {path} is missing -- "
+                 "run the bench with --jobs=1 and commit its BENCH "
+                 "json to bench/baselines/")
     try:
         with open(path, "r", encoding="utf-8") as fh:
             record = json.load(fh)
@@ -97,9 +105,22 @@ def main():
         print(f"  notes.{key}: {arrow}{fmt(val)}")
 
     if ratio < 1.0 - args.tolerance:
+        # Spell out every metric's delta in the failure message so a CI
+        # log alone localizes the regression (is it wall clock? fewer
+        # events? a latency shift hinting at a behaviour change?).
         print(f"bench_compare: FAIL: {artifact} regressed "
               f"{(1.0 - ratio) * 100.0:.1f}% on {GATED_FIELD} "
               f"(tolerance {args.tolerance * 100.0:.0f}%)")
+        for field in [GATED_FIELD] + CONTEXT_FIELDS:
+            if field not in base or field not in cur:
+                continue
+            try:
+                b, c = float(base[field]), float(cur[field])
+            except (TypeError, ValueError):
+                continue
+            delta = f" ({(c / b - 1.0) * 100.0:+.1f}%)" if b else ""
+            print(f"  FAIL detail: {field}: {fmt(base[field])} -> "
+                  f"{fmt(cur[field])}{delta}")
         return 1
     print("bench_compare: OK")
     return 0

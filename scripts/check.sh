@@ -15,12 +15,14 @@
 #   scripts/check.sh --resilience # only the overload-resilience
 #                                # control-plane + chaos suites
 #   scripts/check.sh --bench-smoke # build the default preset, run the
-#                                # fig7 + event-kernel benches, and diff
-#                                # their BENCH records against the
-#                                # committed bench/baselines/ (fails on
-#                                # a >10% events/s regression; widen on
-#                                # noisy runners with
-#                                # EQX_BENCH_TOLERANCE)
+#                                # perf-tracking benches (fig7, event
+#                                # kernel, cluster scaling, overload
+#                                # resilience) and diff their BENCH
+#                                # records against the committed
+#                                # bench/baselines/ (fails on a >10%
+#                                # events/s regression or a missing
+#                                # baseline; widen on noisy runners
+#                                # with EQX_BENCH_TOLERANCE)
 #   scripts/check.sh --format    # only run the clang-format check
 #
 # The "resilience" ctest label is a subset of tier1, so the default run
@@ -66,15 +68,19 @@ run_preset() {
 }
 
 run_bench_smoke() {
-    # Perf-regression gate: run the two perf-tracking benches serially
+    # Perf-regression gate: run the perf-tracking benches serially
     # (jobs=1 pins the exact dispatch path the digests cover) and diff
     # the fresh BENCH records against the committed baselines.
+    # bench_compare.py exits nonzero on a missing baseline too, so a
+    # bench added here without a committed record fails loudly.
     echo "check.sh: configure+build preset 'default' (bench smoke)"
     cmake --preset default
     cmake --build --preset default -j "$(nproc)" \
-        --target fig7_inference_latency event_kernel
+        --target fig7_inference_latency event_kernel \
+                 cluster_scaling overload_resilience
     local bench
-    for bench in fig7_inference_latency event_kernel; do
+    for bench in fig7_inference_latency event_kernel \
+                 cluster_scaling overload_resilience; do
         echo "check.sh: bench smoke: $bench"
         (cd build/bench && "./$bench" --jobs=1 >/dev/null)
         python3 scripts/bench_compare.py \

@@ -230,6 +230,7 @@ Cluster::run(double load, const core::ExperimentOptions &opts,
         rs.measure_iterations = opts.measure_iterations;
         rs.max_sim_s = opts.max_sim_s;
         rs.seed = opts.seed + r;
+        rs.fast_forward = opts.fast_forward;
         if (!spec_.replica_faults.empty()) {
             rs.faults = spec_.replica_faults[r];
         } else {

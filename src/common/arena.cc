@@ -1,0 +1,131 @@
+#include "common/arena.hh"
+
+#include <atomic>
+#include <mutex>
+#include <new>
+
+namespace equinox
+{
+namespace common
+{
+
+namespace
+{
+
+/** Size classes: multiples of 64 bytes up to 1 KiB. */
+constexpr std::size_t kClassStep = 64;
+constexpr std::size_t kNumClasses = 16;
+/** Nodes carved per backing chunk. */
+constexpr std::size_t kNodesPerChunk = 64;
+
+struct FreeNode
+{
+    FreeNode *next;
+};
+
+/**
+ * Backing chunks, process-global and alive until exit: a node freed on
+ * a different thread than it was allocated on stays valid because its
+ * chunk can never be unmapped while the process runs.
+ */
+struct ChunkRegistry
+{
+    std::mutex mtx;
+    std::vector<std::unique_ptr<unsigned char[]>> chunks;
+};
+
+ChunkRegistry &
+registry()
+{
+    static ChunkRegistry r;
+    return r;
+}
+
+thread_local FreeNode *t_free[kNumClasses] = {};
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_reuses{0};
+std::atomic<std::uint64_t> g_fallbacks{0};
+std::atomic<std::uint64_t> g_chunk_bytes{0};
+
+std::size_t
+classOf(std::size_t size)
+{
+    return (size + kClassStep - 1) / kClassStep; // 1-based; 0 = empty
+}
+
+} // namespace
+
+void *
+callbackArenaAlloc(std::size_t size, std::size_t align)
+{
+    std::size_t cls = classOf(size);
+    if (cls == 0)
+        cls = 1;
+    if (cls > kNumClasses || align > alignof(std::max_align_t)) {
+        g_fallbacks.fetch_add(1, std::memory_order_relaxed);
+        if (align > alignof(std::max_align_t))
+            return ::operator new(size, std::align_val_t{align});
+        return ::operator new(size);
+    }
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    FreeNode *&head = t_free[cls - 1];
+    if (head) {
+        FreeNode *n = head;
+        head = n->next;
+        g_reuses.fetch_add(1, std::memory_order_relaxed);
+        return n;
+    }
+    // Carve a fresh chunk into nodes: the first is returned, the rest
+    // seed this thread's freelist. The chunk itself is registered
+    // globally and never freed (see the registry comment).
+    const std::size_t node_bytes = cls * kClassStep;
+    auto chunk = std::make_unique<unsigned char[]>(node_bytes *
+                                                   kNodesPerChunk);
+    unsigned char *base = chunk.get();
+    {
+        std::lock_guard<std::mutex> lock(registry().mtx);
+        registry().chunks.push_back(std::move(chunk));
+    }
+    g_chunk_bytes.fetch_add(node_bytes * kNodesPerChunk,
+                            std::memory_order_relaxed);
+    for (std::size_t i = kNodesPerChunk; i-- > 1;) {
+        auto *n = reinterpret_cast<FreeNode *>(base + i * node_bytes);
+        n->next = head;
+        head = n;
+    }
+    return base;
+}
+
+void
+callbackArenaFree(void *p, std::size_t size, std::size_t align)
+{
+    std::size_t cls = classOf(size);
+    if (cls == 0)
+        cls = 1;
+    if (cls > kNumClasses || align > alignof(std::max_align_t)) {
+        if (align > alignof(std::max_align_t)) {
+            ::operator delete(p, std::align_val_t{align});
+            return;
+        }
+        ::operator delete(p);
+        return;
+    }
+    auto *n = static_cast<FreeNode *>(p);
+    n->next = t_free[cls - 1];
+    t_free[cls - 1] = n;
+}
+
+CallbackArenaStats
+callbackArenaStats()
+{
+    CallbackArenaStats s;
+    s.allocs = g_allocs.load(std::memory_order_relaxed);
+    s.reuses = g_reuses.load(std::memory_order_relaxed);
+    s.fallbacks = g_fallbacks.load(std::memory_order_relaxed);
+    s.chunk_bytes = g_chunk_bytes.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace common
+} // namespace equinox

@@ -213,6 +213,7 @@ runAtLoad(const sim::AcceleratorConfig &cfg, double load,
     spec.measure_iterations = opts.measure_iterations;
     spec.max_sim_s = opts.max_sim_s;
     spec.seed = opts.seed;
+    spec.fast_forward = opts.fast_forward;
     spec.faults = opts.fault_plan;
 
     LoadPointResult res;

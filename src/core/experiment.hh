@@ -50,6 +50,13 @@ struct ExperimentOptions
     std::uint64_t seed = 1;
 
     /**
+     * Forwarded to RunSpec::fast_forward on every run this experiment
+     * spawns (single-accelerator and per-replica cluster runs alike).
+     * On by default; byte-identical either way. See RunSpec.
+     */
+    bool fast_forward = true;
+
+    /**
      * Faults to inject and recovery policies to answer them with. The
      * default plan injects nothing, keeping fault-free experiments
      * byte-identical to a build without the fault layer.

@@ -1,6 +1,8 @@
 #include "sim/accelerator.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 
 #include "common/logging.hh"
 #include "common/units.hh"
@@ -9,11 +11,55 @@
 #include "sim/blocks/instruction_dispatcher.hh"
 #include "sim/blocks/request_dispatcher.hh"
 #include "sim/blocks/train_prefetcher.hh"
+#include "sim/result_digest.hh"
+#include "stats/registry.hh"
 
 namespace equinox
 {
 namespace sim
 {
+
+namespace
+{
+
+/**
+ * EQX_FASTFORWARD=0 vetoes inline fast-forward process-wide (the
+ * escape hatch for bisecting a suspected FF divergence without a
+ * rebuild). Read once: flipping the variable mid-process would make
+ * back-to-back runs incomparable.
+ */
+bool
+fastForwardEnvEnabled()
+{
+    static const bool enabled = [] {
+        const char *v = std::getenv("EQX_FASTFORWARD");
+        return !(v && std::string_view(v) == "0");
+    }();
+    return enabled;
+}
+
+bool
+checkExactEnvDefault()
+{
+    const char *v = std::getenv("EQX_CHECK_EXACT");
+    return v && *v && std::string_view(v) != "0";
+}
+
+bool g_check_exact = checkExactEnvDefault();
+
+} // namespace
+
+void
+setCheckExactMode(bool on)
+{
+    g_check_exact = on;
+}
+
+bool
+checkExactMode()
+{
+    return g_check_exact;
+}
 
 Accelerator::Accelerator(AcceleratorConfig config)
     : cfg(std::move(config)),
@@ -63,6 +109,36 @@ Accelerator::registerStats(stats::StatRegistry &reg)
 {
     for (auto *b : ctx.blocks)
         b->registerStats(reg);
+    // Batch-arena gauges are per-accelerator (deterministic for a given
+    // run sequence). The callback arena's counters are process-global
+    // and deliberately NOT registered here: they differ between
+    // fast-forwarded and cycle-accurate runs sharing a process, which
+    // would break the FF-vs-CA MetricsSnapshot identity the fastpath
+    // tests assert.
+    reg.registerStat("arena.batch_objects",
+                     [this] {
+                         return static_cast<double>(
+                             ctx.batch_arena.totalObjects());
+                     },
+                     "InfBatch objects ever constructed (pool lifetime)");
+    reg.registerStat("arena.batch_acquires",
+                     [this] {
+                         return static_cast<double>(
+                             ctx.batch_arena.acquires());
+                     },
+                     "batch-arena acquires (pool lifetime)");
+    reg.registerStat("arena.batch_reuses",
+                     [this] {
+                         return static_cast<double>(
+                             ctx.batch_arena.reuses());
+                     },
+                     "acquires served from the freelist (pool lifetime)");
+    reg.registerStat("arena.batch_high_water",
+                     [this] {
+                         return static_cast<double>(
+                             ctx.batch_arena.highWater());
+                     },
+                     "most batches simultaneously live (pool lifetime)");
 }
 
 ContextId
@@ -126,6 +202,42 @@ Accelerator::maxRequestRate(ContextId id) const
 SimResult
 Accelerator::run(const RunSpec &run_spec)
 {
+    const bool ff = run_spec.fast_forward && fastForwardEnvEnabled();
+    if (!ff || !checkExactMode())
+        return runOnce(run_spec, ff, /*count_global=*/true);
+
+    // Check-exact: co-simulate the cycle-accurate path first, with
+    // tracing off and without touching the process-global event tally,
+    // and save/restore the one piece of state that deliberately
+    // persists across run() calls (the round-robin cursor) so the
+    // reference run is invisible to everything that follows.
+    RunSpec ref_spec = run_spec;
+    ref_spec.fast_forward = false;
+    TraceSink *saved_trace = ctx.trace;
+    ContextId saved_cursor = dispatcher->lastServedCtx();
+    ctx.trace = nullptr;
+    SimResult ref = runOnce(ref_spec, /*use_ff=*/false,
+                            /*count_global=*/false);
+    ctx.trace = saved_trace;
+    dispatcher->setLastServedCtx(saved_cursor);
+
+    SimResult res = runOnce(run_spec, /*use_ff=*/true,
+                            /*count_global=*/true);
+    const std::uint64_t want = resultDigest(ref);
+    const std::uint64_t got = resultDigest(res);
+    if (want != got) {
+        EQX_FATAL("check-exact: fast-forward result digest ", got,
+                  " diverges from the cycle-accurate digest ", want,
+                  " (seed ", run_spec.seed, ", rate ",
+                  run_spec.arrival_rate_per_s, "/s)");
+    }
+    return res;
+}
+
+SimResult
+Accelerator::runOnce(const RunSpec &run_spec, bool use_ff,
+                     bool count_global)
+{
     EQX_ASSERT(!ctx.services.empty() || ctx.train,
                "run() needs at least one installed service");
     ctx.spec = run_spec;
@@ -179,11 +291,17 @@ Accelerator::run(const RunSpec &run_spec)
 
     Tick max_ticks = units::secondsToCycles(ctx.spec.max_sim_s,
                                             cfg.frequency_hz);
+    // The fast-forward ceiling mirrors the loop condition below: an
+    // event past max_ticks is still dispatched exactly once (the loop
+    // checks now() before the NEXT runOne), so inline dispatch may run
+    // up to and including max_ticks but never beyond it.
+    ctx.events.setFastForward(use_ff, max_ticks);
     faults->scheduleHangs(max_ticks);
     while (!ctx.stopping && !ctx.events.empty() &&
            ctx.events.now() <= max_ticks)
         ctx.events.runOne();
-    addGlobalDispatchedEvents(ctx.events.dispatched());
+    if (count_global)
+        addGlobalDispatchedEvents(ctx.events.dispatched());
     event_reserve_ = std::max(event_reserve_, ctx.events.highWater());
 
     faults->finalizeDowntime();
@@ -259,6 +377,8 @@ Accelerator::run(const RunSpec &run_spec)
     }
     if (faults->active())
         res.fault_trace = faults->trace();
+    res.events_dispatched = ctx.events.dispatched();
+    res.events_inlined = ctx.events.inlined();
     return res;
 }
 

@@ -45,6 +45,16 @@ class RequestDispatcher;
 class TraceSink;
 class TrainPrefetcher;
 
+/**
+ * Check-exact mode: every fast-forwarded Accelerator::run() first
+ * co-simulates the cycle-accurate path (tracing off, global counters
+ * untouched) and fails fatally unless the two runs' result digests are
+ * bit-identical. Initialised from the EQX_CHECK_EXACT environment
+ * variable; the bench harness's --check-exact flag turns it on too.
+ */
+void setCheckExactMode(bool on);
+bool checkExactMode();
+
 /** The simulated accelerator (composition root of the blocks). */
 class Accelerator
 {
@@ -66,7 +76,14 @@ class Accelerator
     /** Install the (single) training service. */
     ContextId installTraining(TrainingServiceDesc desc);
 
-    /** Run one experiment; resets all dynamic state first. */
+    /**
+     * Run one experiment; resets all dynamic state first. With
+     * spec.fast_forward (the default, unless EQX_FASTFORWARD=0 vetoes
+     * it) the event kernel dispatches analytically-next events inline
+     * -- byte-identical results, fewer heap round-trips. Under
+     * check-exact mode (see setCheckExactMode) the run is co-simulated
+     * cycle-accurately first and any digest divergence is fatal.
+     */
     SimResult run(const RunSpec &spec);
 
     const AcceleratorConfig &config() const { return cfg; }
@@ -92,6 +109,12 @@ class Accelerator
     void registerStats(stats::StatRegistry &reg);
 
   private:
+    /** One full reset-and-run; run() wraps it with the FF/check-exact
+     * policy. @p count_global gates the process-wide dispatched-event
+     * tally (the check-exact reference run must not inflate it). */
+    SimResult runOnce(const RunSpec &spec, bool use_ff,
+                      bool count_global);
+
     AcceleratorConfig cfg;
 
     /**

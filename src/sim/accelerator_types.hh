@@ -115,6 +115,17 @@ struct RunSpec
     double max_sim_s = 20.0;
     std::uint64_t seed = 1;
     /**
+     * Steady-state fast-forward: dispatch analytically-next events
+     * inline instead of round-tripping them through the event heap.
+     * Byte-identical to the cycle-accurate path by construction (see
+     * EventQueue::scheduleFast and DESIGN.md section 2.7); on by
+     * default. The EQX_FASTFORWARD=0 environment escape hatch vetoes
+     * it process-wide regardless of this flag; the check-exact mode
+     * (bench --check-exact / EQX_CHECK_EXACT=1) co-simulates both
+     * paths and fails fatally on any digest divergence.
+     */
+    bool fast_forward = true;
+    /**
      * Faults to inject and recovery policies to answer them with. The
      * default plan injects nothing and the fault layer is skipped
      * entirely (fault-free runs stay byte-identical).
@@ -196,6 +207,15 @@ struct SimResult
      * quantiles above.
      */
     stats::LatencyTracker latency_cycles;
+
+    // -- simulator execution diagnostics (NOT part of the result
+    // -- digest: they describe how the simulator ran, not what the
+    // -- simulated machine did; events_inlined legitimately differs
+    // -- between fast-forwarded and cycle-accurate runs) ---------------
+    /** Events this run dispatched (incl. inlined fast-forward ones). */
+    std::uint64_t events_dispatched = 0;
+    /** Dispatches the fast-forward engine inlined (0 when disabled). */
+    std::uint64_t events_inlined = 0;
 };
 
 } // namespace sim

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/types.hh"
 #include "dram/hbm.hh"
 #include "dram/host_link.hh"
@@ -84,6 +85,15 @@ struct SimContext
     std::unique_ptr<TrainState> train;
     /** Typed port: batch former -> instruction dispatcher/datapath. */
     BatchQueue batch_queue;
+    /**
+     * Storage behind every InfBatch in flight: the request dispatcher
+     * acquires at batch formation, the datapath releases at retire,
+     * and RequestDispatcher::resetRun() resets the arena (returning
+     * any batches the horizon cut off mid-flight). Owned here so the
+     * pool -- and the capacity its batches grew -- survives across
+     * back-to-back runs on the same accelerator.
+     */
+    common::ObjectPool<InfBatch> batch_arena;
 
     Tick now() const { return events.now(); }
 

@@ -157,7 +157,11 @@ Datapath::issueInferenceChunk(InfBatch *batch)
 
     mmu_busy = true;
     batch->in_flight = true;
-    ctx.events.scheduleIn(chunk, [this, batch, chunk] {
+    // Tail position of the whole dispatch chain (tryDispatch ->
+    // issueInferenceChunk): when this completion is the analytically
+    // next event, the fast-forward engine dispatches it inline instead
+    // of round-tripping through the event heap (DESIGN.md 2.7).
+    ctx.events.scheduleFastIn(chunk, [this, batch, chunk] {
         completeInferenceChunk(batch, chunk);
     });
 }
@@ -225,6 +229,12 @@ Datapath::completeInferenceChunk(InfBatch *batch, Tick chunk)
         EQX_ASSERT(queued, "finished batch not queued");
         emit(TraceEventType::BatchRetired, batch->svc->id, batch->real,
              finish - batch->first_issue);
+        // Last use of the batch: hand its storage back to the arena.
+        // No re-acquire can happen inside this call chain -- batch
+        // formation runs only from arrivals/timeouts, which the
+        // fast-forward engine never inlines.
+        ctx.batch_arena.release(batch);
+        batch = nullptr;
         ctx.maybeFinishWarmup();
         if (ctx.measuring && ctx.inference_load &&
             ctx.completed_measured >= ctx.spec.measure_requests &&
@@ -279,7 +289,10 @@ Datapath::issueTrainingChunk()
     mmu_busy = true;
     train->in_flight = true;
     std::uint64_t epoch = train->epoch;
-    ctx.events.scheduleIn(chunk, [this, chunk, epoch] {
+    // Tail position (see issueInferenceChunk): eligible for inline
+    // fast-forward dispatch. The epoch guard already tolerates the
+    // completion firing in any legal order relative to rollbacks.
+    ctx.events.scheduleFastIn(chunk, [this, chunk, epoch] {
         if (epoch != ctx.train->epoch) {
             // A rollback/reset invalidated this chunk mid-flight: free
             // the array but do not advance the (replayed) iteration.

@@ -12,9 +12,9 @@
 #define EQUINOX_SIM_BLOCKS_INF_TYPES_HH
 
 #include <algorithm>
-#include <deque>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/random.hh"
 #include "common/types.hh"
 #include "isa/program.hh"
@@ -34,12 +34,24 @@ struct InfService
     Tick timeout_cycles = 0;      //!< adaptive batch-formation threshold
     double rate_per_cycle = 0.0;  //!< Poisson arrival rate
     Rng rng{1};
-    std::deque<Tick> pending;     //!< arrival ticks awaiting batching
+    /**
+     * Arrival ticks awaiting batching. A growable ring instead of
+     * std::deque: arrival + batch-forming churn it on every request,
+     * and the ring never allocates after warmup.
+     */
+    common::Ring<Tick> pending;
     bool timeout_armed = false;
     stats::LatencyTracker latency_cycles; //!< measured window
 };
 
-/** A formed batch moving through the datapath. */
+/**
+ * A formed batch moving through the datapath. Storage comes from the
+ * SimContext's batch arena (common::ObjectPool): the request
+ * dispatcher acquires one per formed batch, the datapath releases it
+ * at retire, and resetForReuse() re-initializes every field while
+ * keeping the arrivals vector's grown capacity -- the steady state
+ * forms batches with zero heap allocations.
+ */
 struct InfBatch
 {
     InfService *svc = nullptr;
@@ -51,6 +63,21 @@ struct InfBatch
     Tick first_issue = kTickMax;
     bool in_flight = false;
     bool done = false;
+
+    /** Reset to a fresh batch; arrivals keeps its capacity. */
+    void
+    resetForReuse()
+    {
+        svc = nullptr;
+        real = 0;
+        arrivals.clear();
+        step = 0;
+        issued_in_step = 0;
+        ready_at = 0;
+        first_issue = kTickMax;
+        in_flight = false;
+        done = false;
+    }
 };
 
 /** The training service's execution and prefetch state. */

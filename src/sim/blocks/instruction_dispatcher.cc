@@ -72,10 +72,19 @@ InstructionDispatcher::firstReadyBatch()
     // long-running service (e.g. a 30 ms GRU batch) cannot head-of-line
     // block a sub-ms one in its dependence gaps.
     const Tick now = ctx.events.now();
+    // Single installed service: the cross-context round-robin below
+    // degenerates to "return the first candidate" whatever the cursor
+    // holds (a matching cursor falls through to fallback = first
+    // candidate; a stale non-matching one returns it directly), so skip
+    // the full scan. This is the simulator's hottest loop (~40% of a
+    // fig7 run before the exit).
+    const bool single_ctx = ctx.services.size() <= 1;
     InfBatch *fallback = nullptr;
     for (auto *b : ctx.batch_queue) {
         if (b->done || b->in_flight || b->ready_at > now)
             continue;
+        if (single_ctx)
+            return b;
         if (b->svc->id != last_served_ctx)
             return b;
         if (!fallback)
@@ -194,11 +203,11 @@ InstructionDispatcher::tryDispatch()
     if (ctx.train && !ctx.train->in_flight && ctx.train->ready_at > now)
         wake = std::min(wake, ctx.train->ready_at);
     if (wake != kTickMax && wake > now)
-        scheduleWake(wake);
+        scheduleWake(wake, /*tail=*/true);
 }
 
 void
-InstructionDispatcher::scheduleWake(Tick at)
+InstructionDispatcher::scheduleWake(Tick at, bool tail)
 {
     // Exact-same-tick dedup only: a wake already armed at `at` makes a
     // second event there a guaranteed no-op (every state change pokes
@@ -211,7 +220,7 @@ InstructionDispatcher::scheduleWake(Tick at)
             return;
     }
     armed_wakes_.push_back(at);
-    ctx.events.schedule(at, [this, at] {
+    auto wake = [this, at] {
         for (std::size_t i = 0; i < armed_wakes_.size(); ++i) {
             if (armed_wakes_[i] == at) {
                 armed_wakes_.erase(armed_wakes_.begin() + i);
@@ -219,7 +228,14 @@ InstructionDispatcher::scheduleWake(Tick at)
             }
         }
         tryDispatch();
-    });
+    };
+    // Only the nothing-ready wake at the end of tryDispatch() is in
+    // tail position of its dispatch chain and thus safe to inline; the
+    // policy's revisit_at wake is armed mid-round, before the issue.
+    if (tail)
+        ctx.events.scheduleFast(at, std::move(wake));
+    else
+        ctx.events.schedule(at, std::move(wake));
 }
 
 } // namespace sim

@@ -35,7 +35,10 @@ RequestDispatcher::resetRun()
     ctx.batch_queue.clear();
     ctx.unstarted_batches = 0;
     ctx.full_pending_services = 0;
-    batch_pool.clear();
+    // Return every batch -- including ones the previous run's horizon
+    // cut off mid-flight -- to the arena in canonical order, so this
+    // run's acquire sequence matches a fresh accelerator's.
+    ctx.batch_arena.reset();
     batches_formed = 0;
     batches_incomplete = 0;
     batch_fill_sum = 0.0;
@@ -227,7 +230,8 @@ RequestDispatcher::formFullBatches(InfService &svc)
     if (svc.pending.size() >= batch_rows)
         --ctx.full_pending_services; // the loop drains below full
     while (svc.pending.size() >= batch_rows) {
-        auto batch = std::make_unique<InfBatch>();
+        InfBatch *batch = ctx.batch_arena.acquire();
+        batch->resetForReuse();
         batch->svc = &svc;
         batch->real = batch_rows;
         for (std::uint32_t i = 0; i < batch_rows; ++i) {
@@ -249,9 +253,8 @@ RequestDispatcher::formFullBatches(InfService &svc)
         }
         emit(TraceEventType::BatchFormed, svc.id, batch->real,
              batch_rows);
-        ctx.batch_queue.push(batch.get());
+        ctx.batch_queue.push(batch);
         ++ctx.unstarted_batches;
-        batch_pool.push_back(std::move(batch));
     }
 }
 
@@ -261,7 +264,8 @@ RequestDispatcher::formPartialBatch(InfService &svc)
     EQX_ASSERT(!svc.pending.empty(), "partial batch from empty queue");
     const std::uint32_t batch_rows = svc.desc.program.batch_rows;
     const bool was_full = svc.pending.size() >= batch_rows;
-    auto batch = std::make_unique<InfBatch>();
+    InfBatch *batch = ctx.batch_arena.acquire();
+    batch->resetForReuse();
     batch->svc = &svc;
     batch->real = static_cast<std::uint32_t>(
         std::min<std::size_t>(svc.pending.size(), batch_rows));
@@ -285,9 +289,8 @@ RequestDispatcher::formPartialBatch(InfService &svc)
         ctx.host_bytes_measured += in_bytes;
     }
     emit(TraceEventType::BatchFormed, svc.id, batch->real, batch_rows);
-    ctx.batch_queue.push(batch.get());
+    ctx.batch_queue.push(batch);
     ++ctx.unstarted_batches;
-    batch_pool.push_back(std::move(batch));
 }
 
 void

@@ -13,7 +13,6 @@
 #ifndef EQUINOX_SIM_BLOCKS_REQUEST_DISPATCHER_HH
 #define EQUINOX_SIM_BLOCKS_REQUEST_DISPATCHER_HH
 
-#include <memory>
 #include <vector>
 
 #include "common/types.hh"
@@ -72,9 +71,6 @@ class RequestDispatcher final : public SimBlock
 
     InstructionDispatcher *dispatcher = nullptr;
     FaultUnit *faults = nullptr;
-
-    /** Storage backing the batches in flight this run. */
-    std::vector<std::unique_ptr<InfBatch>> batch_pool;
 
     // measured window
     std::uint64_t batches_formed = 0;

@@ -24,6 +24,12 @@ noteTraceRecordDelivered()
     g_records_delivered.fetch_add(1, std::memory_order_relaxed);
 }
 
+void
+resetTraceRecordsDelivered()
+{
+    g_records_delivered.store(0, std::memory_order_relaxed);
+}
+
 const char *
 traceEventTypeName(TraceEventType t)
 {

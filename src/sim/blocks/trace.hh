@@ -78,6 +78,9 @@ std::uint64_t traceRecordsDelivered();
 /** Bump the delivered-record counter (called by the emit slow path). */
 void noteTraceRecordDelivered();
 
+/** Zero the delivered-record counter (see resetGlobalSimCounters). */
+void resetTraceRecordsDelivered();
+
 /**
  * Bounded in-memory sink: keeps the first @p cap events verbatim plus
  * per-type counts of everything (drops beyond the cap are counted, not

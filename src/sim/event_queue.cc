@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/logging.hh"
+#include "sim/blocks/trace.hh"
 
 namespace equinox
 {
@@ -25,6 +26,13 @@ void
 addGlobalDispatchedEvents(std::uint64_t n)
 {
     g_dispatched_total.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+resetGlobalSimCounters()
+{
+    g_dispatched_total.store(0, std::memory_order_relaxed);
+    resetTraceRecordsDelivered();
 }
 
 void

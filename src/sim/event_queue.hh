@@ -32,6 +32,18 @@
  *    FIFO in O(1) instead of round-tripping through the heap. The FIFO
  *    vector is reused across ticks (pool allocation: capacity is
  *    retained when cleared), so tick turnover allocates nothing.
+ *  - Steady-state fast-forward (opt-in, off by default): scheduleFast()
+ *    lets a caller sitting in TAIL POSITION of the current event's
+ *    callback chain dispatch its child event inline when that child
+ *    would provably be the queue's very next dispatch anyway
+ *    (canInline()). The simulated clock advances to the child's tick
+ *    exactly as refillFifo() would have, so every observable -- trace
+ *    ticks, handler order, RNG draw order, final now() -- is
+ *    byte-identical to the scheduled path; only the heap round-trip,
+ *    the Callback construction, and the runOne() iteration are
+ *    skipped. Inlined dispatches count toward dispatched() (they are
+ *    real simulation events), and are additionally reported by
+ *    inlined(). See DESIGN.md section 2.7 for the invariants.
  */
 
 #ifndef EQUINOX_SIM_EVENT_QUEUE_HH
@@ -45,6 +57,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/types.hh"
 
 namespace equinox
@@ -90,7 +103,12 @@ class Callback
             invoke_ = [](void *p) { (*static_cast<D *>(p))(); };
             destroy_ = nullptr;
         } else {
-            D *heap = new D(std::forward<Fn>(fn));
+            // Heap fallback: payloads come from the callback arena's
+            // size-class freelists (common/arena.hh), so even oversized
+            // captures stop hitting malloc once the pool is warm.
+            void *mem =
+                common::callbackArenaAlloc(sizeof(D), alignof(D));
+            D *heap = ::new (mem) D(std::forward<Fn>(fn));
             std::memcpy(buf_, &heap, sizeof(heap));
             invoke_ = [](void *p) {
                 D *f;
@@ -100,7 +118,8 @@ class Callback
             destroy_ = [](void *p) {
                 D *f;
                 std::memcpy(&f, p, sizeof(f));
-                delete f;
+                f->~D();
+                common::callbackArenaFree(f, sizeof(D), alignof(D));
             };
         }
     }
@@ -181,6 +200,81 @@ class EventQueue
     scheduleIn(Tick delta, Callback cb)
     {
         schedule(now_ + delta, std::move(cb));
+    }
+
+    /**
+     * Enable (or disable) steady-state fast-forward. @p limit is the
+     * last tick scheduleFast() may inline at: events landing past it
+     * are scheduled for real, reproducing the run loop's exactly-one-
+     * event overshoot semantics at the horizon. The accelerator turns
+     * this on per run (RunSpec::fast_forward, EQX_FASTFORWARD=0 to
+     * veto); the queue default is off so the raw contract tests see
+     * the scheduled path.
+     */
+    void
+    setFastForward(bool on, Tick limit)
+    {
+        ff_on_ = on;
+        ff_limit_ = limit;
+    }
+
+    bool fastForward() const { return ff_on_; }
+
+    /** Dispatches inlined by fast-forward (subset of dispatched()). */
+    std::uint64_t inlined() const { return inlined_; }
+
+    /**
+     * True when an event at @p when could dispatch inline right now:
+     * fast-forward is on, recursion has headroom, the open tick's FIFO
+     * is fully drained, every heap entry lands STRICTLY later than
+     * @p when (a same-tick heap entry has a smaller seq and must run
+     * first), and @p when is inside [now, ff_limit]. Under these
+     * conditions the event is the queue's next dispatch, so running it
+     * immediately is observationally identical to scheduling it.
+     */
+    bool
+    canInline(Tick when) const
+    {
+        return ff_on_ && ff_depth_ < kMaxInlineDepth &&
+               fifo_head_ >= fifo_.size() && when >= now_ &&
+               when <= ff_limit_ &&
+               (heap_.empty() || heap_.front().when > when);
+    }
+
+    /**
+     * Schedule @p fn at @p when, dispatching it inline when canInline()
+     * holds. ONLY valid from tail position of the running callback: no
+     * code that could observe the old now(), schedule into it, or
+     * mutate simulation state may run after this call returns up the
+     * current dispatch chain. The inline path advances now() exactly
+     * as refillFifo() would and invokes @p fn directly -- no Callback
+     * is materialized and the heap is never touched.
+     */
+    template <typename Fn>
+    void
+    scheduleFast(Tick when, Fn &&fn)
+    {
+        if (canInline(when)) {
+            now_ = when;
+            tick_open_ = true;
+            fifo_.clear();
+            fifo_head_ = 0;
+            ++dispatched_;
+            ++inlined_;
+            ++ff_depth_;
+            fn();
+            --ff_depth_;
+            return;
+        }
+        schedule(when, Callback(std::forward<Fn>(fn)));
+    }
+
+    /** scheduleFast() @p delta ticks from now. */
+    template <typename Fn>
+    void
+    scheduleFastIn(Tick delta, Fn &&fn)
+    {
+        scheduleFast(now_ + delta, std::forward<Fn>(fn));
     }
 
     /** Dispatch the earliest event. @return false when empty. */
@@ -273,17 +367,45 @@ class EventQueue
     std::uint64_t dispatched_ = 0;
     std::size_t high_water_ = 0;
     std::uint64_t heap_reallocs_ = 0;
+
+    /**
+     * Inline-dispatch recursion cap: each inlined event adds a handful
+     * of stack frames (completion -> dispatcher round -> issue ->
+     * scheduleFast), so the cap bounds stack growth; hitting it falls
+     * back to a real scheduled event, which unwinds the whole chain to
+     * runOne() before dispatching.
+     */
+    static constexpr std::uint32_t kMaxInlineDepth = 64;
+    bool ff_on_ = false;
+    Tick ff_limit_ = 0;
+    std::uint32_t ff_depth_ = 0;
+    std::uint64_t inlined_ = 0;
 };
 
 /**
  * Process-wide total of events dispatched by completed simulation runs
  * (accumulated once per Accelerator::run; thread-safe). The bench perf
  * harness reports it as a wall-clock-independent work measure.
+ *
+ * Aggregation contract: the counter only ever grows within a process;
+ * consumers that want per-phase numbers snapshot it and subtract (the
+ * bench Harness does exactly that), or call resetGlobalSimCounters()
+ * between phases when no simulation is running concurrently. Per-run
+ * counts are reported directly in SimResult::events_dispatched, so
+ * back-to-back runs never need the global counter at all.
  */
 std::uint64_t globalDispatchedEvents();
 
 /** Add @p n to the process-wide dispatched-event total. */
 void addGlobalDispatchedEvents(std::uint64_t n);
+
+/**
+ * Zero the process-wide dispatched-event and traceRecordsDelivered()
+ * counters. Only meaningful while no simulation runs concurrently
+ * (counters are relaxed atomics; a racing run's increments land on
+ * whichever side of the reset they land).
+ */
+void resetGlobalSimCounters();
 
 } // namespace sim
 } // namespace equinox
