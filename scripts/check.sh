@@ -14,10 +14,14 @@
 #                                # src/fault/ is below 90%
 #   scripts/check.sh --resilience # only the overload-resilience
 #                                # control-plane + chaos suites
+#   scripts/check.sh --fleet     # only the fleet-tier suites
+#                                # (hierarchical routing, SLO
+#                                # autoscaler, traffic mixes)
 #   scripts/check.sh --bench-smoke # build the default preset, run the
 #                                # perf-tracking benches (fig7, event
 #                                # kernel, cluster scaling, overload
-#                                # resilience) and diff their BENCH
+#                                # resilience, fleet scaling) and diff
+#                                # their BENCH
 #                                # records against the committed
 #                                # bench/baselines/ (fails on a >10%
 #                                # events/s regression or a missing
@@ -77,10 +81,10 @@ run_bench_smoke() {
     cmake --preset default
     cmake --build --preset default -j "$(nproc)" \
         --target fig7_inference_latency event_kernel \
-                 cluster_scaling overload_resilience
+                 cluster_scaling overload_resilience fleet_scaling
     local bench
     for bench in fig7_inference_latency event_kernel \
-                 cluster_scaling overload_resilience; do
+                 cluster_scaling overload_resilience fleet_scaling; do
         echo "check.sh: bench smoke: $bench"
         (cd build/bench && "./$bench" --jobs=1 >/dev/null)
         python3 scripts/bench_compare.py \
@@ -113,6 +117,9 @@ case "${1:-}" in
   --resilience)
     run_preset default resilience
     ;;
+  --fleet)
+    run_preset default fleet
+    ;;
   --bench-smoke)
     run_bench_smoke
     ;;
@@ -122,7 +129,7 @@ case "${1:-}" in
     ;;
   *)
     echo "usage: scripts/check.sh" \
-         "[--asan|--tsan|--coverage|--resilience|--bench-smoke|--format]" >&2
+         "[--asan|--tsan|--coverage|--resilience|--fleet|--bench-smoke|--format]" >&2
     exit 2
     ;;
 esac

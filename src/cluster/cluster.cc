@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "cluster/router.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/units.hh"
+#include "fault/traffic_mix.hh"
 #include "sim/accelerator.hh"
 
 namespace equinox
@@ -59,6 +61,20 @@ ClusterSpec::validate() const
         errors.push_back("resilience: " + std::move(e));
     for (auto &e : chaos.validate())
         errors.push_back("chaos: " + std::move(e));
+    for (auto &e : fleet.validate())
+        errors.push_back("fleet: " + std::move(e));
+    if (fleet.shards > replicas)
+        errors.push_back("fleet: " + std::to_string(fleet.shards) +
+                         " shards need at least that many replicas (" +
+                         std::to_string(replicas) + " configured)");
+    if (fleet.autoscaler.enabled &&
+        fleet.autoscaler.min_replicas > replicas)
+        errors.push_back(
+            "fleet: autoscaler min_replicas exceeds the fleet size");
+    if (fleet.routesHierarchically() && resilience.enabled())
+        errors.push_back(
+            "fleet: sharding/autoscaling cannot compose with the "
+            "resilience control plane yet (pick one)");
     for (const auto &o : chaos.scheduled_outages) {
         if (o.replica != fault::kEveryReplica && o.replica >= replicas)
             errors.push_back("chaos scheduled outage names replica " +
@@ -145,6 +161,18 @@ Cluster::run(double load, const core::ExperimentOptions &opts,
         surges.push_back({units::secondsToCycles(s.from_s, f),
                           units::secondsToCycles(s.to_s, f), s.factor});
     }
+    // Traffic mixes (diurnal swings, flash crowds, tenant blends)
+    // flatten into the same surge-window thinning mechanism chaos
+    // flash crowds use; overlapping chaos windows compose by max, the
+    // existing rule. A default mix materializes nothing.
+    if (spec_.fleet.traffic.enabled()) {
+        for (const auto &s : fault::materializeTraffic(
+                 spec_.fleet.traffic, opts.max_sim_s)) {
+            surges.push_back({units::secondsToCycles(s.from_s, f),
+                              units::secondsToCycles(s.to_s, f),
+                              s.factor});
+        }
+    }
 
     // Route the global candidate stream. `load` is the offered
     // fraction of the AGGREGATE capacity, so the stream runs at
@@ -159,15 +187,50 @@ Cluster::run(double load, const core::ExperimentOptions &opts,
     if (spec_.arrival_process == sim::ArrivalProcess::Bursty)
         rate_cycle *= spec_.burst_factor;
     const bool cp_on = spec_.resilience.enabled();
+    const bool fleet_on = spec_.fleet.routesHierarchically();
     RouterResult routed;
     ResilienceStats rstats;
     double overload_frac = 0.0;
+    // The FleetRouter outlives routing: the training coordinator and
+    // the per-shard/autoscaler reporting below query it.
+    std::optional<FleetRouter> fleet_router;
     if (cp_on) {
         ControlPlane cp(spec_.resilience, spec_.policy, n, mu_req / f,
                         spec_.latency_window, outages);
         routed = cp.route(rate_cycle, opts.seed, max_ticks, surges);
         rstats = cp.stats();
         overload_frac = cp.overloadFraction();
+    } else if (fleet_on) {
+        // Hierarchical path: shard-level policy over per-shard flat
+        // routers, optionally with the SLO autoscaler. All knobs
+        // convert to the cycle domain here; the router never sees
+        // seconds.
+        FleetRouter::Config fc;
+        fc.replica_policy = spec_.policy;
+        fc.shard_policy = spec_.fleet.shard_policy;
+        fc.replicas = n;
+        fc.shards = std::max<std::size_t>(spec_.fleet.shards, 1);
+        fc.service_rate_per_cycle = mu_req / f;
+        fc.latency_window = spec_.latency_window;
+        const AutoscalerSpec &as = spec_.fleet.autoscaler;
+        if (as.enabled) {
+            fc.autoscale = true;
+            fc.min_active = as.min_replicas;
+            fc.max_active = as.max_replicas;
+            fc.initial_active = as.initial_replicas;
+            fc.target_p99_cycles = as.target_p99_s * f;
+            fc.low_watermark = as.low_watermark;
+            fc.target_utilization = as.target_utilization;
+            fc.decision_interval = std::max<Tick>(
+                units::secondsToCycles(as.decision_interval_s, f), 1);
+            fc.cooldown = units::secondsToCycles(as.cooldown_s, f);
+            fc.warmup = units::secondsToCycles(as.warmup_s, f);
+            fc.estimate_window = as.estimate_window;
+            fc.min_samples = as.min_samples;
+        }
+        fleet_router.emplace(fc, outages);
+        routed = fleet_router->route(rate_cycle, opts.seed, max_ticks,
+                                     surges);
     } else {
         Router router(spec_.policy, n, mu_req / f, spec_.latency_window,
                       outages);
@@ -196,6 +259,19 @@ Cluster::run(double load, const core::ExperimentOptions &opts,
         }
         std::vector<std::size_t> order(n);
         std::iota(order.begin(), order.end(), std::size_t{0});
+        if (fleet_router && spec_.fleet.autoscaler.enabled) {
+            // Replicas the autoscaler never powered run no traffic;
+            // placing training there would model training on machines
+            // that do not exist. Restrict the coordinator to the
+            // ever-provisioned set.
+            order.erase(std::remove_if(order.begin(), order.end(),
+                                       [&](std::size_t r) {
+                                           return !fleet_router
+                                                       ->everActive(r);
+                                       }),
+                        order.end());
+            k = std::min(k, order.size());
+        }
         std::stable_sort(order.begin(), order.end(),
                          [&](std::size_t a, std::size_t b) {
                              return routed.assigned[a] <
@@ -205,11 +281,13 @@ Cluster::run(double load, const core::ExperimentOptions &opts,
             trains[order[i]] = 1;
     }
 
-    // Run the replicas, one per worker. Each run is self-contained
-    // (own Accelerator, own trace slice, optional own sink), so the
-    // fan-out is byte-identical to a serial loop.
+    // Run the replicas, round-robined across min(jobs, n) workers
+    // (strided: a 1024-replica fleet on 8 workers submits 8 tasks, not
+    // 1024). Each run is self-contained (own Accelerator, own trace
+    // slice, optional own sink), so the fan-out is byte-identical to a
+    // serial loop.
     std::vector<ReplicaOutcome> out(n);
-    parallelFor(opts.jobs, n, [&](std::size_t r) {
+    parallelForStrided(opts.jobs, n, [&](std::size_t r) {
         sim::Accelerator accel(cfg_);
         accel.installInference(compiled.inference);
         if (trains[r])
@@ -218,7 +296,13 @@ Cluster::run(double load, const core::ExperimentOptions &opts,
             accel.setTraceSink(replica_sinks[r]);
 
         sim::RunSpec rs;
-        rs.arrival_rate_per_s = per_replica_rate;
+        // A replica whose trace is empty (dead all run, or never
+        // activated by the autoscaler) must offer rate 0: the
+        // dispatcher falls back to stochastic draws at the given rate
+        // when the tick trace is empty, and the replica would invent
+        // traffic the router never sent it.
+        rs.arrival_rate_per_s =
+            routed.traces[r].empty() ? 0.0 : per_replica_rate;
         rs.arrival_process = spec_.arrival_process;
         rs.burst_factor = spec_.burst_factor;
         rs.burst_period_s = spec_.burst_period_s;
@@ -337,6 +421,35 @@ Cluster::run(double load, const core::ExperimentOptions &opts,
             res.goodput_rps +=
                 static_cast<double>(good) / o.sim.sim_seconds;
         }
+    }
+    // Fleet tier reporting: per-shard slices merge their replicas in
+    // index order -- the same order the fleet-level merge above walked,
+    // so shard-tracker merging reproduces the fleet percentiles
+    // bitwise -- plus the autoscaler's decision accounting.
+    if (fleet_router) {
+        res.shards = fleet_router->shardCount();
+        res.shard_policy = spec_.fleet.shard_policy;
+        res.shard_rerouted = fleet_router->shardRerouted();
+        res.per_shard.resize(res.shards);
+        for (std::size_t s = 0; s < res.shards; ++s) {
+            ShardOutcome &sh = res.per_shard[s];
+            sh.shard = s;
+            sh.first_replica = fleet_router->shardBase(s);
+            sh.replicas = fleet_router->shardSize(s);
+            for (std::size_t r = sh.first_replica;
+                 r < sh.first_replica + sh.replicas; ++r) {
+                sh.assigned_candidates += out[r].assigned_candidates;
+                sh.completed_requests += out[r].sim.completed_requests;
+                sh.merged_latency_cycles.merge(out[r].sim.latency_cycles);
+                sh.faults.merge(out[r].sim.faults);
+            }
+            if (sh.merged_latency_cycles.count() > 0)
+                sh.p99_latency_s =
+                    sh.merged_latency_cycles.percentile(0.99) * inv_f;
+        }
+        res.autoscaled = spec_.fleet.autoscaler.enabled;
+        if (res.autoscaled)
+            res.autoscaler = fleet_router->autoscalerStats();
     }
     res.per_replica = std::move(out);
     return res;

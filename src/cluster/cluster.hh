@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cluster/control_plane.hh"
+#include "cluster/fleet.hh"
 #include "cluster/routing_policy.hh"
 #include "core/experiment.hh"
 #include "fault/chaos_plan.hh"
@@ -85,6 +86,14 @@ struct ClusterSpec
      * skips materialization entirely.
      */
     fault::ChaosPlan chaos;
+    /**
+     * Fleet-scale serving: hierarchical sharded routing, SLO-aware
+     * autoscaling, and traffic mixes. Default-constructed = off: the
+     * run routes through the flat Router exactly as before. Sharding
+     * and autoscaling cannot yet compose with the resilience control
+     * plane (validate() rejects the combination).
+     */
+    FleetSpec fleet;
 
     /** Actionable configuration errors; empty when usable. */
     std::vector<std::string> validate() const;
@@ -99,6 +108,28 @@ struct ReplicaOutcome
     /** Whether the training coordinator placed training here. */
     bool training = false;
     sim::SimResult sim;
+};
+
+/** One shard's slice of a fleet-routed cluster run. */
+struct ShardOutcome
+{
+    std::size_t shard = 0;
+    /** First global replica index of the shard. */
+    std::size_t first_replica = 0;
+    /** Replicas in the shard (contiguous from first_replica). */
+    std::size_t replicas = 0;
+    /** Candidates the hierarchy assigned into this shard. */
+    std::uint64_t assigned_candidates = 0;
+    std::uint64_t completed_requests = 0;
+    /**
+     * Exact merged latency over the shard's replicas, concatenated in
+     * index order -- the same order the fleet-level merge walks, so
+     * merging the shard trackers reproduces the fleet percentiles
+     * bitwise (tests/test_fleet_properties.cc pins this).
+     */
+    stats::LatencyTracker merged_latency_cycles;
+    stats::FaultStats faults;
+    double p99_latency_s = 0.0;
 };
 
 /** One measured cluster load point. */
@@ -165,6 +196,19 @@ struct ClusterPointResult
      */
     double goodput_rps = 0.0;
 
+    // -- fleet tier (hierarchical routing + autoscaler) ---------------
+    /** Shard count of the hierarchical router; 0 = flat path. */
+    std::size_t shards = 0;
+    RoutingPolicy shard_policy = RoutingPolicy::JoinShortestQueue;
+    /** Candidates whose first-choice SHARD was skipped (also counted
+     *  inside the `rerouted` total). */
+    std::uint64_t shard_rerouted = 0;
+    /** Per-shard slices, in shard order; empty on the flat path. */
+    std::vector<ShardOutcome> per_shard;
+    /** True when the run routed through the autoscaler. */
+    bool autoscaled = false;
+    AutoscalerStats autoscaler;
+
     std::vector<ReplicaOutcome> per_replica;
 };
 
@@ -177,7 +221,7 @@ class Cluster
 
     /**
      * Run one load point: route the global stream, run every replica
-     * (fanned across opts.jobs workers, one replica per worker), and
+     * (round-robined across min(opts.jobs, replicas) workers), and
      * merge in replica order. @p load is the offered fraction of the
      * AGGREGATE saturation rate: load 0.7 on 4 replicas offers
      * 0.7 * 4 * maxRequestRate requests/s fleet-wide.

@@ -107,6 +107,16 @@ Router::available(std::size_t replica, Tick t) const
     return alive(replica, t) && (!filter_ || filter_(replica, t));
 }
 
+bool
+Router::anyAvailable(Tick t) const
+{
+    for (std::size_t r = 0; r < replicas_; ++r) {
+        if (available(r, t))
+            return true;
+    }
+    return false;
+}
+
 void
 Router::drainAll(Tick t)
 {

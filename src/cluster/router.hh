@@ -121,6 +121,13 @@ class Router
     bool alive(std::size_t replica, Tick t) const;
 
     /**
+     * True when at least one replica is available (alive AND not
+     * vetoed by the availability filter) at @p t. The fleet tier's
+     * shard-availability check reads this for shards with outages.
+     */
+    bool anyAvailable(Tick t) const;
+
+    /**
      * Install a health veto consulted on top of the outage windows
      * (the control plane's circuit breakers). A vetoed replica is
      * skipped by pick() exactly like a dead one; alive() itself stays

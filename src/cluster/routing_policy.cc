@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "stats/histogram.hh"
 
 namespace equinox
 {
@@ -76,22 +77,15 @@ ReplicaEstimator::refreshWindowP99()
     // here once and read for free by every later routing decision.
     // This runs once per routed request -- a long-horizon stream is
     // millions of refreshes -- so it reuses a scratch buffer instead
-    // of building a LatencyTracker, while computing bit-for-bit the
-    // same interpolated order statistic LatencyTracker::percentile
-    // defines (the policy contract windowP99() documents).
+    // of building a LatencyTracker, but the interpolation itself is
+    // stats::exactPercentileSorted, the one percentile kernel: it
+    // carries the exact-rank guard that keeps +inf samples from
+    // surfacing as 0 * inf = NaN, and sharing it makes windowP99()
+    // bit-identical to LatencyTracker::percentile by construction
+    // (the policy contract windowP99() documents).
     scratch_.assign(recent_.begin(), recent_.end());
     std::sort(scratch_.begin(), scratch_.end());
-    if (scratch_.size() == 1) {
-        window_p99_ = scratch_.front();
-        return;
-    }
-    double rank = 0.99 * static_cast<double>(scratch_.size() - 1);
-    auto lo_idx = static_cast<std::size_t>(rank);
-    double frac = rank - static_cast<double>(lo_idx);
-    window_p99_ = (frac == 0.0 || lo_idx + 1 >= scratch_.size())
-                      ? scratch_[lo_idx]
-                      : scratch_[lo_idx] * (1.0 - frac) +
-                            scratch_[lo_idx + 1] * frac;
+    window_p99_ = stats::exactPercentileSorted(scratch_, 0.99);
 }
 
 } // namespace cluster

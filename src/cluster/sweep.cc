@@ -16,8 +16,9 @@ runClusterSweep(const sim::AcceleratorConfig &cfg,
     cluster::Cluster fleet(cfg, cspec);
     // Compile once per (config, options); every point and every
     // replica installs copies of the same descriptors. The replicas
-    // inside each point are the parallel dimension (one per worker),
-    // so the points themselves run in input order.
+    // inside each point are the parallel dimension (round-robined
+    // across the worker pool), so the points themselves run in input
+    // order.
     CompiledWorkload compiled = compileWorkload(cfg, opts);
     std::vector<cluster::ClusterPointResult> out;
     out.reserve(loads.size());
@@ -148,6 +149,75 @@ addResiliencePoint(obs::MetricsSnapshot &snap, const std::string &label,
         static_cast<std::uint64_t>(s.training_replicas_shed);
 
     snap.section("resilience")[label].append(std::move(point));
+}
+
+void
+addFleetPoint(obs::MetricsSnapshot &snap, const std::string &label,
+              const cluster::ClusterPointResult &r)
+{
+    obs::Json point = obs::Json::object();
+    point["load"] = r.load;
+    point["replicas"] = static_cast<std::uint64_t>(r.replicas);
+    point["policy"] = cluster::routingPolicyName(r.policy);
+    point["shards"] = static_cast<std::uint64_t>(r.shards);
+    point["shard_policy"] = cluster::routingPolicyName(r.shard_policy);
+
+    point["generated_candidates"] = r.generated_candidates;
+    point["router_shed"] = r.router_shed;
+    point["rerouted"] = r.rerouted;
+    point["shard_rerouted"] = r.shard_rerouted;
+    point["completed_requests"] = r.completed_requests;
+    point["aggregate_inference_tops"] = r.aggregate_inference_tops;
+    point["aggregate_training_tops"] = r.aggregate_training_tops;
+    point["mean_latency_s"] = r.mean_latency_s;
+    point["p50_latency_s"] = r.p50_latency_s;
+    point["p99_latency_s"] = r.p99_latency_s;
+    point["max_latency_s"] = r.max_latency_s;
+    point["availability"] = r.availability;
+    point["request_availability"] = r.request_availability;
+
+    // Per-SHARD rows: at fleet scale the per-replica table would be
+    // thousands of rows; the shard tier is the reporting granularity.
+    for (const auto &sh : r.per_shard) {
+        obs::Json row = obs::Json::object();
+        row["first_replica"] =
+            static_cast<std::uint64_t>(sh.first_replica);
+        row["replicas"] = static_cast<std::uint64_t>(sh.replicas);
+        row["assigned_candidates"] = sh.assigned_candidates;
+        row["completed_requests"] = sh.completed_requests;
+        row["p99_latency_s"] = sh.p99_latency_s;
+        if (sh.faults.totalFaults() > 0)
+            row["faults"] = sh.faults.totalFaults();
+        point["per_shard"]["s" + std::to_string(sh.shard)] =
+            std::move(row);
+    }
+
+    point["autoscaled"] = r.autoscaled;
+    if (r.autoscaled) {
+        const cluster::AutoscalerStats &a = r.autoscaler;
+        obs::Json &scaler = point["autoscaler"];
+        scaler["decisions"] = a.decisions;
+        scaler["scale_ups"] = a.scale_ups;
+        scaler["scale_downs"] = a.scale_downs;
+        scaler["min_active"] = static_cast<std::uint64_t>(a.min_active);
+        scaler["max_active"] = static_cast<std::uint64_t>(a.max_active);
+        scaler["final_active"] =
+            static_cast<std::uint64_t>(a.final_active);
+        scaler["active_replica_ticks"] = a.active_replica_ticks;
+        scaler["needed_replica_ticks"] = a.needed_replica_ticks;
+        scaler["over_provisioned_ticks"] = a.over_provisioned_ticks;
+        scaler["over_provision_frac"] = a.over_provision_frac;
+    }
+
+    snap.section("fleet")[label].append(std::move(point));
+}
+
+void
+addFleetSweep(obs::MetricsSnapshot &snap, const std::string &label,
+              const std::vector<cluster::ClusterPointResult> &rs)
+{
+    for (const auto &r : rs)
+        addFleetPoint(snap, label, r);
 }
 
 } // namespace core

@@ -26,9 +26,11 @@ namespace core
 
 /**
  * Run a whole cluster load sweep: the workload compiles once, then
- * each point routes the global stream and fans its replicas across
- * opts.jobs workers (one replica per worker). Points run in input
- * order; results are a pure function of (cfg, cspec, loads, opts).
+ * each point routes the global stream and time-multiplexes its
+ * replicas across min(opts.jobs, replicas) workers (round-robin
+ * striding -- a 1024-replica fleet on 8 workers runs 128 replicas per
+ * worker, byte-identical to serial). Points run in input order;
+ * results are a pure function of (cfg, cspec, loads, opts).
  */
 std::vector<cluster::ClusterPointResult> runClusterSweep(
     const sim::AcceleratorConfig &cfg, const cluster::ClusterSpec &cspec,
@@ -58,6 +60,22 @@ void addClusterSweep(obs::MetricsSnapshot &snap, const std::string &label,
 void addResiliencePoint(obs::MetricsSnapshot &snap,
                         const std::string &label,
                         const cluster::ClusterPointResult &r);
+
+/**
+ * Append one fleet-routed point under "fleet.<label>" in @p snap:
+ * the hierarchy shape (shards, shard policy, shard-level re-routes),
+ * per-SHARD rows (a 1024-replica fleet exports ~32 shard rows, not
+ * 1024 replica rows), and the autoscaler's decision accounting
+ * (scale events, provisioned envelope, over-provision fraction).
+ * Points routed by the flat Router export the headline numbers with
+ * shards = 0 and no shard rows.
+ */
+void addFleetPoint(obs::MetricsSnapshot &snap, const std::string &label,
+                   const cluster::ClusterPointResult &r);
+
+/** addFleetPoint over a whole sweep, in input order. */
+void addFleetSweep(obs::MetricsSnapshot &snap, const std::string &label,
+                   const std::vector<cluster::ClusterPointResult> &rs);
 
 } // namespace core
 } // namespace equinox

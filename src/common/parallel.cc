@@ -150,4 +150,46 @@ parallelFor(std::size_t jobs, std::size_t n,
     }
 }
 
+void
+parallelForStrided(std::size_t jobs, std::size_t n,
+                   const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (jobs == 0)
+        jobs = defaultJobs();
+    if (jobs == 1 || n == 1 || inParallelRegion()) {
+        // The exact serial code path, same as parallelFor.
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::size_t width = std::min(jobs, n);
+    std::vector<std::exception_ptr> errors(n);
+    {
+        ThreadPool pool(width);
+        for (std::size_t w = 0; w < width; ++w) {
+            pool.submit([&fn, &errors, w, width, n] {
+                // One task per worker slot; indices stride by the pool
+                // width so a worker that hits an error keeps running
+                // its remaining lane (every index gets a verdict, and
+                // the lowest-index rethrow below stays deterministic).
+                for (std::size_t i = w; i < n; i += width) {
+                    try {
+                        fn(i);
+                    } catch (...) {
+                        errors[i] = std::current_exception();
+                    }
+                }
+            });
+        }
+        pool.wait();
+    }
+    for (auto &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
 } // namespace equinox

@@ -101,6 +101,19 @@ void parallelFor(std::size_t jobs, std::size_t n,
                  const std::function<void(std::size_t)> &fn);
 
 /**
+ * Like parallelFor, but built for n >> jobs: instead of enqueueing one
+ * closure per index (a 1024-replica fleet would queue 1024 heap-backed
+ * tasks for 8 workers), exactly W = min(jobs, n) tasks are submitted
+ * and task w runs indices w, w + W, w + 2W, ... serially — replicas
+ * round-robin across workers and the fan-out is capped at the pool
+ * size. The serial path, result placement, and lowest-index exception
+ * rethrow contracts are identical to parallelFor, so a strided run is
+ * byte-identical to a serial run whenever each fn(i) is self-contained.
+ */
+void parallelForStrided(std::size_t jobs, std::size_t n,
+                        const std::function<void(std::size_t)> &fn);
+
+/**
  * Map @p fn over @p inputs with parallelFor; results are collected in
  * input order. @p fn must be invocable const on each element.
  */

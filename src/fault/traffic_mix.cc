@@ -1,0 +1,256 @@
+#include "fault/traffic_mix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace equinox
+{
+namespace fault
+{
+
+namespace
+{
+
+constexpr double kPi = 3.14159265358979323846;
+
+/** Max factor over the scheduled windows containing @p t_s. */
+double
+surgeFactorAt(const std::vector<SurgeWindow> &surges, double t_s)
+{
+    double factor = 1.0;
+    for (const auto &s : surges) {
+        if (t_s >= s.from_s && t_s < s.to_s)
+            factor = std::max(factor, s.factor);
+    }
+    return factor;
+}
+
+void
+validateSurges(const std::vector<SurgeWindow> &surges,
+               const std::string &who, std::vector<std::string> &errors)
+{
+    for (const auto &s : surges) {
+        if (s.from_s < 0.0 || s.to_s < s.from_s)
+            errors.push_back(who + " surge window [" +
+                             std::to_string(s.from_s) + ", " +
+                             std::to_string(s.to_s) +
+                             ") must be ordered and non-negative");
+        if (s.factor < 1.0)
+            errors.push_back(who + " surge factor must be >= 1");
+    }
+}
+
+void
+validateDiurnal(const DiurnalPolicy &d, const std::string &who,
+                std::vector<std::string> &errors)
+{
+    if (d.period_s < 0.0)
+        errors.push_back(who + " diurnal period_s must be >= 0");
+    if (!d.enabled())
+        return;
+    if (d.peak_factor < 1.0)
+        errors.push_back(who + " diurnal peak_factor must be >= 1");
+    if (d.segments_per_period < 2)
+        errors.push_back(who + " diurnal needs >= 2 segments per period");
+    if (d.phase < 0.0 || d.phase >= 1.0)
+        errors.push_back(who + " diurnal phase must be in [0, 1)");
+}
+
+} // namespace
+
+double
+DiurnalPolicy::factorAt(double t_s) const
+{
+    if (!enabled())
+        return 1.0;
+    // Raised cosine: 1x at the trough, peak_factor at phase * period.
+    // The [1, peak] range (never below the base rate) is what lets the
+    // flattened windows ride the router's thinning path, which asserts
+    // factor >= 1 per window.
+    double x = t_s / period_s - phase;
+    double wave = 0.5 * (1.0 + std::cos(2.0 * kPi * x));
+    return 1.0 + (peak_factor - 1.0) * wave;
+}
+
+bool
+TrafficMix::enabled() const
+{
+    if (diurnal.enabled() || !flash_crowds.empty())
+        return true;
+    for (const auto &t : tenants) {
+        if (t.diurnal.enabled() || !t.surges.empty())
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+TrafficMix::validate() const
+{
+    std::vector<std::string> errors;
+    validateDiurnal(diurnal, "fleet", errors);
+    validateSurges(flash_crowds, "fleet", errors);
+    for (const auto &t : tenants) {
+        if (!(t.share > 0.0))
+            errors.push_back("tenant '" + t.name +
+                             "' share must be > 0");
+        validateDiurnal(t.diurnal, "tenant '" + t.name + "'", errors);
+        validateSurges(t.surges, "tenant '" + t.name + "'", errors);
+    }
+    return errors;
+}
+
+double
+TrafficMix::factorAt(double t_s) const
+{
+    // The tenant blend is the share-weighted average of per-tenant
+    // factors (each >= 1, so the blend is too); the fleet diurnal and
+    // flash-crowd factors multiply on top.
+    double blend = 1.0;
+    if (!tenants.empty()) {
+        double weighted = 0.0;
+        double total_share = 0.0;
+        for (const auto &t : tenants) {
+            double f = t.diurnal.factorAt(t_s) *
+                       surgeFactorAt(t.surges, t_s);
+            weighted += t.share * f;
+            total_share += t.share;
+        }
+        blend = weighted / total_share;
+    }
+    return blend * diurnal.factorAt(t_s) *
+           surgeFactorAt(flash_crowds, t_s);
+}
+
+std::vector<SurgeWindow>
+materializeTraffic(const TrafficMix &mix, double horizon_s)
+{
+    std::vector<SurgeWindow> windows;
+    if (!mix.enabled() || horizon_s <= 0.0)
+        return windows;
+    if (auto errors = mix.validate(); !errors.empty()) {
+        std::string joined;
+        for (const auto &e : errors)
+            joined += "\n  " + e;
+        EQX_FATAL("invalid traffic mix:", joined);
+    }
+
+    // Build the discretization grid: every scheduled surge edge is a
+    // breakpoint (so window factors are exact constants between them),
+    // and the finest active diurnal contributes a uniform step so the
+    // cosine is sampled segments_per_period times per period.
+    std::vector<double> edges = {0.0, horizon_s};
+    auto add_edge = [&edges, horizon_s](double e) {
+        if (e > 0.0 && e < horizon_s)
+            edges.push_back(e);
+    };
+    auto add_surge_edges = [&](const std::vector<SurgeWindow> &ss) {
+        for (const auto &s : ss) {
+            add_edge(s.from_s);
+            add_edge(s.to_s);
+        }
+    };
+    add_surge_edges(mix.flash_crowds);
+    double step = horizon_s;
+    auto add_diurnal_step = [&step](const DiurnalPolicy &d) {
+        if (d.enabled())
+            step = std::min(
+                step, d.period_s /
+                          static_cast<double>(d.segments_per_period));
+    };
+    add_diurnal_step(mix.diurnal);
+    for (const auto &t : mix.tenants) {
+        add_surge_edges(t.surges);
+        add_diurnal_step(t.diurnal);
+    }
+    if (step < horizon_s) {
+        for (double e = step; e < horizon_s; e += step)
+            edges.push_back(e);
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    // Evaluate each cell at its midpoint, drop factor-1 spans, and
+    // coalesce equal-factor neighbours: the thinning loop pays O(#
+    // windows) per candidate, so fewer windows is directly cheaper.
+    for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+        double from = edges[i];
+        double to = edges[i + 1];
+        double factor = mix.factorAt(0.5 * (from + to));
+        if (factor <= 1.0 + 1e-12)
+            continue;
+        if (!windows.empty() && windows.back().to_s == from &&
+            windows.back().factor == factor) {
+            windows.back().to_s = to;
+            continue;
+        }
+        windows.push_back({from, to, factor});
+    }
+    return windows;
+}
+
+std::vector<std::string>
+trafficScenarioNames()
+{
+    return {"diurnal", "flash_crowd", "multi_tenant"};
+}
+
+TrafficMix
+trafficScenario(const std::string &name, double horizon_s)
+{
+    EQX_ASSERT(horizon_s > 0.0, "traffic scenario needs a horizon");
+    TrafficMix mix;
+    if (name == "diurnal") {
+        // Two full day/night cycles peaking at 3x: the autoscaler has
+        // to follow the swell up and hand replicas back in the trough.
+        mix.diurnal.period_s = horizon_s / 2.0;
+        mix.diurnal.peak_factor = 3.0;
+        mix.diurnal.segments_per_period = 16;
+        mix.diurnal.phase = 0.25;
+        return mix;
+    }
+    if (name == "flash_crowd") {
+        // A mild background swell with two sharp crowd spikes riding
+        // on it, echoing the chaos "flash_crowd" scenario shape.
+        mix.diurnal.period_s = horizon_s;
+        mix.diurnal.peak_factor = 1.5;
+        mix.diurnal.segments_per_period = 8;
+        mix.diurnal.phase = 0.5;
+        mix.flash_crowds.push_back(
+            {0.20 * horizon_s, 0.30 * horizon_s, 3.0});
+        mix.flash_crowds.push_back(
+            {0.60 * horizon_s, 0.68 * horizon_s, 4.0});
+        return mix;
+    }
+    if (name == "multi_tenant") {
+        // A flat batch majority, an interactive tenant with a strong
+        // day/night cycle, and a small spiky tenant whose private 5x
+        // surges move the blend by its share only.
+        TenantClass batch;
+        batch.name = "batch";
+        batch.share = 0.5;
+        TenantClass interactive;
+        interactive.name = "interactive";
+        interactive.share = 0.3;
+        interactive.diurnal.period_s = horizon_s / 2.0;
+        interactive.diurnal.peak_factor = 4.0;
+        interactive.diurnal.segments_per_period = 16;
+        interactive.diurnal.phase = 0.3;
+        TenantClass spiky;
+        spiky.name = "spiky";
+        spiky.share = 0.2;
+        spiky.surges.push_back(
+            {0.15 * horizon_s, 0.25 * horizon_s, 5.0});
+        spiky.surges.push_back(
+            {0.70 * horizon_s, 0.75 * horizon_s, 5.0});
+        mix.tenants = {batch, interactive, spiky};
+        return mix;
+    }
+    EQX_FATAL("unknown traffic scenario '", name,
+              "' (valid: diurnal, flash_crowd, multi_tenant)");
+}
+
+} // namespace fault
+} // namespace equinox

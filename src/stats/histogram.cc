@@ -61,25 +61,34 @@ LatencyTracker::max() const
 }
 
 double
-LatencyTracker::percentile(double p) const
+exactPercentileSorted(const std::vector<double> &sorted, double p)
 {
     EQX_ASSERT(p >= 0.0 && p <= 1.0, "quantile out of range: ", p);
-    if (samples.empty())
-        return 0.0;
-    ensureSorted();
-    if (samples.size() == 1)
-        return samples.front();
+    EQX_ASSERT(!sorted.empty(), "percentile of an empty sample set");
+    if (sorted.size() == 1)
+        return sorted.front();
 
-    double rank = p * static_cast<double>(samples.size() - 1);
+    double rank = p * static_cast<double>(sorted.size() - 1);
     auto lo_idx = static_cast<std::size_t>(rank);
     double frac = rank - static_cast<double>(lo_idx);
-    if (frac == 0.0 || lo_idx + 1 >= samples.size()) {
+    if (frac == 0.0 || lo_idx + 1 >= sorted.size()) {
         // Exact-rank queries return the order statistic itself: mixing
         // in the neighbour with weight 0 would turn an infinite
         // neighbour into 0 * inf = NaN.
-        return samples[lo_idx];
+        return sorted[lo_idx];
     }
-    return samples[lo_idx] * (1.0 - frac) + samples[lo_idx + 1] * frac;
+    return sorted[lo_idx] * (1.0 - frac) + sorted[lo_idx + 1] * frac;
+}
+
+double
+LatencyTracker::percentile(double p) const
+{
+    if (samples.empty()) {
+        EQX_ASSERT(p >= 0.0 && p <= 1.0, "quantile out of range: ", p);
+        return 0.0;
+    }
+    ensureSorted();
+    return exactPercentileSorted(samples, p);
 }
 
 void

@@ -20,6 +20,19 @@ namespace equinox
 namespace stats
 {
 
+/**
+ * Exact p-quantile of an ascending-sorted sample buffer via linear
+ * interpolation between order statistics. This is THE percentile kernel:
+ * every sliding-window or tracker percentile in the repo must route
+ * through it rather than re-deriving the interpolation, because the
+ * exact-rank guard below is what keeps +inf samples from surfacing as
+ * NaN (0 * inf) — a bug class we have already fixed once.
+ *
+ * @param sorted ascending-sorted samples; must be non-empty and NaN-free
+ * @param p      quantile in [0, 1]; e.g. 0.99 for the 99th percentile
+ */
+double exactPercentileSorted(const std::vector<double> &sorted, double p);
+
 /** Exact sample set with percentile queries. */
 class LatencyTracker
 {

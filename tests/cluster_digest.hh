@@ -18,6 +18,43 @@ namespace equinox
 namespace testutil
 {
 
+/** Fold the fleet-tier slice of a point (shards + autoscaler). */
+inline void
+foldFleetFields(ResultDigest &dg, const cluster::ClusterPointResult &r)
+{
+    dg.u64(r.shards);
+    dg.u64(static_cast<std::uint64_t>(r.shard_policy));
+    dg.u64(r.shard_rerouted);
+    for (const auto &sh : r.per_shard) {
+        dg.u64(sh.shard);
+        dg.u64(sh.first_replica);
+        dg.u64(sh.replicas);
+        dg.u64(sh.assigned_candidates);
+        dg.u64(sh.completed_requests);
+        dg.u64(sh.merged_latency_cycles.count());
+        dg.d(sh.merged_latency_cycles.mean());
+        dg.d(sh.p99_latency_s);
+        dg.u64(sh.faults.totalFaults());
+        dg.u64(sh.faults.downtime_cycles);
+    }
+    dg.u64(r.autoscaled ? 1 : 0);
+    dg.u64(r.autoscaler.decisions);
+    dg.u64(r.autoscaler.scale_ups);
+    dg.u64(r.autoscaler.scale_downs);
+    dg.u64(r.autoscaler.min_active);
+    dg.u64(r.autoscaler.max_active);
+    dg.u64(r.autoscaler.final_active);
+    dg.d(r.autoscaler.active_replica_ticks);
+    dg.d(r.autoscaler.needed_replica_ticks);
+    dg.d(r.autoscaler.over_provisioned_ticks);
+    dg.d(r.autoscaler.over_provision_frac);
+    dg.u64(r.autoscaler.transitions.size());
+    for (const auto &tr : r.autoscaler.transitions) {
+        dg.u64(tr.first);
+        dg.u64(tr.second);
+    }
+}
+
 /** Fold one cluster point: router, aggregates, merge, per-replica. */
 inline void
 foldClusterPoint(ResultDigest &dg, const cluster::ClusterPointResult &r)
@@ -80,6 +117,12 @@ foldClusterPoint(ResultDigest &dg, const cluster::ClusterPointResult &r)
     dg.d(r.inference_availability);
     dg.u64(r.deadline_met);
     dg.d(r.goodput_rps);
+    // Fleet-tier fields fold only when the tier routed the point:
+    // flat-path digests (and their golden constants) stay exactly what
+    // they were before the fleet layer existed.
+    if (r.shards > 0 || r.autoscaled) {
+        foldFleetFields(dg, r);
+    }
     for (const auto &rep : r.per_replica) {
         dg.u64(rep.replica);
         dg.u64(rep.assigned_candidates);

@@ -177,6 +177,95 @@ TEST(ParallelFor, NestedCallDegradesToSerial)
     EXPECT_FALSE(inParallelRegion());
 }
 
+// ---------------------------------------------------------------------
+// parallelForStrided: the fixed-width fan-out behind the cluster
+// replica sweep (one task per worker slot, indices round-robined).
+
+TEST(ParallelForStrided, EveryIndexRunsExactlyOnceFarBeyondWorkers)
+{
+    // 1000 indices over 3 workers: each worker owns ~333 strided
+    // indices -- the replicas >> workers regime parallelFor's
+    // task-per-index shape was never meant for.
+    std::vector<std::atomic<int>> hits(1000);
+    parallelForStrided(3, hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelForStrided, ResultsMatchSerialForEveryWidth)
+{
+    std::vector<std::size_t> serial(257, 0);
+    parallelForStrided(1, serial.size(),
+                       [&](std::size_t i) { serial[i] = i * 3 + 1; });
+    for (std::size_t jobs : {2u, 4u, 5u, 64u}) {
+        std::vector<std::size_t> out(257, 0);
+        parallelForStrided(jobs, out.size(),
+                           [&](std::size_t i) { out[i] = i * 3 + 1; });
+        EXPECT_EQ(out, serial) << "jobs=" << jobs;
+    }
+}
+
+TEST(ParallelForStrided, SerialAndSingleItemStayOnCallingThread)
+{
+    const auto caller = std::this_thread::get_id();
+    parallelForStrided(1, 8, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        EXPECT_FALSE(inParallelRegion());
+    });
+    parallelForStrided(8, 1, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+    bool ran = false;
+    parallelForStrided(4, 0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForStrided, LowestIndexExceptionWinsAcrossStrides)
+{
+    // Indices 2 and 9 throw from DIFFERENT strides (width 4): the
+    // rethrown exception must be index 2's on every replay.
+    for (int round = 0; round < 20; ++round) {
+        try {
+            parallelForStrided(4, 12, [&](std::size_t i) {
+                if (i == 2 || i == 9)
+                    throw std::runtime_error("boom " + std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        }
+        catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "boom 2");
+        }
+    }
+}
+
+TEST(ParallelForStrided, ExceptionDoesNotAbortOtherIndices)
+{
+    std::vector<std::atomic<int>> hits(100);
+    EXPECT_THROW(parallelForStrided(4, hits.size(),
+                                    [&](std::size_t i) {
+                                        ++hits[i];
+                                        if (i == 5)
+                                            throw std::runtime_error("x");
+                                    }),
+                 std::runtime_error);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelForStrided, NestedCallDegradesToSerial)
+{
+    std::atomic<int> inner_total{0};
+    parallelForStrided(4, 8, [&](std::size_t) {
+        EXPECT_TRUE(inParallelRegion());
+        const auto worker = std::this_thread::get_id();
+        parallelForStrided(4, 5, [&](std::size_t) {
+            EXPECT_EQ(std::this_thread::get_id(), worker);
+            ++inner_total;
+        });
+    });
+    EXPECT_EQ(inner_total.load(), 8 * 5);
+}
+
 TEST(ParallelMap, CollectsInInputOrder)
 {
     std::vector<int> inputs(100);
