@@ -3,6 +3,7 @@
 
 Usage:
     bench_compare.py BASELINE CURRENT [--tolerance FRAC]
+    bench_compare.py --require ARTIFACT RECORD
 
 Every bench binary writes a BENCH_<artifact>.json record on exit (see
 bench/bench_common.hh); this script diffs a committed baseline against
@@ -16,6 +17,15 @@ tolerance check's.
 The tolerance can also come from EQX_BENCH_TOLERANCE (the flag wins),
 so CI lanes on noisy shared runners can widen the gate without
 touching the call sites.
+
+`--require ARTIFACT RECORD` validates a single fresh record instead of
+comparing two: the file must exist, parse as a BENCH record, name the
+expected artifact, and carry a real measurement (positive events/s
+from at least one dispatched event). This closes the gap where a bench
+binary exits zero without ever writing its record (or writes it for
+the wrong artifact) and the compare step then diffs a stale file from
+an earlier run -- check.sh runs the require step on the freshly
+produced record before every baseline diff.
 """
 
 import argparse
@@ -63,12 +73,39 @@ def fmt(value):
     return str(value)
 
 
+def require_record(artifact, path):
+    """Validate one fresh record: exists, parses, right artifact, and
+    carries a real measurement. Exits via sys.exit on any problem."""
+    record = load_record(path)
+    if record.get("artifact") != artifact:
+        sys.exit(f"bench_compare: FAIL: {path} records artifact "
+                 f"{record.get('artifact')!r}, expected {artifact!r}")
+    eps = float(record[GATED_FIELD])
+    events = int(record.get("events_dispatched", 0))
+    if eps <= 0.0 or events <= 0:
+        sys.exit(f"bench_compare: FAIL: {path} carries no real "
+                 f"measurement ({GATED_FIELD}={fmt(eps)}, "
+                 f"events_dispatched={events}) -- did the bench run?")
+    print(f"bench_compare: require {artifact}: OK "
+          f"({GATED_FIELD}={fmt(eps)}, events={events})")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two BENCH_<artifact>.json perf records and "
-                    "fail on an events/s regression.")
-    parser.add_argument("baseline", help="committed BENCH json")
-    parser.add_argument("current", help="freshly produced BENCH json")
+                    "fail on an events/s regression, or validate one "
+                    "fresh record with --require.")
+    parser.add_argument("baseline", nargs="?",
+                        help="committed BENCH json (or, with --require, "
+                             "the record to validate)")
+    parser.add_argument("current", nargs="?",
+                        help="freshly produced BENCH json")
+    parser.add_argument(
+        "--require", metavar="ARTIFACT",
+        help="validate a single record instead of comparing: the one "
+             "positional path must exist and be a real BENCH record "
+             "for ARTIFACT")
     parser.add_argument(
         "--tolerance", type=float,
         default=float(os.environ.get("EQX_BENCH_TOLERANCE", "0.10")),
@@ -77,6 +114,15 @@ def main():
     args = parser.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
         sys.exit("bench_compare: --tolerance must be in [0, 1)")
+
+    if args.require is not None:
+        if args.baseline is None or args.current is not None:
+            sys.exit("bench_compare: --require wants exactly one "
+                     "record path")
+        return require_record(args.require, args.baseline)
+    if args.baseline is None or args.current is None:
+        sys.exit("bench_compare: wants BASELINE and CURRENT records "
+                 "(or --require ARTIFACT RECORD)")
 
     base = load_record(args.baseline)
     cur = load_record(args.current)

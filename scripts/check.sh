@@ -10,22 +10,26 @@
 #                                # "parallel"-labelled sweep-engine tests
 #   scripts/check.sh --coverage  # build+test the coverage preset, then
 #                                # print per-directory line coverage and
-#                                # fail if src/obs/, src/cluster/, or
-#                                # src/fault/ is below 90%
+#                                # fail if src/obs/, src/cluster/,
+#                                # src/fault/, or src/mem/ is below 90%
 #   scripts/check.sh --resilience # only the overload-resilience
 #                                # control-plane + chaos suites
 #   scripts/check.sh --fleet     # only the fleet-tier suites
 #                                # (hierarchical routing, SLO
 #                                # autoscaler, traffic mixes)
+#   scripts/check.sh --mem       # only the memory-hierarchy suites
+#                                # (unit+property tier and the
+#                                # passthrough/differential tier)
 #   scripts/check.sh --bench-smoke # build the default preset, run the
 #                                # perf-tracking benches (fig7, event
 #                                # kernel, cluster scaling, overload
-#                                # resilience, fleet scaling) and diff
-#                                # their BENCH
-#                                # records against the committed
-#                                # bench/baselines/ (fails on a >10%
-#                                # events/s regression or a missing
-#                                # baseline; widen on noisy runners
+#                                # resilience, fleet scaling, memory
+#                                # hierarchy), require each fresh BENCH
+#                                # record, and diff it against the
+#                                # committed bench/baselines/ (fails on
+#                                # a >10% events/s regression, a missing
+#                                # baseline, or a bench that never wrote
+#                                # its record; widen on noisy runners
 #                                # with EQX_BENCH_TOLERANCE)
 #   scripts/check.sh --format    # only run the clang-format check
 #
@@ -73,20 +77,25 @@ run_preset() {
 
 run_bench_smoke() {
     # Perf-regression gate: run the perf-tracking benches serially
-    # (jobs=1 pins the exact dispatch path the digests cover) and diff
-    # the fresh BENCH records against the committed baselines.
-    # bench_compare.py exits nonzero on a missing baseline too, so a
-    # bench added here without a committed record fails loudly.
+    # (jobs=1 pins the exact dispatch path the digests cover), require
+    # the fresh BENCH record (a bench exiting zero without writing one
+    # -- or writing a stale/wrong-artifact one -- fails here instead of
+    # silently diffing an old file), then diff it against the committed
+    # baseline. bench_compare.py exits nonzero on a missing baseline
+    # too, so a bench added here without a committed record fails
+    # loudly.
+    local benches=(fig7_inference_latency event_kernel cluster_scaling
+                   overload_resilience fleet_scaling memory_hierarchy)
     echo "check.sh: configure+build preset 'default' (bench smoke)"
     cmake --preset default
-    cmake --build --preset default -j "$(nproc)" \
-        --target fig7_inference_latency event_kernel \
-                 cluster_scaling overload_resilience fleet_scaling
+    cmake --build --preset default -j "$(nproc)" --target "${benches[@]}"
     local bench
-    for bench in fig7_inference_latency event_kernel \
-                 cluster_scaling overload_resilience fleet_scaling; do
+    for bench in "${benches[@]}"; do
         echo "check.sh: bench smoke: $bench"
+        rm -f "build/bench/BENCH_$bench.json"
         (cd build/bench && "./$bench" --jobs=1 >/dev/null)
+        python3 scripts/bench_compare.py --require "$bench" \
+            "build/bench/BENCH_$bench.json"
         python3 scripts/bench_compare.py \
             "bench/baselines/BENCH_$bench.json" \
             "build/bench/BENCH_$bench.json"
@@ -111,7 +120,7 @@ case "${1:-}" in
     run_format_check
     run_preset coverage
     echo "check.sh: per-directory line coverage" \
-         "(gates: src/obs, src/cluster, src/fault >= 90%)"
+         "(gates: src/obs, src/cluster, src/fault, src/mem >= 90%)"
     python3 scripts/coverage_report.py build-coverage
     ;;
   --resilience)
@@ -119,6 +128,9 @@ case "${1:-}" in
     ;;
   --fleet)
     run_preset default fleet
+    ;;
+  --mem)
+    run_preset default mem
     ;;
   --bench-smoke)
     run_bench_smoke
@@ -129,7 +141,7 @@ case "${1:-}" in
     ;;
   *)
     echo "usage: scripts/check.sh" \
-         "[--asan|--tsan|--coverage|--resilience|--fleet|--bench-smoke|--format]" >&2
+         "[--asan|--tsan|--coverage|--resilience|--fleet|--mem|--bench-smoke|--format]" >&2
     exit 2
     ;;
 esac

@@ -7,10 +7,10 @@ translation units (a header line is covered if ANY including TU ran
 it), and prints a per-directory table of line coverage under src/.
 
 Exits nonzero when a gated directory falls below its gate (default:
-src/obs, src/cluster, and src/fault at 90% lines), so
+src/obs, src/cluster, src/fault, and src/mem at 90% lines), so
 `scripts/check.sh --coverage` fails the build instead of silently
-shipping untested export, fleet-simulation, or resilience
-control-plane code.
+shipping untested export, fleet-simulation, resilience control-plane,
+or memory-hierarchy code.
 
 Usage: scripts/coverage_report.py [build_dir] [--gate-dir src/obs]...
                                   [--gate-pct 90]
@@ -92,10 +92,11 @@ def main():
     ap.add_argument("--gate-dir", action="append", default=None,
                     help="directory that must clear --gate-pct "
                          "(repeatable; default: src/obs, src/cluster, "
-                         "src/fault)")
+                         "src/fault, src/mem)")
     ap.add_argument("--gate-pct", type=float, default=90.0)
     args = ap.parse_args()
-    gate_dirs = args.gate_dir or ["src/obs", "src/cluster", "src/fault"]
+    gate_dirs = args.gate_dir or ["src/obs", "src/cluster", "src/fault",
+                                  "src/mem"]
 
     repo_root = os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))

@@ -309,6 +309,27 @@ addLoadPoint(obs::MetricsSnapshot &snap, const std::string &label,
             static_cast<std::uint64_t>(s.faults.downtime_cycles);
     }
 
+    // Memory-hierarchy counters ride along only when a non-trivial
+    // hierarchy ran: passthrough load points keep the exact schema
+    // they had before the subsystem existed.
+    if (s.mem.active) {
+        obs::Json &m = point["mem"];
+        m["llc_hits"] = s.mem.llc_hits;
+        m["llc_misses"] = s.mem.llc_misses;
+        m["llc_evictions"] = s.mem.llc_evictions;
+        m["hit_rate"] = s.mem.hitRate();
+        m["prefetch_issued"] = s.mem.prefetch_issued;
+        m["prefetch_useful"] = s.mem.prefetch_useful;
+        m["prefetch_accuracy"] = s.mem.prefetchAccuracy();
+        m["sp_fill_stalls"] = s.mem.sp_fill_stalls;
+        m["sp_bank_switches"] = s.mem.sp_bank_switches;
+        m["sp_high_water"] = s.mem.sp_high_water;
+        m["wb_combines"] = s.mem.wb_combines;
+        m["wb_bytes_in"] = s.mem.wb_bytes_in;
+        m["wb_bytes_drained"] = s.mem.wb_bytes_drained;
+        m["dram_transfers"] = s.mem.dram_transfers;
+    }
+
     snap.section("sweeps")[label].append(std::move(point));
 }
 

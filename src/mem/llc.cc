@@ -1,0 +1,139 @@
+#include "mem/llc.hh"
+
+#include <cassert>
+
+namespace equinox
+{
+namespace mem
+{
+
+Llc::Llc(const LlcConfig &config)
+    : cfg(config), sets_(config.sets()),
+      ways_(static_cast<std::size_t>(config.sets()) * config.ways),
+      plru_(config.sets(), 0)
+{
+    assert(sets_ > 0 && (sets_ & (sets_ - 1)) == 0);
+}
+
+int
+Llc::findWay(std::uint64_t set, Addr tag) const
+{
+    const Way *base = &ways_[set * cfg.ways];
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+unsigned
+Llc::victimWay(std::uint64_t set) const
+{
+    const Way *base = &ways_[set * cfg.ways];
+    if (cfg.replacement == Replacement::Lru) {
+        unsigned victim = 0;
+        std::uint64_t oldest = base[0].stamp;
+        for (unsigned w = 1; w < cfg.ways; ++w) {
+            if (base[w].stamp < oldest) {
+                oldest = base[w].stamp;
+                victim = w;
+            }
+        }
+        return victim;
+    }
+    // Tree-PLRU: walk the binary tree from the root, following each
+    // node's bit (0 = go left, 1 = go right) to the pseudo-least-
+    // recently-used leaf. Nodes are heap-indexed from 1; the bitmask
+    // holds one bit per internal node.
+    std::uint64_t bits = plru_[set];
+    unsigned node = 1;
+    while (node < cfg.ways)
+        node = 2 * node + ((bits >> node) & 1);
+    return node - cfg.ways;
+}
+
+void
+Llc::touch(std::uint64_t set, unsigned way)
+{
+    Way *base = &ways_[set * cfg.ways];
+    base[way].stamp = ++clock_;
+    if (cfg.replacement == Replacement::PseudoLru) {
+        // Flip each node on the root-to-leaf path to point AWAY from
+        // the touched way.
+        std::uint64_t bits = plru_[set];
+        unsigned node = way + cfg.ways;
+        while (node > 1) {
+            unsigned parent = node / 2;
+            std::uint64_t away = (node & 1) ? 0 : 1; // we are the
+                                                     // right child
+                                                     // iff node is odd
+            bits = (bits & ~(std::uint64_t{1} << parent)) |
+                   (away << parent);
+            node = parent;
+        }
+        plru_[set] = bits;
+    }
+}
+
+void
+Llc::install(std::uint64_t set, Addr tag, bool prefetched)
+{
+    Way *base = &ways_[set * cfg.ways];
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        if (!base[w].valid) {
+            base[w].valid = true;
+            base[w].tag = tag;
+            base[w].prefetched = prefetched;
+            touch(set, w);
+            return;
+        }
+    }
+    unsigned victim = victimWay(set);
+    if (base[victim].prefetched)
+        ++prefetch_unused_;
+    ++evictions_;
+    base[victim].tag = tag;
+    base[victim].prefetched = prefetched;
+    touch(set, victim);
+}
+
+bool
+Llc::contains(Addr line) const
+{
+    return findWay(setOf(line), tagOf(line)) >= 0;
+}
+
+bool
+Llc::access(Addr line)
+{
+    std::uint64_t set = setOf(line);
+    Addr tag = tagOf(line);
+    int way = findWay(set, tag);
+    if (way >= 0) {
+        ++hits_;
+        Way &w = ways_[set * cfg.ways + way];
+        if (w.prefetched) {
+            w.prefetched = false;
+            ++prefetch_useful_;
+        }
+        touch(set, static_cast<unsigned>(way));
+        return true;
+    }
+    ++misses_;
+    install(set, tag, false);
+    return false;
+}
+
+bool
+Llc::fillPrefetch(Addr line)
+{
+    std::uint64_t set = setOf(line);
+    Addr tag = tagOf(line);
+    if (findWay(set, tag) >= 0)
+        return false;
+    install(set, tag, true);
+    return true;
+}
+
+} // namespace mem
+} // namespace equinox

@@ -1,0 +1,156 @@
+#include "mem/mem_config.hh"
+
+#include <sstream>
+
+namespace equinox
+{
+namespace mem
+{
+
+const char *
+replacementName(Replacement r)
+{
+    switch (r) {
+      case Replacement::Lru:
+        return "lru";
+      case Replacement::PseudoLru:
+        return "pseudo_lru";
+    }
+    return "unknown";
+}
+
+const char *
+prefetchKindName(PrefetchKind k)
+{
+    switch (k) {
+      case PrefetchKind::None:
+        return "none";
+      case PrefetchKind::NextLine:
+        return "next_line";
+      case PrefetchKind::Dcpt:
+        return "dcpt";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+std::vector<MemConfigError>
+MemoryHierarchyConfig::validate() const
+{
+    std::vector<MemConfigError> errors;
+    auto bad = [&errors](std::string field, auto &&...parts) {
+        std::ostringstream oss;
+        (oss << ... << parts);
+        errors.push_back({std::move(field), oss.str()});
+    };
+
+    if (scratchpad.enabled) {
+        if (scratchpad.banks < 2) {
+            bad("scratchpad.banks",
+                "a ping-pong scratchpad needs at least 2 banks so "
+                "compute can drain one while DRAM fills another (got ",
+                scratchpad.banks, "); use 2 for classic double "
+                "buffering");
+        }
+        if (scratchpad.bank_bytes < 512) {
+            bad("scratchpad.bank_bytes",
+                "a bank must hold at least 512 B (got ",
+                scratchpad.bank_bytes, "); smaller banks would rotate "
+                "faster than one DRAM burst fills them");
+        }
+    }
+
+    if (llc.enabled) {
+        if (llc.line_bytes < 32 || !isPowerOfTwo(llc.line_bytes)) {
+            bad("llc.line_bytes",
+                "cache lines must be a power of two >= 32 B (got ",
+                llc.line_bytes, "); the DRAM model streams 512-bit "
+                "blocks, so 64-512 B lines are sensible");
+        }
+        if (llc.ways == 0) {
+            bad("llc.ways", "associativity must be positive (got 0); "
+                "use 1 for direct-mapped");
+        }
+        if (llc.replacement == Replacement::PseudoLru &&
+            (!isPowerOfTwo(llc.ways) || llc.ways > 64)) {
+            bad("llc.ways", "tree-PLRU needs a power-of-two way count "
+                "<= 64 (got ", llc.ways, "); use LRU or round the "
+                "ways");
+        }
+        std::uint64_t sets = llc.sets();
+        if (sets == 0) {
+            bad("llc.size_bytes",
+                "cache must hold at least one set: size_bytes (",
+                llc.size_bytes, ") < line_bytes * ways (",
+                llc.line_bytes * llc.ways, ")");
+        } else if (!isPowerOfTwo(sets)) {
+            bad("llc.size_bytes",
+                "size_bytes / (line_bytes * ways) must be a power of "
+                "two for the set index (got ", sets, " sets); adjust "
+                "size_bytes or ways");
+        }
+    } else if (prefetch.kind != PrefetchKind::None) {
+        bad("prefetch.kind", "a prefetcher needs the LLC to fetch "
+            "into: enable llc or set prefetch.kind = none (got ",
+            prefetchKindName(prefetch.kind), " with llc disabled)");
+    }
+
+    if (prefetch.kind != PrefetchKind::None && prefetch.degree == 0) {
+        bad("prefetch.degree", "prefetch degree must be positive; 0 "
+            "lines ahead would make the prefetcher a no-op -- use "
+            "kind = none for that");
+    }
+    if (prefetch.kind == PrefetchKind::Dcpt) {
+        if (prefetch.dcpt_entries == 0) {
+            bad("prefetch.dcpt_entries",
+                "the DCPT correlation table needs at least one entry");
+        }
+        if (prefetch.dcpt_deltas < 2) {
+            bad("prefetch.dcpt_deltas",
+                "DCPT matches the last two deltas against the "
+                "history, so the per-entry history needs depth >= 2 "
+                "(got ", prefetch.dcpt_deltas, ")");
+        }
+    }
+
+    if (write_buffer.enabled) {
+        if (write_buffer.entries == 0) {
+            bad("write_buffer.entries",
+                "the write-combining buffer needs at least one open "
+                "entry");
+        }
+        if (write_buffer.entry_bytes < 64) {
+            bad("write_buffer.entry_bytes",
+                "one combining entry must hold at least 64 B (got ",
+                write_buffer.entry_bytes, "); smaller entries drain "
+                "on nearly every store and combine nothing");
+        }
+    }
+
+    return errors;
+}
+
+std::string
+formatMemConfigErrors(const std::vector<MemConfigError> &errors)
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+        if (i)
+            oss << '\n';
+        oss << "  " << errors[i].field << ": " << errors[i].message;
+    }
+    return oss.str();
+}
+
+} // namespace mem
+} // namespace equinox

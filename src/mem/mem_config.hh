@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Configuration of the pluggable memory hierarchy: the double-buffered
+ * scratchpad, the set-associative last-level cache, the DRAM write-
+ * combining buffer, and the prefetch policy.
+ *
+ * The default-constructed configuration is the PASSTHROUGH hierarchy:
+ * every component disabled, every access forwarded verbatim to the
+ * backing DRAM link. Passthrough is contractually byte-identical to
+ * the flat HBM timing the simulator shipped with -- the golden digest
+ * suites pin that identity -- so enabling a component is always an
+ * explicit opt-in per design point.
+ */
+
+#ifndef EQUINOX_MEM_MEM_CONFIG_HH
+#define EQUINOX_MEM_MEM_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace equinox
+{
+namespace mem
+{
+
+/** Byte address in the simulated DRAM address space. */
+using Addr = std::uint64_t;
+
+/** LLC replacement policy. */
+enum class Replacement
+{
+    Lru,       //!< true least-recently-used (per-set recency order)
+    PseudoLru, //!< tree-PLRU (ways must be a power of two)
+};
+
+/** Prefetch policy plugged into the hierarchy. */
+enum class PrefetchKind
+{
+    None,     //!< demand misses only
+    NextLine, //!< sequential next-N-line prefetch on every miss
+    Dcpt,     //!< delta-correlating prediction table (stride chains)
+};
+
+const char *replacementName(Replacement r);
+const char *prefetchKindName(PrefetchKind k);
+
+/** One actionable problem validate() found with a configuration. */
+struct MemConfigError
+{
+    std::string field;   //!< the offending knob, e.g. "llc.ways"
+    std::string message; //!< what is wrong and what to do about it
+};
+
+/** The training staging buffer as a banked ping-pong scratchpad. */
+struct ScratchpadConfig
+{
+    bool enabled = false;
+    /** Ping-pong depth: 2 = classic double buffering. */
+    unsigned banks = 2;
+    /** Capacity of one bank; total staging = banks * bank_bytes. */
+    ByteCount bank_bytes = units::KiB(64);
+
+    ByteCount totalBytes() const
+    {
+        return static_cast<ByteCount>(banks) * bank_bytes;
+    }
+};
+
+/** Set-associative last-level cache in front of the DRAM link. */
+struct LlcConfig
+{
+    bool enabled = false;
+    ByteCount size_bytes = units::MiB(1);
+    ByteCount line_bytes = 256;
+    unsigned ways = 8;
+    Replacement replacement = Replacement::Lru;
+    /** Completion latency of a hit, in accelerator cycles. */
+    Tick hit_latency_cycles = 8;
+
+    std::uint64_t
+    sets() const
+    {
+        ByteCount way_bytes = line_bytes * ways;
+        return way_bytes ? size_bytes / way_bytes : 0;
+    }
+};
+
+/** DRAM write-combining buffer (read/write buffering of SCALE-Sim). */
+struct WriteBufferConfig
+{
+    bool enabled = false;
+    /** Open combining entries before the oldest drains. */
+    unsigned entries = 8;
+    /** Bytes one entry combines before it drains full. */
+    ByteCount entry_bytes = units::KiB(4);
+};
+
+/** Prefetcher parameters (used by NextLine and Dcpt). */
+struct PrefetchConfig
+{
+    PrefetchKind kind = PrefetchKind::None;
+    /** Lines fetched ahead per trigger. */
+    unsigned degree = 2;
+    /** DCPT: correlation-table entries (one per access region). */
+    unsigned dcpt_entries = 64;
+    /** DCPT: delta-history depth per entry. */
+    unsigned dcpt_deltas = 8;
+};
+
+/** The full hierarchy: default-constructed == passthrough. */
+struct MemoryHierarchyConfig
+{
+    ScratchpadConfig scratchpad;
+    LlcConfig llc;
+    WriteBufferConfig write_buffer;
+    PrefetchConfig prefetch;
+
+    /**
+     * Nothing enabled: every access forwards verbatim to the backing
+     * link and the hierarchy is contractually byte-identical to the
+     * flat HBM path (no stats registered, no trace events emitted).
+     */
+    bool
+    passthrough() const
+    {
+        return !scratchpad.enabled && !llc.enabled &&
+               !write_buffer.enabled &&
+               prefetch.kind == PrefetchKind::None;
+    }
+
+    /**
+     * Check every knob and return one actionable error per problem
+     * (empty = usable). Mirrors AcceleratorConfig::validate(), which
+     * folds these in under "mem.<field>".
+     */
+    std::vector<MemConfigError> validate() const;
+};
+
+/** Render a validation report as "field: message" lines. */
+std::string formatMemConfigErrors(const std::vector<MemConfigError> &errors);
+
+} // namespace mem
+} // namespace equinox
+
+#endif // EQUINOX_MEM_MEM_CONFIG_HH

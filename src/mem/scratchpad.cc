@@ -1,0 +1,70 @@
+#include "mem/scratchpad.hh"
+
+#include <cassert>
+
+namespace equinox
+{
+namespace mem
+{
+
+Scratchpad::Scratchpad(const ScratchpadConfig &config) : cfg(config)
+{
+    assert(cfg.banks >= 1 && cfg.bank_bytes > 0);
+}
+
+ByteCount
+Scratchpad::fillHeadroom() const
+{
+    // The fill head may advance up to the end of the bank `banks`
+    // positions past the last FULLY drained bank: a bank becomes
+    // refillable only once its previous contents are completely
+    // consumed, which is what keeps fill and drain on distinct
+    // physical banks.
+    ByteCount limit =
+        (drained_ / cfg.bank_bytes + cfg.banks) * cfg.bank_bytes;
+    return limit - filled_;
+}
+
+ByteCount
+Scratchpad::fillArrived(ByteCount bytes)
+{
+    assert(bytes <= fillHeadroom() &&
+           "fill overran the ping-pong headroom");
+    ByteCount before_bank = filled_ / cfg.bank_bytes;
+    filled_ += bytes;
+    total_filled_ += bytes;
+    ++fills_;
+    ByteCount after_bank = filled_ / cfg.bank_bytes;
+    if (after_bank != before_bank)
+        bank_switches_ += after_bank - before_bank;
+
+    // Only completed banks become consumable.
+    ByteCount grantable = after_bank * cfg.bank_bytes;
+    ByteCount newly = grantable - granted_;
+    granted_ = grantable;
+
+    if (occupancy() > high_water_)
+        high_water_ = occupancy();
+    return newly;
+}
+
+void
+Scratchpad::drained(ByteCount bytes)
+{
+    assert(bytes <= consumable() &&
+           "drain exceeded granted (completed-bank) bytes");
+    drained_ += bytes;
+    total_drained_ += bytes;
+    ++drains_;
+}
+
+void
+Scratchpad::rollback()
+{
+    filled_ = 0;
+    granted_ = 0;
+    drained_ = 0;
+}
+
+} // namespace mem
+} // namespace equinox

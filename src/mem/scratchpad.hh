@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A banked ping-pong scratchpad: the training staging buffer modelled
+ * as `banks` physical banks of `bank_bytes` each, filled by DRAM and
+ * drained by compute with double-buffered overlap.
+ *
+ * The model is a byte stream over a ring of banks, tracked by three
+ * cumulative counters:
+ *
+ *   filled   bytes that arrived from DRAM (the fill head)
+ *   granted  bytes handed to compute as consumable -- only COMPLETED
+ *            banks are consumable, so granted = floor(filled/bank)*bank
+ *   drained  consumable bytes compute has consumed (the drain tail)
+ *
+ * Two rules give the classic ping-pong discipline:
+ *
+ *   1. Compute drains only completed banks (the grant rule above).
+ *   2. DRAM fills only banks whose previous contents are fully
+ *      drained: filled + pending <= (floor(drained/bank)+banks)*bank
+ *      (the fillHeadroom() bound).
+ *
+ * Together they imply the double-buffering invariant the property
+ * suite pins: the physical bank being filled is never the physical
+ * bank being drained while both are live. With banks == 2 this is
+ * exactly "compute overlaps the fill of the other bank"; a depth-1
+ * scratchpad degenerates to strictly alternating fill/drain phases.
+ */
+
+#ifndef EQUINOX_MEM_SCRATCHPAD_HH
+#define EQUINOX_MEM_SCRATCHPAD_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "mem/mem_config.hh"
+
+namespace equinox
+{
+namespace mem
+{
+
+/** Banked double-buffered staging scratchpad. */
+class Scratchpad
+{
+  public:
+    explicit Scratchpad(const ScratchpadConfig &config);
+
+    /** Total capacity: banks * bank_bytes. */
+    ByteCount capacity() const { return cfg.totalBytes(); }
+
+    /**
+     * Bytes the fill side may still accept without touching a bank
+     * that is not fully drained yet. Callers with in-flight fills must
+     * subtract them from this bound before issuing more.
+     */
+    ByteCount fillHeadroom() const;
+
+    /**
+     * @p bytes arrived from DRAM into the fill bank(s). Must respect
+     * fillHeadroom() (asserted).
+     * @return bytes that just became consumable (completed banks) --
+     *         0 while the current bank is still partially filled.
+     */
+    ByteCount fillArrived(ByteCount bytes);
+
+    /** Compute consumed @p bytes of consumable data (asserted). */
+    void drained(ByteCount bytes);
+
+    /** Record one fill attempt stalled on the ping-pong headroom. */
+    void noteFillStall() { ++fill_stalls_; }
+
+    /** Consumable bytes granted but not yet drained. */
+    ByteCount consumable() const { return granted_ - drained_; }
+
+    /** Bytes sitting in the partially-filled (unconsumable) bank. */
+    ByteCount held() const { return filled_ - granted_; }
+
+    /** Live bytes (held + consumable). */
+    ByteCount occupancy() const { return filled_ - drained_; }
+
+    /** Physical bank the next filled byte lands in. */
+    unsigned fillBank() const { return bankOf(filled_); }
+
+    /** Physical bank the next drained byte comes from. */
+    unsigned drainBank() const { return bankOf(drained_); }
+
+    /** A fill is mid-bank (the fill bank holds live bytes). */
+    bool fillActive() const { return held() > 0; }
+
+    /** A drain is mid-bank (consumable bytes remain in the tail bank). */
+    bool drainActive() const { return consumable() > 0; }
+
+    /**
+     * Drop all staged data (training rollback: the staged operands are
+     * stale). Run-total statistics are preserved.
+     */
+    void rollback();
+
+    // -- run-total statistics -------------------------------------------
+    std::uint64_t fills() const { return fills_; }
+    std::uint64_t drains() const { return drains_; }
+    std::uint64_t bankSwitches() const { return bank_switches_; }
+    std::uint64_t fillStalls() const { return fill_stalls_; }
+    ByteCount bytesFilled() const { return total_filled_; }
+    ByteCount bytesDrained() const { return total_drained_; }
+    ByteCount occupancyHighWater() const { return high_water_; }
+
+  private:
+    unsigned
+    bankOf(ByteCount cumulative) const
+    {
+        return static_cast<unsigned>((cumulative / cfg.bank_bytes) %
+                                     cfg.banks);
+    }
+
+    ScratchpadConfig cfg;
+
+    // cumulative byte positions (reset by rollback)
+    ByteCount filled_ = 0;
+    ByteCount granted_ = 0;
+    ByteCount drained_ = 0;
+
+    // run totals (survive rollback)
+    std::uint64_t fills_ = 0;
+    std::uint64_t drains_ = 0;
+    std::uint64_t bank_switches_ = 0;
+    std::uint64_t fill_stalls_ = 0;
+    ByteCount total_filled_ = 0;
+    ByteCount total_drained_ = 0;
+    ByteCount high_water_ = 0;
+};
+
+} // namespace mem
+} // namespace equinox
+
+#endif // EQUINOX_MEM_SCRATCHPAD_HH

@@ -1,0 +1,82 @@
+#include "mem/write_buffer.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace equinox
+{
+namespace mem
+{
+
+WriteCombiningBuffer::WriteCombiningBuffer(const WriteBufferConfig &config)
+    : cfg(config)
+{
+    assert(cfg.entries > 0 && cfg.entry_bytes > 0);
+}
+
+WriteCombiningBuffer::Burst
+WriteCombiningBuffer::drainEntry(std::size_t index)
+{
+    Entry e = entries_[index];
+    entries_.erase(entries_.begin() +
+                   static_cast<std::ptrdiff_t>(index));
+    ++drains_;
+    bytes_drained_ += e.bytes;
+    return {e.base, e.bytes};
+}
+
+std::vector<WriteCombiningBuffer::Burst>
+WriteCombiningBuffer::push(Addr addr, ByteCount bytes)
+{
+    std::vector<Burst> out;
+    ++writes_;
+    while (bytes > 0) {
+        Addr region = regionOf(addr);
+        ByteCount room_in_region = region + cfg.entry_bytes - addr;
+        ByteCount piece = std::min<ByteCount>(bytes, room_in_region);
+        addr += piece;
+        bytes -= piece;
+        bytes_in_ += piece;
+
+        auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [region](const Entry &e) {
+                                   return e.base == region;
+                               });
+        if (it != entries_.end()) {
+            ++combines_;
+            it->bytes += piece;
+            // Overlapping stores can over-fill the region's payload
+            // count past one burst; drain whenever a full burst's
+            // worth has combined.
+            if (it->bytes >= cfg.entry_bytes) {
+                out.push_back(drainEntry(static_cast<std::size_t>(
+                    it - entries_.begin())));
+            }
+            continue;
+        }
+        if (entries_.size() >= cfg.entries)
+            out.push_back(drainEntry(0)); // FIFO spill of the oldest
+        if (piece >= cfg.entry_bytes) {
+            // A full-region store drains immediately; opening an
+            // entry just to close it would only churn the FIFO.
+            ++drains_;
+            bytes_drained_ += piece;
+            out.push_back({region, piece});
+        } else {
+            entries_.push_back({region, piece});
+        }
+    }
+    return out;
+}
+
+std::vector<WriteCombiningBuffer::Burst>
+WriteCombiningBuffer::flush()
+{
+    std::vector<Burst> out;
+    while (!entries_.empty())
+        out.push_back(drainEntry(0));
+    return out;
+}
+
+} // namespace mem
+} // namespace equinox

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A DRAM write-combining buffer: stores park in aligned combining
+ * entries and drain to DRAM as full bursts, so many small stores cost
+ * one link transfer instead of one each (the write-buffering half of
+ * SCALE-Sim's read/write DRAM buffers).
+ *
+ * Each entry covers one entry_bytes-aligned region. A store whose
+ * address falls in an open entry's region combines into it; otherwise a
+ * new entry opens, draining the oldest entry first when all slots are
+ * occupied. An entry drains when full or when flushed. The conservation
+ * invariant the property suite pins: every byte pushed is either still
+ * resident or has drained -- bytesIn() == bytesDrained() + occupancy().
+ */
+
+#ifndef EQUINOX_MEM_WRITE_BUFFER_HH
+#define EQUINOX_MEM_WRITE_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/mem_config.hh"
+
+namespace equinox
+{
+namespace mem
+{
+
+/** FIFO write-combining buffer in front of the DRAM link. */
+class WriteCombiningBuffer
+{
+  public:
+    /** One burst leaving the buffer for DRAM. */
+    struct Burst
+    {
+        Addr base;       //!< entry-aligned region base
+        ByteCount bytes; //!< combined payload draining in this burst
+    };
+
+    explicit WriteCombiningBuffer(const WriteBufferConfig &config);
+
+    /**
+     * Park a store of @p bytes at @p addr. Spans are split at region
+     * boundaries; each piece combines into its region's open entry.
+     * @return the bursts this push forced out (full entries, FIFO
+     *         spills) -- empty when everything combined quietly.
+     */
+    std::vector<Burst> push(Addr addr, ByteCount bytes);
+
+    /** Drain every open entry (end of run / fence). */
+    std::vector<Burst> flush();
+
+    /** Bytes parked and not yet drained. */
+    ByteCount occupancy() const { return bytes_in_ - bytes_drained_; }
+
+    /** Open entries right now. */
+    std::size_t openEntries() const { return entries_.size(); }
+
+    // -- statistics -----------------------------------------------------
+    std::uint64_t writes() const { return writes_; }
+    /** Pushes that merged into an already-open entry. */
+    std::uint64_t combines() const { return combines_; }
+    /** Bursts sent to DRAM. */
+    std::uint64_t drains() const { return drains_; }
+    ByteCount bytesIn() const { return bytes_in_; }
+    ByteCount bytesDrained() const { return bytes_drained_; }
+
+  private:
+    struct Entry
+    {
+        Addr base;       //!< region base (aligned to entry_bytes)
+        ByteCount bytes; //!< payload combined so far
+    };
+
+    Addr regionOf(Addr addr) const
+    {
+        return addr / cfg.entry_bytes * cfg.entry_bytes;
+    }
+
+    Burst drainEntry(std::size_t index);
+
+    WriteBufferConfig cfg;
+    std::deque<Entry> entries_; //!< FIFO, oldest at the front
+
+    std::uint64_t writes_ = 0;
+    std::uint64_t combines_ = 0;
+    std::uint64_t drains_ = 0;
+    ByteCount bytes_in_ = 0;
+    ByteCount bytes_drained_ = 0;
+};
+
+} // namespace mem
+} // namespace equinox
+
+#endif // EQUINOX_MEM_WRITE_BUFFER_HH

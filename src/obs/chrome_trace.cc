@@ -79,6 +79,24 @@ counterEvent(const sim::TraceEvent &ev, int pid, double us_per_tick)
     return e;
 }
 
+/**
+ * Scratchpad staging counter track: MemStage events carry the staged
+ * (consumable) byte count in payload `b` -- the double-buffer sawtooth
+ * renders as a step graph alongside the queue-depth track.
+ */
+Json
+memStageCounterEvent(const sim::TraceEvent &ev, int pid,
+                     double us_per_tick)
+{
+    Json e = Json::object();
+    e["name"] = "mem.staged_bytes";
+    e["ph"] = "C";
+    e["pid"] = pid;
+    e["ts"] = static_cast<double>(ev.tick) * us_per_tick;
+    e["args"]["bytes"] = ev.b;
+    return e;
+}
+
 /** Shared framing for write()/writeMergedTrace(): one row per line. */
 void
 writeDocument(std::ostream &os, const Json &doc)
@@ -137,6 +155,8 @@ ChromeTraceSink::toJson() const
             instantEvent(ev, pid_, tids.at(ev.block), us_per_tick_));
         if (ev.type == sim::TraceEventType::RequestArrival)
             rows.append(counterEvent(ev, pid_, us_per_tick_));
+        if (ev.type == sim::TraceEventType::MemStage)
+            rows.append(memStageCounterEvent(ev, pid_, us_per_tick_));
     }
     return doc;
 }

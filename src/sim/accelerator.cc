@@ -139,6 +139,91 @@ Accelerator::registerStats(stats::StatRegistry &reg)
                              ctx.batch_arena.highWater());
                      },
                      "most batches simultaneously live (pool lifetime)");
+
+    // Memory-hierarchy gauges exist only for non-trivial hierarchies:
+    // the passthrough configuration registers nothing, so the
+    // MetricsSnapshot schema (and every digest/identity test built on
+    // it) is unchanged unless a component is explicitly enabled.
+    if (!cfg.mem.passthrough()) {
+        auto mem_gauge = [this](auto field) {
+            return [this, field]() -> double {
+                return ctx.mem ? static_cast<double>(
+                                     field(ctx.mem->stats()))
+                               : 0.0;
+            };
+        };
+        reg.registerStat("mem.llc_hits",
+                         mem_gauge([](const mem::MemStats &s) {
+                             return s.llc_hits;
+                         }),
+                         "LLC demand hits (run total)");
+        reg.registerStat("mem.llc_misses",
+                         mem_gauge([](const mem::MemStats &s) {
+                             return s.llc_misses;
+                         }),
+                         "LLC demand misses (run total)");
+        reg.registerStat("mem.llc_evictions",
+                         mem_gauge([](const mem::MemStats &s) {
+                             return s.llc_evictions;
+                         }),
+                         "LLC lines evicted (run total)");
+        reg.registerStat("mem.hit_rate",
+                         [this] {
+                             return ctx.mem ? ctx.mem->stats().hitRate()
+                                            : 0.0;
+                         },
+                         "LLC demand hit rate (run total)");
+        reg.registerStat("mem.prefetch_issued",
+                         mem_gauge([](const mem::MemStats &s) {
+                             return s.prefetch_issued;
+                         }),
+                         "prefetch fills issued to DRAM (run total)");
+        reg.registerStat("mem.prefetch_useful",
+                         mem_gauge([](const mem::MemStats &s) {
+                             return s.prefetch_useful;
+                         }),
+                         "prefetched lines hit by demand (run total)");
+        reg.registerStat("mem.prefetch_accuracy",
+                         [this] {
+                             return ctx.mem
+                                        ? ctx.mem->stats()
+                                              .prefetchAccuracy()
+                                        : 0.0;
+                         },
+                         "useful / issued prefetches (run total)");
+        reg.registerStat("mem.sp_fill_stalls",
+                         mem_gauge([](const mem::MemStats &s) {
+                             return s.sp_fill_stalls;
+                         }),
+                         "scratchpad fills stalled on ping-pong "
+                         "headroom (run total)");
+        reg.registerStat("mem.sp_bank_switches",
+                         mem_gauge([](const mem::MemStats &s) {
+                             return s.sp_bank_switches;
+                         }),
+                         "scratchpad fill-bank rotations (run total)");
+        reg.registerStat("mem.sp_occupancy_high_water",
+                         mem_gauge([](const mem::MemStats &s) {
+                             return s.sp_high_water;
+                         }),
+                         "most scratchpad bytes simultaneously live");
+        reg.registerStat("mem.wb_combines",
+                         mem_gauge([](const mem::MemStats &s) {
+                             return s.wb_combines;
+                         }),
+                         "stores merged into open combining entries");
+        reg.registerStat("mem.wb_occupancy",
+                         mem_gauge([](const mem::MemStats &s) {
+                             return s.wb_occupancy;
+                         }),
+                         "bytes parked in the write-combining buffer");
+        reg.registerStat("mem.dram_transfers",
+                         mem_gauge([](const mem::MemStats &s) {
+                             return s.dram_transfers;
+                         }),
+                         "transfers the hierarchy issued to the DRAM "
+                         "link (run total)");
+    }
 }
 
 ContextId
@@ -169,7 +254,13 @@ Accelerator::installTraining(TrainingServiceDesc desc)
     EQX_ASSERT(!ctx.train, "only one training context is supported");
     EQX_ASSERT(!desc.iteration.steps.empty(), "empty training program");
     ctx.train = std::make_unique<TrainState>();
-    ctx.train->staging_capacity = cfg.stagingBytes();
+    // With the banked scratchpad enabled, its geometry IS the staging
+    // buffer: capacity comes from banks * bank_bytes instead of the
+    // flat staging share, and the prefetcher follows the ping-pong
+    // fill discipline instead of the occupancy throttle alone.
+    ctx.train->staging_capacity = cfg.mem.scratchpad.enabled
+                                      ? cfg.mem.scratchpad.totalBytes()
+                                      : cfg.stagingBytes();
     ctx.train->desc = std::move(desc);
     // Training's staging buffers take <2% of on-chip SRAM (section 2.2):
     // carved out of the activation buffer's remaining space.
@@ -255,6 +346,11 @@ Accelerator::runOnce(const RunSpec &run_spec, bool use_ff,
     ctx.hbm = std::make_unique<dram::HbmModel>(cfg.frequency_hz, cfg.dram);
     ctx.host = std::make_unique<dram::HostLink>(cfg.frequency_hz,
                                                 cfg.host);
+    // The hierarchy fronts the HBM link it was built against, so it is
+    // rebuilt whenever the link is. Passthrough (the default) forwards
+    // every access verbatim -- byte-identical to calling the link.
+    ctx.mem = std::make_unique<mem::MemoryHierarchy>(cfg.mem,
+                                                     ctx.hbm.get());
     for (auto *b : ctx.blocks)
         b->resetRun();
     faults->beginRun();
@@ -280,6 +376,8 @@ Accelerator::runOnce(const RunSpec &run_spec, bool use_ff,
         train.inflight_bytes = 0.0;
         train.prefetch_step = 0;
         train.prefetch_off = 0;
+        train.mem_read_cursor = 0;
+        train.mem_store_cursor = 0;
         train.iterations = 0;
         train.committed_iterations = 0;
         train.epoch = 0;
@@ -379,6 +477,7 @@ Accelerator::runOnce(const RunSpec &run_spec, bool use_ff,
         res.fault_trace = faults->trace();
     res.events_dispatched = ctx.events.dispatched();
     res.events_inlined = ctx.events.inlined();
+    res.mem = ctx.mem->stats();
     return res;
 }
 

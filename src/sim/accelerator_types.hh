@@ -18,6 +18,7 @@
 #include "fault/fault_plan.hh"
 #include "fault/injector.hh"
 #include "isa/program.hh"
+#include "mem/mem_stats.hh"
 #include "stats/cycle_breakdown.hh"
 #include "stats/fault_stats.hh"
 #include "stats/histogram.hh"
@@ -216,6 +217,15 @@ struct SimResult
     std::uint64_t events_dispatched = 0;
     /** Dispatches the fast-forward engine inlined (0 when disabled). */
     std::uint64_t events_inlined = 0;
+    /**
+     * Memory-hierarchy counters (all-zero, active=false with the
+     * default passthrough hierarchy). Diagnostics like the two fields
+     * above: the digest fold must never include them, so that a
+     * passthrough run stays byte-identical to the pre-hierarchy
+     * simulator and non-trivial hierarchies keep digest comparability
+     * across jobs=1/jobs=N and FF-on/off.
+     */
+    mem::MemStats mem;
 };
 
 } // namespace sim

@@ -20,6 +20,7 @@
 #include "common/types.hh"
 #include "dram/hbm.hh"
 #include "dram/host_link.hh"
+#include "mem/memory_hierarchy.hh"
 #include "sim/accelerator_types.hh"
 #include "sim/blocks/inf_types.hh"
 #include "sim/config.hh"
@@ -48,6 +49,13 @@ struct SimContext
     /** Off-chip interfaces (rebuilt per run). */
     std::unique_ptr<dram::HbmModel> hbm;
     std::unique_ptr<dram::HostLink> host;
+    /**
+     * The memory hierarchy in front of the HBM link (rebuilt per run,
+     * right after the link it fronts). Passthrough by default; the
+     * Datapath/TrainPrefetcher memory seams route every HBM access
+     * through it.
+     */
+    std::unique_ptr<mem::MemoryHierarchy> mem;
 
     /** Observability seam; null = tracing off (the default). */
     TraceSink *trace = nullptr;

@@ -17,6 +17,18 @@ namespace equinox
 namespace sim
 {
 
+namespace
+{
+
+/**
+ * Synthesized address-space split for the memory hierarchy: training
+ * operand reads stream from offset 0 (see TrainPrefetcher), store-backs
+ * land in a disjoint region so the two streams never alias in the LLC.
+ */
+constexpr mem::Addr kTrainStoreBase = mem::Addr{1} << 40;
+
+} // namespace
+
 Datapath::Datapath(SimContext &context) : SimBlock(context, "datapath")
 {
 }
@@ -274,6 +286,10 @@ Datapath::issueTrainingChunk()
 
     double bytes = static_cast<double>(chunk) * bpc;
     train->staged_bytes -= bytes;
+    // With the banked scratchpad, the consumed bytes advance its drain
+    // tail -- fully drained banks become refillable, which is what the
+    // prefetcher's ping-pong headroom check below keys off.
+    ctx.mem->noteScratchpadDrain(bytes);
     // Consuming staged operands frees staging space: restart the
     // prefetcher immediately so DRAM streams while the array computes.
     prefetcher->pump();
@@ -335,11 +351,15 @@ Datapath::advanceTrainingStep()
     const auto &sb = prog.steps[train->step];
 
     // Write results (activations for the backward pass, gradient
-    // accumulations) back to DRAM at best-effort priority.
+    // accumulations) back to DRAM at best-effort priority, through the
+    // memory hierarchy's write path (write-combining when enabled;
+    // verbatim link transfer in passthrough).
     if (sb.store_bytes > 0) {
+        mem::Addr addr = kTrainStoreBase + train->mem_store_cursor;
+        train->mem_store_cursor += sb.store_bytes;
         dram::TransferFault f;
-        ctx.hbm->transfer(now, sb.store_bytes, dram::Priority::Low,
-                          faults->active() ? &f : nullptr);
+        ctx.mem->write(now, addr, sb.store_bytes, dram::Priority::Low,
+                       faults->active() ? &f : nullptr);
         faults->syncFaults();
         if (f.uncorrectable) {
             // The written-back gradients are poisoned; finish this
@@ -363,6 +383,11 @@ Datapath::advanceTrainingStep()
     ++train->step;
     if (train->step >= prog.steps.size()) {
         train->step = 0;
+        // Next iteration overwrites the same store-back region
+        // (activations and gradient accumulators are per-iteration
+        // scratch); the cursor rewind is what makes that reuse visible
+        // to a non-trivial hierarchy.
+        train->mem_store_cursor = 0;
         ++train->iterations;
         dispatcher->policy().onTrainingIteration();
         emit(TraceEventType::TrainIteration, 0, train->iterations);

@@ -278,6 +278,11 @@ FaultUnit::trainingRollback()
     train->inflight_bytes = 0.0;
     train->prefetch_step = 0;
     train->prefetch_off = 0;
+    // The replay re-reads the pass from its start and rewrites the
+    // store-back region; staged scratchpad contents are stale.
+    train->mem_read_cursor = 0;
+    train->mem_store_cursor = 0;
+    ctx.mem->rollbackScratchpad();
     ++train->epoch;
     // Restore: the checkpointed master weights stream back from DRAM
     // before the replay's first operands can stage.

@@ -93,6 +93,16 @@ struct TrainState
     double inflight_bytes = 0.0;
     std::size_t prefetch_step = 0;
     ByteCount prefetch_off = 0;
+    /**
+     * Synthesized DRAM addresses for the memory hierarchy: byte offset
+     * of the prefetch walk (reads) and of the store-back stream
+     * (writes) within the current training pass. Both rewind to 0 when
+     * their walk wraps to step 0, so every pass re-touches the same
+     * addresses -- the reuse the LLC can exploit. Ignored (never read)
+     * by the passthrough hierarchy.
+     */
+    ByteCount mem_read_cursor = 0;
+    ByteCount mem_store_cursor = 0;
     std::uint64_t iterations = 0;
     /** Iterations durably saved by the last checkpoint (recovery). */
     std::uint64_t committed_iterations = 0;

@@ -58,6 +58,8 @@ traceEventTypeName(TraceEventType t)
         return "fault_recovery";
       case TraceEventType::RequestRetired:
         return "request_retired";
+      case TraceEventType::MemStage:
+        return "mem_stage";
       case TraceEventType::NumTypes:
         break;
     }

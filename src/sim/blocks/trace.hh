@@ -40,6 +40,8 @@ enum class TraceEventType : unsigned
     FaultRecovery,       //!< hang cleared / reset finished / rollback
     RequestRetired,      //!< one measured request done; a = latency
                          //!< cycles, b = retire (finish) tick
+    MemStage,            //!< scratchpad bank completed; a = bytes that
+                         //!< became consumable, b = staged bytes now
     NumTypes,
 };
 

@@ -61,12 +61,19 @@ TrainPrefetcher::pump()
     if (!train || ctx.stopping)
         return;
     const auto &steps = train->desc.iteration.steps;
+    const bool banked = ctx.mem && ctx.mem->hasScratchpad();
     while (true) {
         ByteCount step_bytes = steps[train->prefetch_step].mmu.stream_bytes;
         if (train->prefetch_off >= step_bytes) {
             train->prefetch_step = (train->prefetch_step + 1) %
                                    steps.size();
             train->prefetch_off = 0;
+            if (train->prefetch_step == 0) {
+                // Pass wrapped: the next pass re-reads the same operand
+                // addresses, the reuse a non-trivial hierarchy's LLC
+                // can exploit (the passthrough path never reads this).
+                train->mem_read_cursor = 0;
+            }
             // Guard against a (synthetic) program with no streamed bytes.
             bool any = false;
             for (const auto &s : steps) {
@@ -92,14 +99,36 @@ TrainPrefetcher::pump()
         ByteCount chunk = std::min<ByteCount>(max_chunk,
                                               step_bytes -
                                                   train->prefetch_off);
+        if (banked) {
+            // Ping-pong discipline: a fill may only target banks whose
+            // previous contents fully drained. In-flight fills already
+            // claim their share of the headroom. A chunk larger than
+            // the remaining headroom is CLAMPED, not stalled: topping
+            // off the fill bank is what completes it and hands it to
+            // compute -- stalling whole-chunk-or-nothing can deadlock
+            // when the residual headroom and the residual staged bytes
+            // are both smaller than one unit of progress.
+            ByteCount headroom = ctx.mem->scratchpadFillHeadroom();
+            auto inflight =
+                static_cast<ByteCount>(train->inflight_bytes);
+            ByteCount avail = headroom > inflight ? headroom - inflight
+                                                  : 0;
+            if (avail == 0) {
+                ctx.mem->noteScratchpadFillStall();
+                return; // a drain or fill completion re-pumps
+            }
+            chunk = std::min(chunk, avail);
+        }
+        mem::Addr addr = train->mem_read_cursor;
+        train->mem_read_cursor += chunk;
         train->prefetch_off += chunk;
         train->inflight_bytes += static_cast<double>(chunk);
         ++prefetches_issued;
         prefetch_bytes += chunk;
         dram::TransferFault f;
-        Tick done = ctx.hbm->transfer(ctx.events.now(), chunk,
-                                      dram::Priority::Low,
-                                      faults->active() ? &f : nullptr);
+        Tick done = ctx.mem->read(ctx.events.now(), addr, chunk,
+                                  dram::Priority::Low,
+                                  faults->active() ? &f : nullptr);
         faults->syncFaults();
         if (f.uncorrectable) {
             // ECC flagged the staged operands as poisoned: when the
@@ -111,11 +140,24 @@ TrainPrefetcher::pump()
             return;
         }
         std::uint64_t epoch = train->epoch;
-        ctx.events.schedule(done, [this, chunk, epoch] {
+        ctx.events.schedule(done, [this, chunk, epoch, banked] {
             if (epoch != ctx.train->epoch)
                 return; // superseded by a rollback/reset
             ctx.train->inflight_bytes -= static_cast<double>(chunk);
-            ctx.train->staged_bytes += static_cast<double>(chunk);
+            if (banked) {
+                // Only completed banks become consumable; bytes landing
+                // in a partially-filled bank stage later, when a
+                // subsequent fill completes the bank.
+                ByteCount newly = ctx.mem->noteScratchpadFill(chunk);
+                ctx.train->staged_bytes += static_cast<double>(newly);
+                if (newly > 0) {
+                    emit(TraceEventType::MemStage, 0, newly,
+                         static_cast<std::uint64_t>(
+                             ctx.train->staged_bytes));
+                }
+            } else {
+                ctx.train->staged_bytes += static_cast<double>(chunk);
+            }
             pump();
             dispatcher->tryDispatch();
         });

@@ -115,6 +115,8 @@ AcceleratorConfig::validate() const
         bad("dram.latency_s/host.latency_s",
             "interface latencies cannot be negative");
     }
+    for (const auto &me : mem.validate())
+        errors.push_back({"mem." + me.field, me.message});
     return errors;
 }
 

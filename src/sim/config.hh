@@ -17,6 +17,7 @@
 #include "common/units.hh"
 #include "dram/hbm.hh"
 #include "dram/host_link.hh"
+#include "mem/mem_config.hh"
 
 namespace equinox
 {
@@ -89,6 +90,15 @@ struct AcceleratorConfig
     // -- Off-chip interfaces ---------------------------------------------
     dram::PriorityLink::Config dram = dram::hbmDefaultConfig();
     dram::PriorityLink::Config host = dram::hostDefaultConfig();
+
+    // -- Memory hierarchy in front of the HBM interface -------------------
+    /**
+     * Default-constructed = passthrough: byte-identical to the flat
+     * HBM path (the golden digests pin this). Enabling a component
+     * (scratchpad banks, LLC, write combining, a prefetcher) is an
+     * explicit per-design-point opt-in; see mem/mem_config.hh.
+     */
+    mem::MemoryHierarchyConfig mem;
 
     /** MACs the MMU retires per cycle: m * n^2 * w. */
     std::uint64_t

@@ -8,9 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "common/units.hh"
+#include "fault/chaos_plan.hh"
 #include "fault/fault_plan.hh"
 #include "fault/injector.hh"
+#include "fault/traffic_mix.hh"
 #include "sim/accelerator.hh"
 #include "workload/compiler.hh"
 #include "workload/dnn_model.hh"
@@ -236,6 +243,190 @@ TEST(FaultPlan, ValidateCatchesBadKnobs)
     plan.dram_bit_error_rate = -1.0;
     auto errors = plan.validate();
     EXPECT_GE(errors.size(), 3u);
+}
+
+TEST(FaultPlan, KindNamesAreStable)
+{
+    using fault::FaultKind;
+    EXPECT_STREQ(fault::faultKindName(FaultKind::DramBitError),
+                 "dram-bit-error");
+    EXPECT_STREQ(fault::faultKindName(FaultKind::DramUncorrectable),
+                 "dram-uncorrectable");
+    EXPECT_STREQ(fault::faultKindName(FaultKind::HostLinkDrop),
+                 "host-link-drop");
+    EXPECT_STREQ(fault::faultKindName(FaultKind::HostLinkCorrupt),
+                 "host-link-corrupt");
+    EXPECT_STREQ(fault::faultKindName(FaultKind::MmuHang), "mmu-hang");
+}
+
+TEST(FaultPlan, ValidateCatchesEveryRecoveryKnob)
+{
+    fault::FaultPlan plan;
+    plan.host_corrupt_prob = -0.25;
+    plan.mmu_hang_rate_per_s = -2.0;
+    plan.scheduled.push_back({-1.0, fault::FaultKind::MmuHang});
+    plan.ecc.word_bits = 0;
+    plan.retry.base_backoff_s = -1e-6;
+    plan.watchdog.timeout_s = 0.0;
+    plan.degrade.storm_faults = 0;
+    plan.degrade.storm_window_s = 0.0;
+    auto errors = plan.validate();
+    EXPECT_EQ(errors.size(), 8u);
+    auto mentions = [&errors](const char *needle) {
+        for (const auto &e : errors) {
+            if (e.find(needle) != std::string::npos)
+                return true;
+        }
+        return false;
+    };
+    EXPECT_TRUE(mentions("host_corrupt_prob"));
+    EXPECT_TRUE(mentions("mmu_hang_rate_per_s"));
+    EXPECT_TRUE(mentions("mmu-hang")); // scheduled fault names its kind
+    EXPECT_TRUE(mentions("ecc.word_bits"));
+    EXPECT_TRUE(mentions("backoff"));
+    EXPECT_TRUE(mentions("watchdog"));
+    EXPECT_TRUE(mentions("storm_faults"));
+    EXPECT_TRUE(mentions("storm_window_s"));
+}
+
+TEST(ChaosPlan, ValidateCatchesZeroCrowdDuration)
+{
+    fault::ChaosPlan plan;
+    plan.crowd.rate_per_s = 0.1;
+    plan.crowd.duration_s = 0.0;
+    auto errors = plan.validate();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("crowd.duration_s"), std::string::npos);
+}
+
+TEST(ChaosPlan, ScheduledOutagesKeepSpecificReplicas)
+{
+    fault::ChaosPlan plan;
+    plan.scheduled_outages.push_back({2, 1.0, 2.0});
+    plan.scheduled_outages.push_back({2, 1.0, 3.0});
+    plan.scheduled_outages.push_back({fault::kEveryReplica, 3.0, 4.0});
+    plan.scheduled_surges.push_back({1.0, 3.0, 2.0});
+    plan.scheduled_surges.push_back({1.0, 2.0, 2.0});
+    EXPECT_TRUE(plan.validate().empty());
+    auto mat = fault::materializeChaos(plan, 3, 10.0);
+    // The sentinel expands to one window per replica; specific-replica
+    // windows pass through untouched and sort by (from, replica, to).
+    ASSERT_EQ(mat.outages.size(), 5u);
+    EXPECT_EQ(mat.outages[0].replica, 2u);
+    EXPECT_EQ(mat.outages[0].to_s, 2.0);
+    EXPECT_EQ(mat.outages[1].replica, 2u);
+    EXPECT_EQ(mat.outages[1].to_s, 3.0);
+    for (std::size_t r = 0; r < 3; ++r)
+        EXPECT_EQ(mat.outages[2 + r].replica, r);
+    ASSERT_EQ(mat.surges.size(), 2u);
+    EXPECT_EQ(mat.surges[0].to_s, 2.0); // same-from ties sort by to
+}
+
+TEST(ChaosPlan, RackOutagesDarkenWholeRacks)
+{
+    fault::ChaosPlan plan;
+    plan.seed = 7;
+    plan.rack.rack_size = 4;
+    plan.rack.rate_per_s = 0.5;
+    plan.rack.outage_s = 1.0;
+    const std::size_t replicas = 10;
+    const double horizon = 40.0;
+    auto mat = fault::materializeChaos(plan, replicas, horizon);
+    ASSERT_FALSE(mat.outages.empty());
+    // Every rack event darkens one full rack over one shared window,
+    // with the tail rack truncated to the replicas that exist.
+    std::map<std::pair<double, double>, std::vector<std::size_t>> groups;
+    for (const auto &o : mat.outages) {
+        EXPECT_LT(o.replica, replicas);
+        EXPECT_LT(o.from_s, o.to_s);
+        EXPECT_LE(o.to_s, horizon);
+        groups[{o.from_s, o.to_s}].push_back(o.replica);
+    }
+    for (const auto &[window, members] : groups) {
+        std::size_t lo = members.front() - members.front() % 4;
+        std::size_t hi = std::min(lo + 4, replicas);
+        EXPECT_EQ(members.size(), hi - lo)
+            << "window [" << window.first << ", " << window.second << ")";
+        for (std::size_t i = 0; i < members.size(); ++i)
+            EXPECT_EQ(members[i], lo + i);
+    }
+}
+
+TEST(ChaosPlan, NamedScenariosValidateAndMaterialize)
+{
+    for (const auto &name : fault::chaosScenarioNames()) {
+        auto plan = fault::chaosScenario(name, 100.0, 11);
+        EXPECT_TRUE(plan.enabled()) << name;
+        EXPECT_TRUE(plan.validate().empty()) << name;
+        fault::materializeChaos(plan, 8, 100.0);
+    }
+    auto crowd = fault::chaosScenario("flash_crowd", 100.0, 11);
+    EXPECT_EQ(crowd.scheduled_surges.size(), 2u);
+    EXPECT_TRUE(crowd.scheduled_outages.empty());
+    auto mixed = fault::chaosScenario("flash_crowd_outage", 100.0, 11);
+    EXPECT_EQ(mixed.scheduled_surges.size(), 2u);
+    EXPECT_EQ(mixed.scheduled_outages.size(), 1u);
+    EXPECT_GT(mixed.storm.rate_per_s, 0.0);
+}
+
+TEST(ChaosPlanDeath, UnknownScenarioFailsFast)
+{
+    EXPECT_EXIT({ fault::chaosScenario("nope", 10.0, 1); },
+                testing::ExitedWithCode(1), "unknown chaos scenario");
+}
+
+TEST(TrafficMix, ValidateNamesEveryBadKnob)
+{
+    fault::TrafficMix mix;
+    mix.flash_crowds.push_back({-1.0, -2.0, 0.5}); // unordered, weak
+    mix.diurnal.period_s = 100.0;
+    mix.diurnal.peak_factor = 0.5;
+    mix.diurnal.segments_per_period = 1;
+    mix.diurnal.phase = 1.5;
+    EXPECT_EQ(mix.validate().size(), 5u);
+
+    fault::TrafficMix negative_period;
+    negative_period.diurnal.period_s = -1.0;
+    EXPECT_EQ(negative_period.validate().size(), 1u);
+}
+
+TEST(TrafficMix, MaterializeDropsFlatSpans)
+{
+    fault::TrafficMix mix;
+    mix.flash_crowds.push_back({2.0, 4.0, 3.0});
+    auto windows = fault::materializeTraffic(mix, 10.0);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_DOUBLE_EQ(windows[0].from_s, 2.0);
+    EXPECT_DOUBLE_EQ(windows[0].to_s, 4.0);
+    EXPECT_DOUBLE_EQ(windows[0].factor, 3.0);
+}
+
+TEST(TrafficMix, NamedScenariosShapeTheBlend)
+{
+    auto crowd = fault::trafficScenario("flash_crowd", 100.0);
+    EXPECT_EQ(crowd.flash_crowds.size(), 2u);
+    EXPECT_GT(crowd.factorAt(25.0), 2.0); // inside the 3x spike
+    auto mt = fault::trafficScenario("multi_tenant", 100.0);
+    ASSERT_EQ(mt.tenants.size(), 3u);
+    // The spiky tenant's private 5x surge moves the blend by its share
+    // only, so the composed factor stays strictly inside (1, 5).
+    double inside = mt.factorAt(0.20 * 100.0);
+    EXPECT_GT(inside, 1.0);
+    EXPECT_LT(inside, 5.0);
+}
+
+TEST(TrafficMixDeath, MaterializeRejectsInvalidMix)
+{
+    fault::TrafficMix mix;
+    mix.flash_crowds.push_back({2.0, 4.0, 0.5});
+    EXPECT_EXIT({ fault::materializeTraffic(mix, 10.0); },
+                testing::ExitedWithCode(1), "invalid traffic mix");
+}
+
+TEST(TrafficMixDeath, UnknownScenarioFailsFast)
+{
+    EXPECT_EXIT({ fault::trafficScenario("nope", 10.0); },
+                testing::ExitedWithCode(1), "unknown traffic scenario");
 }
 
 TEST(AcceleratorConfig, DefaultConfigValidates)
